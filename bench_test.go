@@ -1,0 +1,158 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation. Each benchmark runs the corresponding workload ×
+// protocol sweep and reports the paper's metric via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every figure's headline number. cmd/hscfig prints the
+// full per-benchmark tables.
+package hscsim_test
+
+import (
+	"testing"
+
+	"hscsim"
+)
+
+func evalRun(b *testing.B, bench string, opts hscsim.ProtocolOptions) hscsim.Results {
+	b.Helper()
+	res, err := hscsim.RunBenchmark(bench, hscsim.EvalConfig(opts), hscsim.Params{Scale: 1, CPUThreads: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig4 measures the %-saved-cycles of each §III optimization
+// over the baseline across the full CHAI suite (paper avg ≈ 1.68%).
+func BenchmarkFig4(b *testing.B) {
+	variants := map[string]hscsim.ProtocolOptions{
+		"earlyResp":    {EarlyDirtyResponse: true},
+		"noWBcleanVic": {NoWBCleanVicToMem: true},
+		"llcWB":        {LLCWriteBack: true},
+	}
+	for name, opts := range variants {
+		opts := opts
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var sumSaved float64
+				for _, bench := range hscsim.Benchmarks() {
+					base := evalRun(b, bench, hscsim.ProtocolOptions{})
+					opt := evalRun(b, bench, opts)
+					sumSaved += 100 * (float64(base.Cycles) - float64(opt.Cycles)) / float64(base.Cycles)
+				}
+				b.ReportMetric(sumSaved/float64(len(hscsim.Benchmarks())), "%saved-cycles-avg")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5 measures directory↔memory accesses under the write-back
+// LLC stack (paper: 50.38% average reduction).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sumRed float64
+		for _, bench := range hscsim.Benchmarks() {
+			base := evalRun(b, bench, hscsim.ProtocolOptions{})
+			wb := evalRun(b, bench, hscsim.ProtocolOptions{LLCWriteBack: true, UseL3OnWT: true})
+			sumRed += 100 * (float64(base.MemAccesses()) - float64(wb.MemAccesses())) / float64(base.MemAccesses())
+		}
+		b.ReportMetric(sumRed/float64(len(hscsim.Benchmarks())), "%mem-reduction-avg")
+	}
+}
+
+// BenchmarkFig6 measures the state-tracking speedup over the
+// collaborative five (paper: 14.4% average).
+func BenchmarkFig6(b *testing.B) {
+	variants := map[string]hscsim.ProtocolOptions{
+		"owner":   {Tracking: hscsim.TrackOwner, LLCWriteBack: true, UseL3OnWT: true},
+		"sharers": {Tracking: hscsim.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true},
+	}
+	for name, opts := range variants {
+		opts := opts
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var sumSaved float64
+				for _, bench := range hscsim.CollaborativeBenchmarks() {
+					base := evalRun(b, bench, hscsim.ProtocolOptions{})
+					opt := evalRun(b, bench, opts)
+					sumSaved += 100 * (float64(base.Cycles) - float64(opt.Cycles)) / float64(base.Cycles)
+				}
+				b.ReportMetric(sumSaved/float64(len(hscsim.CollaborativeBenchmarks())), "%saved-cycles-avg")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7 measures the probe reduction of state tracking
+// (paper: 80.3% average for owner tracking).
+func BenchmarkFig7(b *testing.B) {
+	variants := map[string]hscsim.ProtocolOptions{
+		"owner":   {Tracking: hscsim.TrackOwner, LLCWriteBack: true, UseL3OnWT: true},
+		"sharers": {Tracking: hscsim.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true},
+	}
+	for name, opts := range variants {
+		opts := opts
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var sumRed float64
+				for _, bench := range hscsim.CollaborativeBenchmarks() {
+					base := evalRun(b, bench, hscsim.ProtocolOptions{})
+					opt := evalRun(b, bench, opts)
+					sumRed += 100 * (float64(base.ProbesSent) - float64(opt.ProbesSent)) / float64(base.ProbesSent)
+				}
+				b.ReportMetric(sumRed/float64(len(hscsim.CollaborativeBenchmarks())), "%probe-reduction-avg")
+			}
+		})
+	}
+}
+
+// BenchmarkTable2FullSize runs a workload on the unscaled Table II
+// configuration, demonstrating the full-size cache hierarchy.
+func BenchmarkTable2FullSize(b *testing.B) {
+	cfg := hscsim.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := hscsim.RunBenchmark("tq", cfg, hscsim.Params{Scale: 1, CPUThreads: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Cycles), "sim-cycles")
+	}
+}
+
+// BenchmarkTable3Ablations covers the secondary design points: §III-B1,
+// limited pointers, the §VII replacement policy and dirty-sharer rule.
+func BenchmarkTable3Ablations(b *testing.B) {
+	ablations := map[string]hscsim.ProtocolOptions{
+		"noWBcleanVicLLC": {NoWBCleanVicToMem: true, NoWBCleanVicToLLC: true},
+		"limited4ptr":     {Tracking: hscsim.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true, LimitedPointers: 4},
+		"fewestSharers":   {Tracking: hscsim.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true, DirRepl: hscsim.DirReplFewestSharers},
+		"keepDirtyShare":  {Tracking: hscsim.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true, KeepDirtySharersOnEvict: true},
+	}
+	for name, opts := range ablations {
+		opts := opts
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := evalRun(b, "tq", opts)
+				b.ReportMetric(float64(res.Cycles), "sim-cycles")
+				b.ReportMetric(float64(res.ProbesSent), "probes")
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput is a plain performance benchmark of the
+// simulator itself: simulated events per wall-clock second.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := hscsim.NewSystem(hscsim.EvalConfig(hscsim.ProtocolOptions{}))
+		w, err := hscsim.NewBenchmark("hsti", hscsim.Params{Scale: 1, CPUThreads: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(w); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(s.Engine.Executed()), "events/run")
+	}
+}

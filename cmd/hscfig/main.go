@@ -1,0 +1,198 @@
+// Command hscfig regenerates the paper's evaluation tables and figures
+// (Tables II/III, Figs. 4–7) by sweeping the CHAI workloads over the
+// protocol variants. With no flags it regenerates everything.
+//
+// Usage:
+//
+//	hscfig [-fig4] [-fig5] [-fig6] [-fig7] [-table2] [-table3] [-ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hscsim/internal/chai"
+	"hscsim/internal/core"
+	"hscsim/internal/figures"
+)
+
+func main() {
+	fig4 := flag.Bool("fig4", false, "regenerate Fig. 4 (optimization speedups)")
+	fig5 := flag.Bool("fig5", false, "regenerate Fig. 5 (memory accesses)")
+	fig6 := flag.Bool("fig6", false, "regenerate Fig. 6 (state-tracking speedups)")
+	fig7 := flag.Bool("fig7", false, "regenerate Fig. 7 (probe reduction)")
+	table1 := flag.Bool("table1", false, "regenerate Table I (directory transitions) from the implementation")
+	table2 := flag.Bool("table2", false, "print Table II (cache configurations)")
+	table3 := flag.Bool("table3", false, "print Table III (system configuration)")
+	ablations := flag.Bool("ablations", false, "run the extra ablations (§III-B1, §VII)")
+	energyFig := flag.Bool("energy", false, "print the first-order energy estimate")
+	hsFlag := flag.Bool("heterosync", false, "run the HeteroSync/Lulesh comparison (§V)")
+	extFlag := flag.Bool("extended", false, "run the 4 CHAI benchmarks gem5 could not (§V)")
+	csvPath := flag.String("csv", "", "also export the Fig. 4/5 sweep as CSV to this file")
+	flag.Parse()
+
+	all := !(*fig4 || *fig5 || *fig6 || *fig7 || *table1 || *table2 || *table3 || *ablations || *energyFig || *hsFlag || *extFlag)
+	out := os.Stdout
+
+	if all || *table1 {
+		core.WriteTableI(out)
+	}
+	if all || *table2 {
+		figures.WriteTable2(out)
+	}
+	if all || *table3 {
+		figures.WriteTable3(out)
+	}
+
+	if all || *fig4 || *fig5 {
+		// Figs. 4 and 5 share the baseline/noWBcleanVic/llcWB runs; run
+		// the union of their variants once.
+		variants := []core.Options{
+			{},
+			{EarlyDirtyResponse: true},
+			{NoWBCleanVicToMem: true},
+			{LLCWriteBack: true},
+			{LLCWriteBack: true, UseL3OnWT: true},
+		}
+		sw, err := figures.RunSweep(chai.Names(), variants)
+		check(err)
+		if all || *fig4 {
+			figures.WriteFig4(out, sw)
+		}
+		if all || *fig5 {
+			figures.WriteFig5(out, sw)
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			check(err)
+			check(figures.WriteCSV(f, sw))
+			check(f.Close())
+			fmt.Fprintf(out, "\nCSV sweep written to %s\n", *csvPath)
+		}
+	}
+
+	if all || *fig6 || *fig7 || *energyFig {
+		sw, err := figures.RunSweep(chai.CollaborativeFive(), figures.Fig6Variants())
+		check(err)
+		if all || *fig6 {
+			figures.WriteFig6(out, sw)
+		}
+		if all || *fig7 {
+			figures.WriteFig7(out, sw)
+		}
+		if all || *energyFig {
+			figures.WriteEnergy(out, sw)
+		}
+	}
+
+	if all || *hsFlag {
+		check(figures.WriteHeteroSync(out))
+	}
+
+	if all || *extFlag {
+		check(figures.WriteExtended(out))
+	}
+
+	if all || *ablations {
+		runAblations(out)
+	}
+}
+
+// runAblations covers the paper's secondary design points: dropping
+// clean victims from the LLC entirely (§III-B1), the limited-pointer
+// sharer list (§IV-B), and the future-work directory replacement policy
+// and dirty-sharer deallocation rule (§VII).
+func runAblations(out *os.File) {
+	fmt.Fprintf(out, "\nAblations\n=========\n")
+	cases := []struct {
+		label string
+		opts  core.Options
+	}{
+		{"baseline", core.Options{}},
+		{"noWBcleanVicLLC (III-B1)", core.Options{NoWBCleanVicToMem: true, NoWBCleanVicToLLC: true}},
+		{"sharers, limited-4 ptrs", core.Options{Tracking: core.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true, LimitedPointers: 4}},
+		{"sharers, fewest-sharers repl", core.Options{Tracking: core.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true, DirRepl: core.DirReplFewestSharers}},
+		{"sharers, keep dirty sharers", core.Options{Tracking: core.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true, KeepDirtySharersOnEvict: true}},
+	}
+	fmt.Fprintf(out, "%-30s %-8s %12s %10s %10s\n", "variant", "bench", "cycles", "mem", "probes")
+	for _, bench := range chai.CollaborativeFive() {
+		for _, c := range cases {
+			res, err := figures.Run(bench, c.opts)
+			check(err)
+			fmt.Fprintf(out, "%-30s %-8s %12d %10d %10d\n",
+				c.label, bench, res.Cycles, res.MemAccesses(), res.ProbesSent)
+		}
+	}
+
+	// Directory-pressure study (§VII future work): with a directory far
+	// smaller than the working set, entry evictions and their backward
+	// invalidations dominate, and the replacement policy matters.
+	fmt.Fprintf(out, "\nDirectory-pressure ablation (512-entry directory)\n")
+	fmt.Fprintf(out, "%-30s %-8s %12s %10s %12s %12s\n",
+		"variant", "bench", "cycles", "probes", "dirEvicts", "backInvals")
+	pressure := []struct {
+		label string
+		opts  core.Options
+	}{
+		{"sharers, tree-PLRU", core.Options{Tracking: core.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true}},
+		{"sharers, fewest-sharers repl", core.Options{Tracking: core.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true, DirRepl: core.DirReplFewestSharers}},
+		{"sharers, keep dirty sharers", core.Options{Tracking: core.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true, KeepDirtySharersOnEvict: true}},
+	}
+	for _, bench := range chai.CollaborativeFive() {
+		for _, c := range pressure {
+			cfg := figures.EvalSystemConfig(c.opts)
+			cfg.Geometry.DirEntries = 512
+			res, err := figures.RunOn(bench, cfg)
+			check(err)
+			fmt.Fprintf(out, "%-30s %-8s %12d %10d %12d %12d\n",
+				c.label, bench, res.Cycles, res.ProbesSent,
+				res.Stats["dir.entry_evictions"], res.Stats["dir.backward_inval_probes"])
+		}
+	}
+
+	// Read-only elision (§IX future work) on the benchmarks with
+	// read-only inputs.
+	fmt.Fprintf(out, "\nRead-only elision ablation (§IX)\n")
+	fmt.Fprintf(out, "%-8s %-18s %12s %10s %12s\n", "bench", "variant", "cycles", "probes", "roElided")
+	for _, bench := range []string{"bs", "sc", "hsti", "hsto", "rscd", "rsct"} {
+		for _, c := range []struct {
+			label string
+			opts  core.Options
+		}{
+			{"baseline", core.Options{}},
+			{"baseline+RO", core.Options{ReadOnlyElision: true}},
+			{"sharers", core.Options{Tracking: core.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true}},
+			{"sharers+RO", core.Options{Tracking: core.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true, ReadOnlyElision: true}},
+		} {
+			res, err := figures.Run(bench, c.opts)
+			check(err)
+			fmt.Fprintf(out, "%-8s %-18s %12d %10d %12d\n",
+				bench, c.label, res.Cycles, res.ProbesSent,
+				res.Stats["dir.readonly_elided"])
+		}
+	}
+
+	// Distributed directory (§VII future work): the tracked protocol
+	// over 1/2/4 address-interleaved banks.
+	fmt.Fprintf(out, "\nDistributed-directory ablation (§VII)\n")
+	fmt.Fprintf(out, "%-8s %6s %12s %10s %10s\n", "bench", "banks", "cycles", "probes", "mem")
+	for _, bench := range chai.CollaborativeFive() {
+		for _, banks := range []int{1, 2, 4} {
+			cfg := figures.EvalSystemConfig(core.Options{
+				Tracking: core.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true})
+			cfg.DirBanks = banks
+			res, err := figures.RunOn(bench, cfg)
+			check(err)
+			fmt.Fprintf(out, "%-8s %6d %12d %10d %10d\n",
+				bench, banks, res.Cycles, res.ProbesSent, res.MemAccesses())
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hscfig:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+// Command hscsweep characterizes how a workload scales with the
+// system's structural parameters — CorePairs, CUs, directory banks,
+// TCC banks and store-buffer depth — under a chosen protocol variant.
+// This is the "characterization" companion to hscfig's fixed-shape
+// figures (§V's benchmark characterization).
+//
+// Usage:
+//
+//	hscsweep [-bench tq] [-protocol sharersTracking] [-scale 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hscsim/internal/chai"
+	"hscsim/internal/core"
+	"hscsim/internal/figures"
+	"hscsim/internal/heterosync"
+	"hscsim/internal/system"
+)
+
+func protoByName(name string) (core.Options, error) {
+	switch name {
+	case "baseline":
+		return core.Options{}, nil
+	case "ownerTracking":
+		return core.Options{Tracking: core.TrackOwner, LLCWriteBack: true, UseL3OnWT: true}, nil
+	case "sharersTracking":
+		return core.Options{Tracking: core.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true}, nil
+	}
+	return core.Options{}, fmt.Errorf("unknown protocol %q (baseline, ownerTracking, sharersTracking)", name)
+}
+
+func main() {
+	bench := flag.String("bench", "tq", "benchmark (CHAI or HeteroSync)")
+	protocol := flag.String("protocol", "sharersTracking", "protocol variant")
+	scale := flag.Int("scale", 1, "workload scale")
+	flag.Parse()
+
+	opts, err := protoByName(*protocol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hscsweep:", err)
+		os.Exit(2)
+	}
+
+	run := func(mutate func(*system.Config), threads int) system.Results {
+		cfg := figures.EvalSystemConfig(opts)
+		mutate(&cfg)
+		w, err := chai.ByName(*bench, chai.Params{Scale: *scale, CPUThreads: threads})
+		if err != nil {
+			w, err = heterosync.ByName(*bench, heterosync.Params{Scale: *scale})
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hscsweep:", err)
+			os.Exit(2)
+		}
+		s := system.New(cfg)
+		res, rerr := s.Run(w)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "hscsweep:", rerr)
+			os.Exit(1)
+		}
+		return res
+	}
+
+	fmt.Printf("benchmark %s, protocol %s, scale %d\n\n", *bench, *protocol, *scale)
+
+	fmt.Printf("CPU scaling (CorePairs × 2 threads)\n")
+	fmt.Printf("%8s %12s %10s %10s\n", "pairs", "cycles", "probes", "mem")
+	for _, pairs := range []int{1, 2, 4} {
+		p := pairs
+		res := run(func(c *system.Config) { c.NumCorePairs = p }, p*2)
+		fmt.Printf("%8d %12d %10d %10d\n", p, res.Cycles, res.ProbesSent, res.MemAccesses())
+	}
+
+	fmt.Printf("\nGPU scaling (CUs)\n")
+	fmt.Printf("%8s %12s %10s %10s\n", "CUs", "cycles", "probes", "mem")
+	for _, cus := range []int{2, 4, 8} {
+		n := cus
+		res := run(func(c *system.Config) { c.GPUDisp.NumCUs = n }, 8)
+		fmt.Printf("%8d %12d %10d %10d\n", n, res.Cycles, res.ProbesSent, res.MemAccesses())
+	}
+
+	fmt.Printf("\nDirectory banking (§VII)\n")
+	fmt.Printf("%8s %12s %10s %10s\n", "banks", "cycles", "probes", "mem")
+	for _, banks := range []int{1, 2, 4} {
+		b := banks
+		res := run(func(c *system.Config) { c.DirBanks = b }, 8)
+		fmt.Printf("%8d %12d %10d %10d\n", b, res.Cycles, res.ProbesSent, res.MemAccesses())
+	}
+
+	fmt.Printf("\nTCC banking\n")
+	fmt.Printf("%8s %12s %10s %10s\n", "TCCs", "cycles", "probes", "mem")
+	for _, tccs := range []int{1, 2} {
+		n := tccs
+		res := run(func(c *system.Config) { c.GPU.NumTCCs = n }, 8)
+		fmt.Printf("%8d %12d %10d %10d\n", n, res.Cycles, res.ProbesSent, res.MemAccesses())
+	}
+
+	fmt.Printf("\nStore-buffer depth (CPU MLP)\n")
+	fmt.Printf("%8s %12s %10s %10s\n", "slots", "cycles", "probes", "mem")
+	for _, sb := range []int{0, 4, 16} {
+		n := sb
+		res := run(func(c *system.Config) { c.CPU.StoreBufferSize = n }, 8)
+		fmt.Printf("%8d %12d %10d %10d\n", n, res.Cycles, res.ProbesSent, res.MemAccesses())
+	}
+}

@@ -1,0 +1,76 @@
+// Command hsctrace analyzes a coherence-message trace produced by
+// `hscsim -trace` (JSON lines, see internal/trace): traffic by message
+// type, the hottest cache lines, and optionally one line's full
+// coherence history.
+//
+// Usage:
+//
+//	hscsim -bench tq -protocol baseline -trace /tmp/tq.jsonl
+//	hsctrace /tmp/tq.jsonl
+//	hsctrace -line 0x403001 -top 20 /tmp/tq.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hscsim/internal/trace"
+)
+
+func main() {
+	lineFlag := flag.String("line", "", "print the full history of one cache line (hex or decimal)")
+	top := flag.Int("top", 10, "number of hottest lines to list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hsctrace [-line ADDR] [-top N] trace.jsonl")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hsctrace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hsctrace:", err)
+		os.Exit(1)
+	}
+
+	if *lineFlag != "" {
+		addr, err := strconv.ParseUint(strings.TrimPrefix(*lineFlag, "0x"), hexBase(*lineFlag), 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hsctrace: bad -line:", err)
+			os.Exit(2)
+		}
+		hist := trace.History(events, addr)
+		fmt.Printf("line %#x: %d messages\n", addr, len(hist))
+		for _, ev := range hist {
+			extra := ""
+			if ev.Grant != "" {
+				extra = " grant=" + ev.Grant
+			}
+			if ev.HasData {
+				extra += " data"
+			}
+			if ev.Dirty {
+				extra += " dirty"
+			}
+			fmt.Printf("  [%10d] %-14s %2d → %-2d%s\n", ev.Tick, ev.Type, ev.Src, ev.Dst, extra)
+		}
+		return
+	}
+
+	fmt.Print(trace.Summarize(events, *top))
+}
+
+func hexBase(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}

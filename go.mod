@@ -1,0 +1,3 @@
+module hscsim
+
+go 1.22

@@ -1,0 +1,214 @@
+package chai
+
+import (
+	"fmt"
+
+	"hscsim/internal/memdata"
+	"hscsim/internal/prog"
+	"hscsim/internal/system"
+)
+
+// BFS models CHAI bfs — one of the four benchmarks the paper could not
+// run under gem5's O3 CPU ("spurious failures in waking CPU threads",
+// §V). Level-synchronous breadth-first search in which the host picks
+// the device per level by frontier size (CHAI's dynamic CPU/GPU
+// switching): small frontiers run on the CPU threads, large ones on the
+// GPU. Visitation is claimed with compare-and-swap on the distance
+// array and next-frontier slots are reserved with fetch-add — shared by
+// both devices at system scope.
+func BFS(p Params) system.Workload {
+	n := 1024 * p.Scale
+	const degree = 8
+	gpuThreshold := 64 // frontier size at which the GPU takes over
+
+	// CSR graph in unified memory.
+	offsets := dataBase
+	edgesBase := wa(offsets, n+1)
+	edgeCount := n * degree
+	dist := wa(edgesBase, edgeCount)
+	frontA := wa(dist, n)
+	frontB := wa(frontA, n)
+	ctrl := wa(frontB, n)
+	var (
+		curCount  = wa(ctrl, 0) // entries in the current frontier
+		nextCount = wa(ctrl, 1)
+		claimCtr  = wa(ctrl, 2) // work-claim cursor within the level
+		level     = wa(ctrl, 3) // current level (1-based distances)
+		ready     = wa(ctrl, 4) // CPU-worker release: (level<<1)|1
+		doneCnt   = wa(ctrl, 5)
+		stop      = wa(ctrl, 6)
+	)
+
+	var refOffsets []int
+	var refEdges []int
+	setup := func(fm *memdata.Memory) {
+		r := newRNG(0xBF5)
+		refOffsets = make([]int, n+1)
+		refEdges = make([]int, 0, edgeCount)
+		for v := 0; v < n; v++ {
+			refOffsets[v] = len(refEdges)
+			for d := 0; d < degree; d++ {
+				// A ring edge keeps the graph connected; the rest random.
+				var to int
+				if d == 0 {
+					to = (v + 1) % n
+				} else {
+					to = r.Intn(n)
+				}
+				refEdges = append(refEdges, to)
+			}
+		}
+		refOffsets[n] = len(refEdges)
+		for v := 0; v <= n; v++ {
+			fm.Write(wa(offsets, v), uint64(refOffsets[v]))
+		}
+		for i, e := range refEdges {
+			fm.Write(wa(edgesBase, i), uint64(e))
+		}
+		// Source = node 0, distance 1 (0 means unvisited).
+		fm.Write(wa(dist, 0), 1)
+		fm.Write(wa(frontA, 0), 0)
+		fm.Write(curCount, 1)
+	}
+
+	frontier := func(lvl int) (cur, next memdata.Addr) {
+		if lvl%2 == 1 {
+			return frontA, frontB
+		}
+		return frontB, frontA
+	}
+
+	// processEntries expands frontier entries claimed through claimCtr.
+	// The atomic helpers differ per device; the algorithm is shared.
+	type atomicsAPI struct {
+		add  func(a memdata.Addr, d uint64) uint64
+		cas  func(a memdata.Addr, expect, desired uint64) uint64
+		load func(a memdata.Addr) uint64
+		stor func(a memdata.Addr, v uint64)
+	}
+	expand := func(api atomicsAPI, lvl int, count uint64) {
+		cur, next := frontier(lvl)
+		for {
+			idx := api.add(claimCtr, 1)
+			if idx >= count {
+				return
+			}
+			v := int(api.load(wa(cur, int(idx))))
+			lo := int(api.load(wa(offsets, v)))
+			hi := int(api.load(wa(offsets, v+1)))
+			for e := lo; e < hi; e++ {
+				to := int(api.load(wa(edgesBase, e)))
+				if api.load(wa(dist, to)) != 0 {
+					continue
+				}
+				if api.cas(wa(dist, to), 0, uint64(lvl+1)) == 0 {
+					slot := api.add(nextCount, 1)
+					api.stor(wa(next, int(slot)), uint64(to))
+				}
+			}
+		}
+	}
+
+	cpuAPI := func(t *prog.CPUThread) atomicsAPI {
+		return atomicsAPI{
+			add:  t.AtomicAdd,
+			cas:  t.AtomicCAS,
+			load: t.Load,
+			stor: t.Store,
+		}
+	}
+	gpuAPI := func(w *prog.Wave) atomicsAPI {
+		return atomicsAPI{
+			add:  w.AtomicSysAdd,
+			cas:  func(a memdata.Addr, e, d uint64) uint64 { return w.AtomicSys(memdata.AtomicCAS, a, d, e) },
+			load: w.Load,
+			stor: w.Store,
+		}
+	}
+
+	mkKernel := func(lvl int, count uint64) *prog.Kernel {
+		return &prog.Kernel{
+			Name: fmt.Sprintf("bfs_l%d", lvl), Workgroups: 8, WavesPerWG: 2,
+			CodeAddr: kernelCode(10),
+			Fn:       func(w *prog.Wave) { expand(gpuAPI(w), lvl, count) },
+		}
+	}
+
+	workers := p.CPUThreads - 1
+	if workers < 1 {
+		workers = 1
+	}
+	worker := func(t *prog.CPUThread) {
+		seen := uint64(0)
+		for {
+			v := t.SpinUntil(ready, func(v uint64) bool { return v != seen || t.Load(stop) != 0 })
+			if t.Load(stop) != 0 {
+				return
+			}
+			seen = v
+			lvl := int(v >> 1)
+			expand(cpuAPI(t), lvl, t.Load(curCount))
+			t.AtomicAdd(doneCnt, 1)
+		}
+	}
+
+	host := func(t *prog.CPUThread) {
+		lvl := 1
+		for {
+			count := t.Load(curCount)
+			if count == 0 {
+				break
+			}
+			t.Store(level, uint64(lvl))
+			t.Store(claimCtr, 0)
+			t.Store(nextCount, 0)
+			if int(count) >= gpuThreshold {
+				h := t.Launch(mkKernel(lvl, count))
+				t.Wait(h)
+			} else {
+				t.Store(doneCnt, 0)
+				t.Store(ready, uint64(lvl<<1)|1)
+				expand(cpuAPI(t), lvl, count)
+				t.SpinUntil(doneCnt, func(v uint64) bool { return v == uint64(workers) })
+			}
+			t.Store(curCount, t.Load(nextCount))
+			lvl++
+		}
+		t.Store(stop, 1)
+	}
+
+	threads := make([]func(*prog.CPUThread), workers+1)
+	threads[0] = host
+	for k := 1; k <= workers; k++ {
+		threads[k] = worker
+	}
+
+	return system.Workload{
+		Name:    "bfs",
+		Setup:   setup,
+		Threads: threads,
+		Verify: func(fm *memdata.Memory) error {
+			// Reference BFS.
+			want := make([]uint64, n)
+			want[0] = 1
+			queue := []int{0}
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				for e := refOffsets[v]; e < refOffsets[v+1]; e++ {
+					to := refEdges[e]
+					if want[to] == 0 {
+						want[to] = want[v] + 1
+						queue = append(queue, to)
+					}
+				}
+			}
+			for v := 0; v < n; v++ {
+				if got := fm.Read(wa(dist, v)); got != want[v] {
+					return fmt.Errorf("bfs: dist[%d] = %d, want %d", v, got, want[v])
+				}
+			}
+			return nil
+		},
+	}
+}

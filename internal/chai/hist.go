@@ -1,0 +1,156 @@
+package chai
+
+import (
+	"fmt"
+
+	"hscsim/internal/memdata"
+	"hscsim/internal/prog"
+	"hscsim/internal/system"
+)
+
+const histBins = 256
+
+// HistogramInput models CHAI hsti: the input is partitioned between CPU
+// threads and GPU wavefronts, all of which atomically update one shared
+// histogram — heavy fine-grained contention on the bin lines through
+// system-scope atomics (the stress case for invalidation traffic).
+func HistogramInput(p Params) system.Workload {
+	n := 8192 * p.Scale
+	in := dataBase
+	bins := wa(in, n)
+
+	var ref []uint64
+	setup := func(fm *memdata.Memory) {
+		ref = fillRandom(fm, in, n, histBins, 0x1157)
+	}
+
+	cpuN := n / 2
+	gpuWaves := 16
+
+	kernel := &prog.Kernel{
+		Name: "hsti_count", Workgroups: 8, WavesPerWG: 2, CodeAddr: kernelCode(1),
+		Fn: func(w *prog.Wave) {
+			for base := cpuN + w.Global*16; base < n; base += gpuWaves * 16 {
+				addrs := make([]memdata.Addr, 16)
+				for k := range addrs {
+					addrs[k] = wa(in, base+k)
+				}
+				vals := w.VecLoad(addrs)
+				for _, v := range vals {
+					w.AtomicSysAdd(wa(bins, int(v)), 1)
+				}
+			}
+		},
+	}
+
+	threads := make([]func(*prog.CPUThread), p.CPUThreads)
+	cpuPart := func(t *prog.CPUThread) {
+		lo, hi := splitRange(cpuN, p.CPUThreads, t.ID())
+		for i := lo; i < hi; i++ {
+			v := t.Load(wa(in, i))
+			t.AtomicAdd(wa(bins, int(v)), 1)
+		}
+	}
+	threads[0] = func(t *prog.CPUThread) {
+		h := t.Launch(kernel)
+		cpuPart(t)
+		t.Wait(h)
+	}
+	for k := 1; k < p.CPUThreads; k++ {
+		threads[k] = cpuPart
+	}
+
+	return system.Workload{
+		Name:     "hsti",
+		Setup:    setup,
+		Threads:  threads,
+		ReadOnly: [][2]memdata.Addr{{in, wa(in, n)}},
+		Verify:   func(fm *memdata.Memory) error { return verifyHistogram(fm, bins, ref) },
+	}
+}
+
+// HistogramOutput models CHAI hsto: the *output* bins are partitioned —
+// every worker scans the whole input (pure read sharing, the S-state
+// showcase) and privately counts only the bins it owns, so no atomics
+// are needed on the bins.
+func HistogramOutput(p Params) system.Workload {
+	n := 8192 * p.Scale
+	in := dataBase
+	bins := wa(in, n)
+
+	var ref []uint64
+	setup := func(fm *memdata.Memory) {
+		ref = fillRandom(fm, in, n, histBins, 0x1157) // same input as hsti
+	}
+
+	// CPU threads own bins [0,128), the GPU owns [128,256).
+	const cpuBins = histBins / 2
+	gpuWaves := 16
+
+	kernel := &prog.Kernel{
+		Name: "hsto_count", Workgroups: 8, WavesPerWG: 2, CodeAddr: kernelCode(2),
+		Fn: func(w *prog.Wave) {
+			lo := cpuBins + (histBins-cpuBins)*w.Global/gpuWaves
+			hi := cpuBins + (histBins-cpuBins)*(w.Global+1)/gpuWaves
+			local := make(map[int]uint64)
+			for base := 0; base < n; base += 16 {
+				addrs := make([]memdata.Addr, 16)
+				for k := range addrs {
+					addrs[k] = wa(in, base+k)
+				}
+				for _, v := range w.VecLoad(addrs) {
+					if int(v) >= lo && int(v) < hi {
+						local[int(v)]++
+					}
+				}
+			}
+			for b := lo; b < hi; b++ {
+				w.Store(wa(bins, b), local[b])
+			}
+		},
+	}
+
+	threads := make([]func(*prog.CPUThread), p.CPUThreads)
+	cpuPart := func(t *prog.CPUThread) {
+		lo, hi := splitRange(cpuBins, p.CPUThreads, t.ID())
+		local := make(map[int]uint64)
+		for i := 0; i < n; i++ {
+			v := int(t.Load(wa(in, i)))
+			if v >= lo && v < hi {
+				local[v]++
+			}
+		}
+		for b := lo; b < hi; b++ {
+			t.Store(wa(bins, b), local[b])
+		}
+	}
+	threads[0] = func(t *prog.CPUThread) {
+		h := t.Launch(kernel)
+		cpuPart(t)
+		t.Wait(h)
+	}
+	for k := 1; k < p.CPUThreads; k++ {
+		threads[k] = cpuPart
+	}
+
+	return system.Workload{
+		Name:     "hsto",
+		Setup:    setup,
+		Threads:  threads,
+		ReadOnly: [][2]memdata.Addr{{in, wa(in, n)}},
+		Verify:   func(fm *memdata.Memory) error { return verifyHistogram(fm, bins, ref) },
+	}
+}
+
+func verifyHistogram(fm *memdata.Memory, bins memdata.Addr, ref []uint64) error {
+	want := make([]uint64, histBins)
+	for _, v := range ref {
+		want[v]++
+	}
+	for b := 0; b < histBins; b++ {
+		if got := fm.Read(wa(bins, b)); got != want[b] {
+			return fmt.Errorf("histogram: bin %d = %d, want %d", b, got, want[b])
+		}
+	}
+	return nil
+}

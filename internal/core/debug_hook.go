@@ -1,0 +1,5 @@
+package core
+
+import "hscsim/internal/cachearray"
+
+func SetDebugLine(a cachearray.LineAddr) { debugLine = a }

@@ -1,0 +1,612 @@
+package core
+
+import (
+	"fmt"
+
+	"hscsim/internal/cachearray"
+	"hscsim/internal/memctrl"
+	"hscsim/internal/memdata"
+	"hscsim/internal/msg"
+	"hscsim/internal/noc"
+	"hscsim/internal/sim"
+	"hscsim/internal/stats"
+)
+
+// Directory is the system-level directory controller. It services
+// requests from the CorePair L2s, the TCC and the DMA engine, probes the
+// processor caches, and manages the LLC and the main-memory interface
+// (the only path to memory in the system).
+type Directory struct {
+	engine  *sim.Engine
+	ic      *noc.Interconnect
+	mem     *memctrl.Controller
+	funcMem *memdata.Memory
+	opts    Options
+	timing  Timing
+
+	id      msg.NodeID
+	l2s     []msg.NodeID // CPU probe targets
+	tccIDs  []msg.NodeID // TCC bank nodes (Table III configures 1)
+	targets []msg.NodeID // l2s + TCCs, in probe-index order
+
+	llc    *llc
+	dirArr *cachearray.Array[dirEntry] // nil when Tracking == TrackNone
+
+	txns     map[cachearray.LineAddr]*txn
+	pend     map[cachearray.LineAddr][]*msg.Message
+	nextID   uint64
+	roRanges []LineRange
+
+	// Statistics.
+	requests    *stats.Counter
+	probesSent  *stats.Counter
+	acksRecv    *stats.Counter
+	earlyResps  *stats.Counter
+	dirEvicts   *stats.Counter
+	backInvals  *stats.Counter
+	probeElided *stats.Counter
+	staleVics   *stats.Counter
+	allocStalls *stats.Counter
+	flushes     *stats.Counter
+	atomics     *stats.Counter
+	wts         *stats.Counter
+	roElided    *stats.Counter
+	txnLatency  *stats.Histogram
+}
+
+// dirState is a stable state of the tracking directory (§IV-A). Absence
+// of an entry is state I.
+type dirState uint8
+
+// Directory entry stable states.
+const (
+	dirS dirState = iota // cached clean; LLC/memory coherent
+	dirO                 // modified/owned/exclusive in a processor cache
+)
+
+func (s dirState) String() string {
+	if s == dirO {
+		return "O"
+	}
+	return "S"
+}
+
+// dirEntry is the per-line tracking state.
+type dirEntry struct {
+	State    dirState
+	Owner    int8   // probe-target index; -1 when none
+	Sharers  uint64 // bitmap over probe-target indexes
+	Overflow bool   // limited-pointer list overflowed: broadcast invals
+	Busy     bool   // entry eviction (backward invalidation) in flight
+}
+
+func (e *dirEntry) sharerCount() int {
+	n := 0
+	for b := e.Sharers; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// DirectoryConfig wires a Directory into the system.
+type DirectoryConfig struct {
+	ID     msg.NodeID
+	L2s    []msg.NodeID
+	TCCs   []msg.NodeID // one node per TCC bank
+	Opts   Options
+	Timing Timing
+	Geo    Geometry
+}
+
+// NewDirectory creates the directory, its LLC, and (in tracking modes)
+// the directory cache.
+func NewDirectory(engine *sim.Engine, ic *noc.Interconnect, mem *memctrl.Controller,
+	fm *memdata.Memory, cfg DirectoryConfig, sc *stats.Scope, llcScope *stats.Scope) *Directory {
+
+	d := &Directory{
+		engine:  engine,
+		ic:      ic,
+		mem:     mem,
+		funcMem: fm,
+		opts:    cfg.Opts,
+		timing:  cfg.Timing,
+		id:      cfg.ID,
+		l2s:     append([]msg.NodeID(nil), cfg.L2s...),
+		tccIDs:  append([]msg.NodeID(nil), cfg.TCCs...),
+		llc:     newLLC(cfg.Geo, cfg.Opts, mem, llcScope),
+		txns:    make(map[cachearray.LineAddr]*txn),
+		pend:    make(map[cachearray.LineAddr][]*msg.Message),
+
+		requests:    sc.Counter("requests"),
+		probesSent:  sc.Counter("probes_sent"),
+		acksRecv:    sc.Counter("probe_acks"),
+		earlyResps:  sc.Counter("early_responses"),
+		dirEvicts:   sc.Counter("entry_evictions"),
+		backInvals:  sc.Counter("backward_inval_probes"),
+		probeElided: sc.Counter("probe_free_transactions"),
+		staleVics:   sc.Counter("stale_victims"),
+		allocStalls: sc.Counter("alloc_stalls"),
+		flushes:     sc.Counter("flushes"),
+		atomics:     sc.Counter("atomics"),
+		wts:         sc.Counter("write_throughs"),
+		roElided:    sc.Counter("readonly_elided"),
+		txnLatency:  sc.Histogram("txn_latency"),
+	}
+	d.targets = append(append([]msg.NodeID(nil), d.l2s...), d.tccIDs...)
+	if cfg.Opts.Tracking != TrackNone {
+		entries := cfg.Geo.DirEntries
+		d.dirArr = cachearray.New[dirEntry](cachearray.Config{
+			SizeBytes: entries, // 1 byte per entry (Table II)
+			Assoc:     cfg.Geo.DirAssoc,
+			BlockSize: 1,
+		}, nil)
+	}
+	return d
+}
+
+// isTCC reports whether a node is one of the TCC banks.
+func (d *Directory) isTCC(n msg.NodeID) bool {
+	for _, t := range d.tccIDs {
+		if t == n {
+			return true
+		}
+	}
+	return false
+}
+
+// targetIndex maps a node to its probe-target index.
+func (d *Directory) targetIndex(n msg.NodeID) int {
+	for i, t := range d.targets {
+		if t == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// txn is one in-flight directory transaction. The directory serializes
+// transactions per line: while a txn exists for a line, later requests
+// stall in d.pend (the paper's blocked B/_PM/_Pm/_M states).
+type txn struct {
+	id    uint64
+	req   *msg.Message
+	addr  cachearray.LineAddr
+	start sim.Tick
+
+	pendingAcks   int
+	dataFromCache bool // some probe ack carried data
+	dirtyAck      bool // some probe ack carried dirty data
+	downgrade     bool // probes were downgrading (early-resp eligible)
+
+	needData  bool // a data payload must be sourced for the response
+	memIssued bool // LLC/memory read in flight
+	memDone   bool
+
+	responded   bool
+	completed   bool
+	needUnblock bool
+	unblocked   bool
+	forceShared bool // tracked S-state reads are forced to a Shared grant
+
+	// onData runs once when the response data/acks are resolved, before
+	// the response is sent (atomic RMW, WT commits, entry updates).
+	onData func()
+	// extraLatency delays the response (e.g. displaced-dirty LLC lines).
+	extraLatency sim.Tick
+
+	eviction bool // this txn is a directory-entry backward invalidation
+}
+
+// debugLine, when non-zero, dumps every directory event for one line
+// (development aid; set via the HSCSIM_DEBUG_LINE env hook in tests).
+var debugLine cachearray.LineAddr
+
+// Receive implements noc.Handler.
+func (d *Directory) Receive(m *msg.Message) {
+	if debugLine != 0 && m.Addr == debugLine {
+		fmt.Printf("[%d] dir recv %s txn=%d hasData=%v dirty=%v\n", d.engine.Now(), m, m.TxnID, m.HasData, m.Dirty)
+	}
+	switch m.Type {
+	case msg.PrbAck:
+		d.handleAck(m)
+	case msg.Unblock:
+		d.handleUnblock(m)
+	default:
+		if !m.Type.IsRequest() {
+			panic(fmt.Sprintf("core: directory received %s", m))
+		}
+		d.enqueue(m)
+	}
+}
+
+func (d *Directory) enqueue(m *msg.Message) {
+	if _, busy := d.txns[m.Addr]; busy {
+		d.pend[m.Addr] = append(d.pend[m.Addr], m)
+		return
+	}
+	d.start(m)
+}
+
+func (d *Directory) start(m *msg.Message) {
+	d.requests.Inc()
+	t := &txn{id: d.nextID, req: m, addr: m.Addr, start: d.engine.Now()}
+	d.nextID++
+	d.txns[m.Addr] = t
+	// The directory-cache/transaction-table access costs DirLatency.
+	d.engine.Schedule(d.timing.DirLatency, func() { d.begin(t) })
+}
+
+func (d *Directory) begin(t *txn) {
+	if d.isReadOnly(t.addr) {
+		d.beginReadOnly(t)
+		return
+	}
+	if d.opts.Tracking == TrackNone {
+		d.beginStateless(t)
+	} else {
+		d.beginTracked(t)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Stateless baseline (§II-D): every permission request broadcasts probes
+// and reads the LLC (falling back to memory).
+
+func (d *Directory) beginStateless(t *txn) {
+	m := t.req
+	switch m.Type {
+	case msg.RdBlk, msg.RdBlkS, msg.RdBlkM:
+		t.needData = true
+		t.needUnblock = !d.isTCC(m.Src)
+		inv := m.Type == msg.RdBlkM
+		t.downgrade = !inv
+		d.sendProbes(t, inv, d.probeSet(inv, m.Src))
+		d.issueRead(t)
+		d.maybeProgress(t)
+
+	case msg.VicDirty, msg.VicClean:
+		d.commitVictim(t, m.Type == msg.VicDirty)
+		d.respondAndFinish(t, msg.WBAck)
+
+	case msg.WT:
+		d.wts.Inc()
+		d.sendProbes(t, true, d.probeSet(true, m.Src))
+		t.onData = func() { t.extraLatency += d.commitWT(t.addr) }
+		d.maybeProgress(t)
+
+	case msg.Atomic:
+		d.atomics.Inc()
+		t.needData = true
+		d.sendProbes(t, true, d.probeSet(true, m.Src))
+		d.issueRead(t)
+		t.onData = func() { d.commitAtomic(t) }
+		d.maybeProgress(t)
+
+	case msg.Flush:
+		d.flushes.Inc()
+		d.respondAndFinish(t, msg.FlushAck)
+
+	case msg.DMARd:
+		t.needData = true
+		t.downgrade = true
+		d.sendProbes(t, false, d.probeSet(false, m.Src))
+		d.issueRead(t)
+		d.maybeProgress(t)
+
+	case msg.DMAWr:
+		d.sendProbes(t, true, d.probeSet(true, m.Src))
+		t.onData = func() {
+			// DMA writes do not update the L3 (§III-C); drop the stale copy.
+			d.llc.invalidate(t.addr)
+			d.mem.Write(t.addr, nil)
+		}
+		d.maybeProgress(t)
+
+	default:
+		panic(fmt.Sprintf("core: unexpected request %s", m))
+	}
+}
+
+// probeSet returns the stateless probe destinations: every L2 except the
+// requester; invalidating probes also include the TCC (footnote 4).
+func (d *Directory) probeSet(inv bool, requester msg.NodeID) []msg.NodeID {
+	out := make([]msg.NodeID, 0, len(d.targets))
+	for _, n := range d.l2s {
+		if n != requester {
+			out = append(out, n)
+		}
+	}
+	if inv {
+		for _, n := range d.tccIDs {
+			if n != requester {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+func (d *Directory) sendProbes(t *txn, inv bool, dsts []msg.NodeID) {
+	typ := msg.PrbDowngrade
+	if inv {
+		typ = msg.PrbInv
+	}
+	for _, dst := range dsts {
+		d.probesSent.Inc()
+		if t.eviction {
+			d.backInvals.Inc()
+		}
+		if debugLine != 0 && t.addr == debugLine {
+			fmt.Printf("[%d] dir probe %s line=%#x txn=%d dst=%d\n", d.engine.Now(), typ, uint64(t.addr), t.id, dst)
+		}
+		d.ic.Send(&msg.Message{Type: typ, Addr: t.addr, Src: d.id, Dst: dst, TxnID: t.id})
+	}
+	t.pendingAcks += len(dsts)
+	if len(dsts) == 0 && !t.eviction {
+		d.probeElided.Inc()
+	}
+}
+
+// issueRead models the LLC read (LLCLatency) with fallback to memory.
+func (d *Directory) issueRead(t *txn) {
+	t.memIssued = true
+	d.engine.Schedule(d.timing.LLCLatency, func() {
+		if d.llc.read(t.addr) {
+			t.memDone = true
+			d.maybeProgress(t)
+			return
+		}
+		d.mem.Read(t.addr, func() {
+			t.memDone = true
+			d.maybeProgress(t)
+		})
+	})
+}
+
+func (d *Directory) handleAck(m *msg.Message) {
+	t := d.txns[m.Addr]
+	if t == nil || t.id != m.TxnID {
+		have := "none"
+		if t != nil {
+			have = fmt.Sprintf("txn id=%d type=%s pendingAcks=%d", t.id, t.req.Type, t.pendingAcks)
+		}
+		panic(fmt.Sprintf("core: stray probe ack %s ackTxn=%d have=%s", m, m.TxnID, have))
+	}
+	d.acksRecv.Inc()
+	t.pendingAcks--
+	if m.HasData {
+		t.dataFromCache = true
+	}
+	if m.Dirty {
+		t.dirtyAck = true
+	}
+	d.maybeProgress(t)
+}
+
+func (d *Directory) handleUnblock(m *msg.Message) {
+	t := d.txns[m.Addr]
+	if t == nil {
+		panic(fmt.Sprintf("core: stray unblock %s", m))
+	}
+	t.unblocked = true
+	d.maybeProgress(t)
+}
+
+// maybeProgress advances a transaction: respond when the response
+// conditions hold, complete when everything has drained.
+func (d *Directory) maybeProgress(t *txn) {
+	if t.eviction {
+		if t.pendingAcks == 0 {
+			d.finishEviction(t)
+		}
+		return
+	}
+	// Fallback data source: a probed owner turned out not to have the
+	// line (its victim crossed our probe in flight and was already
+	// drained); fetch from the LLC/memory instead.
+	if !t.responded && t.pendingAcks == 0 && t.needData && !t.dataFromCache && !t.memIssued {
+		d.issueRead(t)
+	}
+	if !t.responded && d.readyToRespond(t) {
+		d.respond(t)
+	}
+	if t.responded && t.pendingAcks == 0 && (!t.memIssued || t.memDone) &&
+		(!t.needUnblock || t.unblocked) {
+		d.complete(t)
+	}
+}
+
+func (d *Directory) readyToRespond(t *txn) bool {
+	dataReady := !t.needData || t.dataFromCache || t.memDone
+	if t.pendingAcks == 0 && (!t.memIssued || t.memDone) && dataReady {
+		return true
+	}
+	// §III-A: on downgrading probes, the first dirty acknowledgment
+	// already carries the authoritative data.
+	if d.opts.EarlyDirtyResponse && t.downgrade && t.dirtyAck {
+		return true
+	}
+	return false
+}
+
+func (d *Directory) respond(t *txn) {
+	t.responded = true
+	if d.opts.EarlyDirtyResponse && t.downgrade && t.dirtyAck &&
+		(t.pendingAcks > 0 || (t.memIssued && !t.memDone)) {
+		d.earlyResps.Inc()
+	}
+	if t.onData != nil {
+		t.onData()
+		t.onData = nil
+	}
+	resp := d.buildResponse(t)
+	if t.extraLatency > 0 {
+		d.engine.Schedule(t.extraLatency, func() { d.ic.Send(resp) })
+	} else {
+		d.ic.Send(resp)
+	}
+	d.maybeProgress(t)
+}
+
+func (d *Directory) buildResponse(t *txn) *msg.Message {
+	m := t.req
+	out := &msg.Message{Addr: t.addr, Src: d.id, Dst: m.Src, TxnID: t.id, FromCache: t.dataFromCache}
+	switch m.Type {
+	case msg.RdBlk:
+		out.Type = msg.Resp
+		out.Grant = t.grantForRdBlk()
+	case msg.RdBlkS:
+		out.Type = msg.Resp
+		out.Grant = msg.GrantS
+	case msg.RdBlkM:
+		out.Type = msg.Resp
+		out.Grant = msg.GrantM
+	case msg.DMARd:
+		out.Type = msg.Resp
+		out.Grant = msg.GrantS
+	case msg.VicDirty, msg.VicClean, msg.WT, msg.DMAWr:
+		out.Type = msg.WBAck
+	case msg.Atomic:
+		out.Type = msg.AtomicResp
+		out.Old = t.req.Old // filled by commitAtomic
+	case msg.Flush:
+		out.Type = msg.FlushAck
+	default:
+		panic(fmt.Sprintf("core: no response for %s", m))
+	}
+	return out
+}
+
+// grantForRdBlk: Exclusive unless the data came from a peer cache or the
+// tracked state forces Shared (t.forceShared set by the tracked path).
+func (t *txn) grantForRdBlk() msg.Grant {
+	if t.dataFromCache || t.forceShared {
+		return msg.GrantS
+	}
+	return msg.GrantE
+}
+
+func (d *Directory) respondAndFinish(t *txn, typ msg.Type) {
+	t.responded = true
+	out := &msg.Message{Type: typ, Addr: t.addr, Src: d.id, Dst: t.req.Src, TxnID: t.id}
+	if t.extraLatency > 0 {
+		d.engine.Schedule(t.extraLatency, func() { d.ic.Send(out) })
+	} else {
+		d.ic.Send(out)
+	}
+	d.maybeProgress(t)
+}
+
+func (d *Directory) complete(t *txn) {
+	if t.completed {
+		return
+	}
+	t.completed = true
+	if !t.eviction {
+		d.txnLatency.Observe(uint64(d.engine.Now() - t.start))
+	}
+	if debugLine != 0 && t.addr == debugLine {
+		fmt.Printf("[%d] dir complete txn=%d type=%s\n", d.engine.Now(), t.id, t.req.Type)
+	}
+	delete(d.txns, t.addr)
+	d.drainPending(t.addr)
+}
+
+func (d *Directory) drainPending(addr cachearray.LineAddr) {
+	q := d.pend[addr]
+	if len(q) == 0 {
+		delete(d.pend, addr)
+		return
+	}
+	next := q[0]
+	if len(q) == 1 {
+		delete(d.pend, addr)
+	} else {
+		d.pend[addr] = q[1:]
+	}
+	d.start(next)
+}
+
+// ---------------------------------------------------------------------
+// Write commits shared by both directory organizations.
+
+// commitVictim applies the LLC/memory write policy for an L2 victim
+// (§III-B, §III-B1, §III-C) and charges any displaced-dirty penalty.
+func (d *Directory) commitVictim(t *txn, dirty bool) {
+	t.extraLatency += d.timing.LLCLatency
+	if dirty {
+		if d.opts.LLCWriteBack {
+			if d.llc.insert(t.addr, true) {
+				t.extraLatency += 8 // conflicting dirty LLC line on the critical path
+			}
+			return
+		}
+		d.llc.insert(t.addr, false)
+		d.mem.Write(t.addr, nil)
+		return
+	}
+	// Clean victim.
+	switch {
+	case d.opts.NoWBCleanVicToLLC:
+		// Dropped entirely (§III-B1): "lost in the air".
+	case d.opts.LLCWriteBack:
+		if d.llc.insert(t.addr, false) {
+			t.extraLatency += 8
+		}
+	case d.opts.NoWBCleanVicToMem:
+		d.llc.insert(t.addr, false)
+	default:
+		d.llc.insert(t.addr, false)
+		d.mem.Write(t.addr, nil)
+	}
+}
+
+// commitWT applies a TCC write-through / atomic result write. Returns
+// extra response latency for displaced dirty LLC lines.
+func (d *Directory) commitWT(addr cachearray.LineAddr) sim.Tick {
+	if d.opts.UseL3OnWT {
+		if d.opts.LLCWriteBack {
+			if d.llc.insert(addr, true) {
+				return 8
+			}
+			return 0
+		}
+		// Write-through LLC: the LLC write also writes memory.
+		d.llc.insert(addr, false)
+		d.mem.Write(addr, nil)
+		return 0
+	}
+	// Bypass: write memory directly; the LLC copy (if any) is stale.
+	d.llc.invalidate(addr)
+	d.mem.Write(addr, nil)
+	return 0
+}
+
+// commitAtomic performs the system-scope read-modify-write at the
+// directory (system-level visibility, §II-C) and writes the result.
+func (d *Directory) commitAtomic(t *txn) {
+	m := t.req
+	m.Old = d.funcMem.RMW(m.WordAddr, m.AOp, m.Operand, m.Compare)
+	t.extraLatency += d.commitWT(t.addr)
+}
+
+// Stats accessors used by the harness and tests.
+
+// ProbesSent returns the number of probe messages the directory issued
+// (Fig. 7's metric), including backward invalidations.
+func (d *Directory) ProbesSent() uint64 { return d.probesSent.Value() }
+
+// EarlyResponses returns how many §III-A early responses fired.
+func (d *Directory) EarlyResponses() uint64 { return d.earlyResps.Value() }
+
+// LLCReadHits returns LLC read hits.
+func (d *Directory) LLCReadHits() uint64 { return d.llc.readHits.Value() }
+
+// LLCHas reports whether the LLC holds addr (test hook).
+func (d *Directory) LLCHas(addr cachearray.LineAddr) bool { return d.llc.present(addr) }
+
+// LLCDirty reports whether the LLC holds addr dirty (test hook).
+func (d *Directory) LLCDirty(addr cachearray.LineAddr) bool { return d.llc.dirtyLine(addr) }
+
+// Idle reports whether the directory has no in-flight transactions.
+func (d *Directory) Idle() bool { return len(d.txns) == 0 && len(d.pend) == 0 }

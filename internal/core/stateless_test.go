@@ -1,0 +1,309 @@
+package core
+
+import (
+	"testing"
+
+	"hscsim/internal/cachearray"
+	"hscsim/internal/memdata"
+	"hscsim/internal/msg"
+	"hscsim/internal/sim"
+)
+
+// Stateless-baseline directory behaviour (§II-D, Fig. 2).
+
+func TestStatelessRdBlkMissGrantsExclusive(t *testing.T) {
+	r := newRig(t, Options{}, testGeo())
+	r.l2a.send(msg.RdBlk, 0x100)
+	r.run()
+
+	resp := r.l2a.lastResp()
+	if resp.Grant != msg.GrantE {
+		t.Fatalf("grant = %s, want E (no other holder)", resp.Grant)
+	}
+	if resp.FromCache {
+		t.Fatal("data should have come from memory")
+	}
+	// Downgrading probes go to the other L2 but never the TCC (fn. 4).
+	if len(r.l2b.probes) != 1 || r.l2b.probes[0].Type != msg.PrbDowngrade {
+		t.Fatalf("l2b probes = %v", r.l2b.probes)
+	}
+	if len(r.tcc.probes) != 0 {
+		t.Fatal("TCC must not receive downgrading probes")
+	}
+	if r.mem.Reads() != 1 {
+		t.Fatalf("memory reads = %d, want 1 (LLC miss)", r.mem.Reads())
+	}
+}
+
+func TestStatelessRdBlkWithDirtyPeerGrantsShared(t *testing.T) {
+	r := newRig(t, Options{}, testGeo())
+	r.l2b.hasLine[0x100] = true // dirty in the peer
+	r.l2a.send(msg.RdBlk, 0x100)
+	r.run()
+
+	resp := r.l2a.lastResp()
+	if resp.Grant != msg.GrantS || !resp.FromCache {
+		t.Fatalf("grant = %s fromCache=%v, want S from cache", resp.Grant, resp.FromCache)
+	}
+}
+
+func TestStatelessRdBlkSAlwaysShared(t *testing.T) {
+	r := newRig(t, Options{}, testGeo())
+	r.l2a.send(msg.RdBlkS, 0x100)
+	r.run()
+	if r.l2a.lastResp().Grant != msg.GrantS {
+		t.Fatalf("RdBlkS grant = %s, want S", r.l2a.lastResp().Grant)
+	}
+}
+
+func TestStatelessRdBlkMProbesIncludeTCC(t *testing.T) {
+	r := newRig(t, Options{}, testGeo())
+	r.tcc.hasLine[0x100] = false
+	r.l2a.send(msg.RdBlkM, 0x100)
+	r.run()
+
+	if r.l2a.lastResp().Grant != msg.GrantM {
+		t.Fatalf("grant = %s, want M", r.l2a.lastResp().Grant)
+	}
+	if len(r.l2b.probes) != 1 || r.l2b.probes[0].Type != msg.PrbInv {
+		t.Fatalf("l2b probes = %v, want one PrbInv", r.l2b.probes)
+	}
+	if len(r.tcc.probes) != 1 || r.tcc.probes[0].Type != msg.PrbInv {
+		t.Fatalf("tcc probes = %v, want one PrbInv", r.tcc.probes)
+	}
+	if _, still := r.tcc.hasLine[0x100]; still {
+		t.Fatal("TCC copy not invalidated")
+	}
+}
+
+// TestEarlyDirtyResponse pins §III-A: with the optimization the
+// response leaves at the first dirty acknowledgment instead of waiting
+// for the memory read.
+func TestEarlyDirtyResponse(t *testing.T) {
+	respTick := func(opts Options) sim.Tick {
+		r := newRig(t, opts, testGeo())
+		r.l2b.hasLine[0x100] = true
+		r.l2a.send(msg.RdBlk, 0x100)
+		r.run()
+		if len(r.l2a.respTicks) != 1 {
+			t.Fatal("no response")
+		}
+		return r.l2a.respTicks[0]
+	}
+	base := respTick(Options{})
+	early := respTick(Options{EarlyDirtyResponse: true})
+	if early >= base {
+		t.Fatalf("early response at %d not before baseline %d", early, base)
+	}
+	// The baseline waits for the memory read (50 cy + overheads).
+	if base < 50 {
+		t.Fatalf("baseline response at %d suspiciously early", base)
+	}
+
+	r := newRig(t, Options{EarlyDirtyResponse: true}, testGeo())
+	r.l2b.hasLine[0x100] = true
+	r.l2a.send(msg.RdBlk, 0x100)
+	r.run()
+	if r.dir.EarlyResponses() != 1 {
+		t.Fatalf("early responses = %d, want 1", r.dir.EarlyResponses())
+	}
+}
+
+func TestVictimWritePolicies(t *testing.T) {
+	cases := []struct {
+		name         string
+		opts         Options
+		vic          msg.Type
+		wantMemWr    uint64
+		wantLLC      bool
+		wantLLCDirty bool
+	}{
+		{"baseline dirty", Options{}, msg.VicDirty, 1, true, false},
+		{"baseline clean", Options{}, msg.VicClean, 1, true, false},
+		{"noWBcleanVic clean", Options{NoWBCleanVicToMem: true}, msg.VicClean, 0, true, false},
+		{"noWBcleanVic dirty", Options{NoWBCleanVicToMem: true}, msg.VicDirty, 1, true, false},
+		{"noWBcleanVicLLC clean", Options{NoWBCleanVicToMem: true, NoWBCleanVicToLLC: true}, msg.VicClean, 0, false, false},
+		{"llcWB dirty", Options{LLCWriteBack: true}, msg.VicDirty, 0, true, true},
+		{"llcWB clean", Options{LLCWriteBack: true}, msg.VicClean, 0, true, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := newRig(t, c.opts, testGeo())
+			r.l2a.send(c.vic, 0x200)
+			r.run()
+			if got := r.mem.Writes(); got != c.wantMemWr {
+				t.Errorf("memory writes = %d, want %d", got, c.wantMemWr)
+			}
+			if got := r.dir.LLCHas(0x200); got != c.wantLLC {
+				t.Errorf("LLC has line = %v, want %v", got, c.wantLLC)
+			}
+			if got := r.dir.LLCDirty(0x200); got != c.wantLLCDirty {
+				t.Errorf("LLC dirty = %v, want %v", got, c.wantLLCDirty)
+			}
+			if r.l2a.lastResp().Type != msg.WBAck {
+				t.Errorf("victim not acknowledged")
+			}
+		})
+	}
+}
+
+// TestLLCWriteBackEvictionWritesMemory pins the §III-C dirty bit: dirty
+// LLC lines write memory only when victimized from the LLC.
+func TestLLCWriteBackEvictionWritesMemory(t *testing.T) {
+	geo := Geometry{LLCSizeBytes: 2 * 64, LLCAssoc: 2, DirEntries: 64, DirAssoc: 4, BlockSize: 64}
+	r := newRig(t, Options{LLCWriteBack: true}, geo)
+	// One LLC set (2 ways): three dirty victims to the same set force a
+	// dirty eviction.
+	r.l2a.send(msg.VicDirty, 0x10)
+	r.l2a.send(msg.VicDirty, 0x20)
+	r.l2a.send(msg.VicDirty, 0x30)
+	r.run()
+	if got := r.mem.Writes(); got != 1 {
+		t.Fatalf("memory writes = %d, want exactly 1 (displaced dirty LLC line)", got)
+	}
+	if got := r.reg.Get("llc.dirty_evictions"); got != 1 {
+		t.Fatalf("dirty evictions = %d, want 1", got)
+	}
+}
+
+func TestWTPolicies(t *testing.T) {
+	cases := []struct {
+		name      string
+		opts      Options
+		wantMemWr uint64
+		wantLLC   bool
+	}{
+		{"baseline bypasses LLC", Options{}, 1, false},
+		{"useL3OnWT writes both", Options{UseL3OnWT: true}, 1, true},
+		{"llcWB+useL3OnWT writes LLC only", Options{LLCWriteBack: true, UseL3OnWT: true}, 0, true},
+		{"llcWB bypass still memory", Options{LLCWriteBack: true}, 1, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := newRig(t, c.opts, testGeo())
+			r.tcc.send(msg.WT, 0x300)
+			r.run()
+			if got := r.mem.Writes(); got != c.wantMemWr {
+				t.Errorf("memory writes = %d, want %d", got, c.wantMemWr)
+			}
+			if got := r.dir.LLCHas(0x300); got != c.wantLLC {
+				t.Errorf("LLC has line = %v, want %v", got, c.wantLLC)
+			}
+			// WTs broadcast invalidating probes to the L2s.
+			if len(r.l2a.probes) != 1 || len(r.l2b.probes) != 1 {
+				t.Errorf("probes = %d/%d, want 1/1", len(r.l2a.probes), len(r.l2b.probes))
+			}
+		})
+	}
+}
+
+// TestWTBypassInvalidatesStaleLLC: a bypassing WT must not leave a
+// stale LLC copy behind.
+func TestWTBypassInvalidatesStaleLLC(t *testing.T) {
+	r := newRig(t, Options{}, testGeo())
+	r.l2a.send(msg.VicClean, 0x300) // populate the LLC
+	r.tcc.send(msg.WT, 0x300)       // bypassing write
+	r.run()
+	if r.dir.LLCHas(0x300) {
+		t.Fatal("stale LLC copy survived a bypassing WT")
+	}
+}
+
+func TestAtomicExecutesAtDirectory(t *testing.T) {
+	r := newRig(t, Options{}, testGeo())
+	r.fm.Write(0x100*64+8, 10)
+	r.e.Schedule(0, func() {
+		r.dir.Receive(&msg.Message{
+			Type: msg.Atomic, Addr: 0x100, Src: r.tcc.id, Dst: 4,
+			AOp: memdata.AtomicAdd, WordAddr: 0x100*64 + 8, Operand: 5,
+		})
+	})
+	r.run()
+	if got := r.fm.Read(0x100*64 + 8); got != 15 {
+		t.Fatalf("atomic result = %d, want 15", got)
+	}
+	resp := r.tcc.lastResp()
+	if resp.Type != msg.AtomicResp || resp.Old != 10 {
+		t.Fatalf("atomic response = %v old=%d, want old=10", resp.Type, resp.Old)
+	}
+	// Atomics broadcast invalidating probes to the L2s.
+	if len(r.l2a.probes) != 1 || r.l2a.probes[0].Type != msg.PrbInv {
+		t.Fatalf("l2a probes = %v", r.l2a.probes)
+	}
+}
+
+func TestDMAReadProbesCPUOnly(t *testing.T) {
+	r := newRig(t, Options{}, testGeo())
+	r.l2a.hasLine[0x400] = true
+	r.dma.send(msg.DMARd, 0x400)
+	r.run()
+	if len(r.l2a.probes) != 1 || r.l2a.probes[0].Type != msg.PrbDowngrade {
+		t.Fatalf("l2a probes = %v", r.l2a.probes)
+	}
+	if len(r.tcc.probes) != 0 {
+		t.Fatal("DMA reads must not probe the GPU caches")
+	}
+	if r.dma.lastResp().Type != msg.Resp {
+		t.Fatal("DMA read not answered")
+	}
+}
+
+func TestDMAWriteProbesAllAndSkipsLLC(t *testing.T) {
+	r := newRig(t, Options{}, testGeo())
+	r.l2a.send(msg.VicClean, 0x400) // LLC copy
+	r.dma.send(msg.DMAWr, 0x400)
+	r.run()
+	if len(r.tcc.probes) != 1 || r.tcc.probes[0].Type != msg.PrbInv {
+		t.Fatalf("tcc probes = %v, want PrbInv (DMA writes probe the GPU)", r.tcc.probes)
+	}
+	if r.dir.LLCHas(0x400) {
+		t.Fatal("DMA writes must not update the L3 — stale copy must go")
+	}
+	if r.mem.Writes() == 0 {
+		t.Fatal("DMA write did not reach memory")
+	}
+}
+
+func TestFlushAcknowledged(t *testing.T) {
+	r := newRig(t, Options{}, testGeo())
+	r.tcc.send(msg.Flush, 0)
+	r.run()
+	if r.tcc.lastResp().Type != msg.FlushAck {
+		t.Fatal("flush not acknowledged")
+	}
+}
+
+// TestPerLineSerialization: a second request for a blocked line waits
+// for the first transaction to finish.
+func TestPerLineSerialization(t *testing.T) {
+	r := newRig(t, Options{}, testGeo())
+	r.l2a.send(msg.RdBlk, 0x500)
+	r.l2b.send(msg.RdBlkM, 0x500)
+	r.run()
+	if len(r.l2a.resps) != 1 || len(r.l2b.resps) != 1 {
+		t.Fatalf("resps = %d/%d", len(r.l2a.resps), len(r.l2b.resps))
+	}
+	// The second transaction's invalidating probe must have reached l2a
+	// (it held the line Exclusive after the first grant... the fake does
+	// not install lines, but the probe itself proves serialization
+	// didn't drop the queued request).
+	if len(r.l2a.probes) != 1 {
+		t.Fatalf("l2a probes = %d, want 1", len(r.l2a.probes))
+	}
+	if r.l2b.lastResp().Grant != msg.GrantM {
+		t.Fatalf("second grant = %s", r.l2b.lastResp().Grant)
+	}
+}
+
+// TestStatelessProbeCounts pins Fig. 7's baseline premise: every
+// request probes, even for untouched lines.
+func TestStatelessProbeCounts(t *testing.T) {
+	r := newRig(t, Options{}, testGeo())
+	for i := 0; i < 10; i++ {
+		r.l2a.send(msg.RdBlk, cachearray.LineAddr(0x1000+i))
+	}
+	r.run()
+	if got := r.dir.ProbesSent(); got != 10 {
+		t.Fatalf("probes = %d, want 10 (1 peer L2 × 10 compulsory misses)", got)
+	}
+}

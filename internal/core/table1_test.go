@@ -1,0 +1,57 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableIGeneration pins key rows of the regenerated Table I against
+// the paper's transitions.
+func TestTableIGeneration(t *testing.T) {
+	rows := TableI()
+	if len(rows) < 25 {
+		t.Fatalf("only %d rows generated", len(rows))
+	}
+	find := func(start, req string) TransitionRow {
+		for _, r := range rows {
+			if r.Start == start && r.Request == req {
+				return r
+			}
+		}
+		t.Fatalf("row (%s, %s) missing", start, req)
+		return TransitionRow{}
+	}
+	cases := []struct {
+		start, req, probes, grant, next string
+	}{
+		{"I", "RdBlk (L2b)", "none", "E", "O{L2b*}"},
+		{"I", "RdBlkM (L2b)", "none", "M", "O{L2b*}"},
+		{"I", "RdBlk (TCC)", "none", "S", "S{TCC}"},
+		{"S{L2a}", "RdBlk (L2b)", "none", "S", "S{L2a,L2b}"},
+		{"S{L2a}", "RdBlkM (L2b)", "inv→L2a", "M", "O{L2b*}"},
+		{"S{L2a}", "DMARd", "none", "S", "S{L2a}"},
+		{"O{L2a*} (M)", "RdBlk (L2b)", "down→L2a", "S", "O{L2a*,L2b}"},
+		{"O{L2a*} (M)", "RdBlkM (L2b)", "inv→L2a", "M", "O{L2b*}"},
+		{"O{L2a*} (M)", "VicDirty (L2a)", "none", "-", "I"},
+		{"O{L2a*} (M)", "DMARd", "down→L2a", "S", "O{L2a*}"},
+		{"O{L2a*} (E)", "RdBlk (L2b)", "down→L2a", "S", "S{L2a,L2b}"},
+		{"O{L2a*} (E)", "VicClean (L2a)", "none", "-", "I"},
+	}
+	for _, c := range cases {
+		got := find(c.start, c.req)
+		if got.Probes != c.probes || got.Grant != c.grant || got.Next != c.next {
+			t.Errorf("(%s, %s) = probes %q grant %q next %q; want %q %q %q",
+				c.start, c.req, got.Probes, got.Grant, got.Next, c.probes, c.grant, c.next)
+		}
+	}
+}
+
+func TestWriteTableI(t *testing.T) {
+	var b strings.Builder
+	WriteTableI(&b)
+	for _, want := range []string{"Table I", "O{L2a*}", "down→L2a", "S{TCC}"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"fmt"
+
+	"hscsim/internal/cachearray"
+	"hscsim/internal/msg"
+)
+
+// This file implements the §IV precise state-tracking directory: the
+// I/S/O stable states of Table I, owner-only and owner+sharers probe
+// targeting, the directory cache with tree-PLRU (or the future-work
+// fewest-sharers policy), and backward invalidations on entry eviction.
+
+func (d *Directory) beginTracked(t *txn) {
+	m := t.req
+	switch m.Type {
+	case msg.RdBlk, msg.RdBlkS, msg.RdBlkM:
+		ln := d.dirArr.Lookup(t.addr)
+		if ln == nil {
+			d.allocateEntry(t, func(e *dirEntry) { d.trackedRead(t, e, true) })
+			return
+		}
+		d.trackedRead(t, &ln.Meta, false)
+
+	case msg.VicDirty, msg.VicClean:
+		d.trackedVictim(t)
+
+	case msg.WT:
+		d.wts.Inc()
+		d.trackedWritePerm(t, func() { t.extraLatency += d.commitWT(t.addr) }, m.Retain)
+
+	case msg.Atomic:
+		d.atomics.Inc()
+		t.needData = true
+		d.issueRead(t)
+		d.trackedWritePerm(t, func() { d.commitAtomic(t) }, false)
+
+	case msg.Flush:
+		d.flushes.Inc()
+		d.respondAndFinish(t, msg.FlushAck)
+
+	case msg.DMARd:
+		d.trackedDMARead(t)
+
+	case msg.DMAWr:
+		d.trackedWritePerm(t, func() {
+			d.llc.invalidate(t.addr)
+			d.mem.Write(t.addr, nil)
+		}, false)
+
+	default:
+		panic(fmt.Sprintf("core: unexpected tracked request %s", t.req))
+	}
+}
+
+// trackedRead handles RdBlk/RdBlkS/RdBlkM with a resident entry.
+// fresh reports that the entry was just allocated (state I semantics).
+func (d *Directory) trackedRead(t *txn, e *dirEntry, fresh bool) {
+	m := t.req
+	reqIdx := d.targetIndex(m.Src)
+	t.needUnblock = !d.isTCC(m.Src)
+	isWrite := m.Type == msg.RdBlkM
+
+	switch {
+	case fresh:
+		// State I: no cache holds the line; no probes (the headline win
+		// over the stateless baseline, §IV-A). Serve from LLC/memory.
+		d.sendProbes(t, isWrite, nil)
+		t.needData = true
+		if d.isTCC(m.Src) {
+			t.forceShared = true
+		}
+		d.issueRead(t)
+		t.onData = func() {
+			if isWrite {
+				e.State = dirO
+				e.Owner = int8(reqIdx)
+				e.Sharers = 0
+			} else if d.isTCC(m.Src) || m.Type == msg.RdBlkS {
+				e.State = dirS
+				e.Owner = -1
+				d.addSharer(e, reqIdx)
+			} else {
+				// RdBlk granted Exclusive: conservatively O (silent E→M).
+				e.State = dirO
+				e.Owner = int8(reqIdx)
+				e.Sharers = 0
+			}
+		}
+
+	case e.State == dirS:
+		if !isWrite {
+			// LLC/memory guaranteed coherent: no probes, forced Shared.
+			d.sendProbes(t, false, nil)
+			t.forceShared = true
+			t.needData = true
+			d.issueRead(t)
+			t.onData = func() { d.addSharer(e, reqIdx) }
+			break
+		}
+		// RdBlkM on a shared line: invalidate sharers, data from LLC.
+		d.sendProbes(t, true, d.invTargets(e, m.Src))
+		t.needData = true
+		d.issueRead(t)
+		t.onData = func() {
+			e.State = dirO
+			e.Owner = int8(reqIdx)
+			e.Sharers = 0
+			e.Overflow = false
+		}
+
+	case e.State == dirO:
+		owner := int(e.Owner)
+		switch {
+		case !isWrite && owner == reqIdx:
+			// Footnote c/d: the owner itself re-requests (I$ miss on an
+			// Exclusive line): E→S at the L2, no probes, serve the LLC.
+			d.sendProbes(t, false, nil)
+			t.forceShared = true
+			t.needData = true
+			d.issueRead(t)
+			t.onData = func() {
+				e.State = dirS
+				e.Owner = -1
+				e.Sharers = 0
+				d.addSharer(e, reqIdx)
+			}
+		case !isWrite:
+			// Probe only the owner (§IV-A); its ack is the data source.
+			// The LLC read is elided: the LLC may be stale.
+			d.sendProbes(t, false, []msg.NodeID{d.targets[owner]})
+			t.forceShared = true
+			t.needData = true
+			t.downgrade = true
+			t.onData = func() {
+				if t.dirtyAck {
+					// Owner downgraded M→O; dirty sharers (footnote h).
+					d.addSharer(e, reqIdx)
+				} else {
+					// Owner had a clean Exclusive line; now all Shared.
+					e.State = dirS
+					e.Owner = -1
+					d.addSharer(e, owner)
+					d.addSharer(e, reqIdx)
+				}
+			}
+		case owner == reqIdx:
+			// Upgrade: the owner wants Modified; invalidate sharers only.
+			d.sendProbes(t, true, d.invTargets(e, m.Src))
+			t.onData = func() {
+				e.Sharers = 0
+				e.Overflow = false
+			}
+		default:
+			// RdBlkM: invalidate owner and sharers; the owner's ack
+			// carries the data, so the LLC read is elided.
+			d.sendProbes(t, true, d.invTargets(e, m.Src))
+			t.needData = true
+			t.onData = func() {
+				e.State = dirO
+				e.Owner = int8(reqIdx)
+				e.Sharers = 0
+				e.Overflow = false
+			}
+		}
+	}
+	d.maybeProgress(t)
+}
+
+// trackedVictim handles VicDirty/VicClean per Table I.
+func (d *Directory) trackedVictim(t *txn) {
+	m := t.req
+	dirty := m.Type == msg.VicDirty
+	ln := d.dirArr.Lookup(t.addr)
+	reqIdx := d.targetIndex(m.Src)
+
+	if ln == nil {
+		// Untracked victim: the entry was evicted (its backward
+		// invalidation already captured the data) or raced away. The
+		// write is a harmless duplicate of identical data.
+		d.staleVics.Inc()
+		d.commitVictim(t, dirty)
+		d.respondAndFinish(t, msg.WBAck)
+		return
+	}
+	e := &ln.Meta
+	switch {
+	case dirty && e.State == dirO && int(e.Owner) == reqIdx:
+		d.commitVictim(t, true)
+		if e.Sharers != 0 && !d.opts.KeepDirtySharersOnEvict {
+			// Remaining dirty sharers are now coherent with the LLC.
+			e.State = dirS
+			e.Owner = -1
+		} else {
+			// No sharers — or §VII future work: deallocate without
+			// invalidating dirty sharers (they never forward data).
+			d.dirArr.Invalidate(t.addr)
+		}
+	case dirty:
+		// Dirty victim from a non-owner: it raced a transaction that
+		// already moved ownership; the data was superseded. Drop it.
+		d.staleVics.Inc()
+	case e.State == dirS || e.State == dirO:
+		// Clean victim: remove the sharer (footnote g: an O-state line
+		// can send VicClean when the L2 held it Exclusive).
+		if e.State == dirO && int(e.Owner) == reqIdx {
+			e.Owner = -1
+			if e.Sharers == 0 {
+				d.dirArr.Invalidate(t.addr)
+				d.commitVictim(t, false)
+				d.respondAndFinish(t, msg.WBAck)
+				return
+			}
+			e.State = dirS
+		} else if reqIdx >= 0 {
+			e.Sharers &^= 1 << uint(reqIdx)
+			if e.Sharers == 0 && e.State == dirS && !e.Overflow {
+				d.dirArr.Invalidate(t.addr)
+			}
+		}
+		d.commitVictim(t, false)
+	}
+	d.respondAndFinish(t, msg.WBAck)
+}
+
+// trackedWritePerm handles WT/Atomic/DMAWr: invalidate every holder per
+// the entry, commit the write, and update the entry. retainTCC keeps the
+// TCC registered as a sharer (a write-through TCC keeps its copy).
+func (d *Directory) trackedWritePerm(t *txn, commit func(), retainTCC bool) {
+	ln := d.dirArr.Lookup(t.addr)
+	if ln == nil {
+		// Inclusive directory: no processor cache holds the line.
+		d.sendProbes(t, true, nil)
+	} else {
+		d.sendProbes(t, true, d.invTargets(&ln.Meta, t.req.Src))
+	}
+	t.onData = func() {
+		commit()
+		if ln != nil {
+			if retainTCC {
+				e := &ln.Meta
+				e.State = dirS
+				e.Owner = -1
+				e.Sharers = 0
+				e.Overflow = false
+				d.addSharer(e, d.targetIndex(t.req.Src))
+			} else {
+				d.dirArr.Invalidate(t.addr)
+			}
+		}
+	}
+	d.maybeProgress(t)
+}
+
+// trackedDMARead serves DMARd: probe the owner when the line is O,
+// otherwise the LLC/memory is coherent. DMA never alters tracking state
+// beyond the owner's natural M→O downgrade.
+func (d *Directory) trackedDMARead(t *txn) {
+	t.needData = true
+	ln := d.dirArr.Lookup(t.addr)
+	if ln != nil && ln.Meta.State == dirO {
+		owner := int(ln.Meta.Owner)
+		t.downgrade = true
+		d.sendProbes(t, false, []msg.NodeID{d.targets[owner]})
+		e := &ln.Meta
+		t.onData = func() {
+			if !t.dirtyAck {
+				e.State = dirS
+				e.Owner = -1
+				d.addSharer(e, owner)
+			}
+		}
+	} else {
+		d.sendProbes(t, false, nil)
+		d.issueRead(t)
+	}
+	d.maybeProgress(t)
+}
+
+// invTargets computes invalidation destinations for a tracked line:
+// a multicast over owner+sharers when sharer tracking is precise, a
+// broadcast otherwise (owner-only mode, or an overflowed pointer list).
+func (d *Directory) invTargets(e *dirEntry, exclude msg.NodeID) []msg.NodeID {
+	if d.opts.Tracking == TrackOwnerSharers && !e.Overflow {
+		out := make([]msg.NodeID, 0, len(d.targets))
+		for i, n := range d.targets {
+			if n == exclude {
+				continue
+			}
+			if (e.Sharers&(1<<uint(i))) != 0 || (e.State == dirO && int(e.Owner) == i) {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	out := make([]msg.NodeID, 0, len(d.targets))
+	for _, n := range d.targets {
+		if n != exclude {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// addSharer registers a probe-target index in the sharer list, honoring
+// the limited-pointer bound (footnote b: on overflow, keep existing
+// pointers and fall back to broadcast).
+func (d *Directory) addSharer(e *dirEntry, idx int) {
+	if idx < 0 || e.Sharers&(1<<uint(idx)) != 0 {
+		return
+	}
+	if d.opts.LimitedPointers > 0 && e.sharerCount() >= d.opts.LimitedPointers {
+		e.Overflow = true
+		return
+	}
+	e.Sharers |= 1 << uint(idx)
+}
+
+// ---------------------------------------------------------------------
+// Directory-entry allocation and backward invalidation.
+
+// allocateEntry finds a way for t.addr, evicting (with backward
+// invalidations) if the set is full, then calls then with the new entry.
+func (d *Directory) allocateEntry(t *txn, then func(*dirEntry)) {
+	pin := func(ln *cachearray.Line[dirEntry]) bool {
+		return ln.Meta.Busy || d.txns[ln.Tag] != nil
+	}
+	var victim *cachearray.Line[dirEntry]
+	if d.opts.DirRepl == DirReplFewestSharers {
+		victim = d.fewestSharersVictim(t.addr, pin)
+	} else {
+		victim = d.dirArr.FindVictim(t.addr, pin)
+	}
+	if victim == nil || (victim.Valid && pin(victim)) {
+		// Every way is busy; retry after a directory-cycle.
+		d.allocStalls.Inc()
+		d.engine.Schedule(d.timing.DirLatency, func() { d.allocateEntry(t, then) })
+		return
+	}
+	if !victim.Valid {
+		ln, _, _, _ := d.dirArr.Insert(t.addr, pin)
+		ln.Meta.Owner = -1
+		then(&ln.Meta)
+		return
+	}
+	d.evictEntry(victim, func() {
+		ln, _, _, _ := d.dirArr.Insert(t.addr, pin)
+		ln.Meta.Owner = -1
+		then(&ln.Meta)
+	})
+}
+
+// fewestSharersVictim implements the §VII future-work policy: prefer
+// unmodified (S) entries with the fewest sharers; fall back to any
+// unpinned way; deterministic first-match tie-break.
+func (d *Directory) fewestSharersVictim(addr cachearray.LineAddr, pin func(*cachearray.Line[dirEntry]) bool) *cachearray.Line[dirEntry] {
+	ways := d.dirArr.Ways(addr)
+	var best *cachearray.Line[dirEntry]
+	bestScore := 1 << 30
+	for i := range ways {
+		ln := &ways[i]
+		if !ln.Valid {
+			return ln
+		}
+		if pin(ln) {
+			continue
+		}
+		score := ln.Meta.sharerCount()
+		if ln.Meta.State == dirO {
+			score += 1 << 16 // deprioritize modified entries
+		}
+		if score < bestScore {
+			bestScore = score
+			best = ln
+		}
+	}
+	return best
+}
+
+// evictEntry performs the backward invalidation of a directory entry:
+// probe-invalidate every (tracked or possible) holder, write any dirty
+// data pulled back into the LLC, deallocate, then continue.
+func (d *Directory) evictEntry(victim *cachearray.Line[dirEntry], then func()) {
+	d.dirEvicts.Inc()
+	line := victim.Tag
+	victim.Meta.Busy = true
+	et := &txn{id: d.nextID, addr: line, eviction: true}
+	d.nextID++
+	et.req = &msg.Message{Type: msg.PrbInv, Addr: line}
+	et.onData = then
+	d.txns[line] = et
+	targets := d.invTargets(&victim.Meta, msg.NodeID(-1))
+	d.sendProbes(et, true, targets)
+	if et.pendingAcks == 0 {
+		d.finishEviction(et)
+	}
+}
+
+func (d *Directory) finishEviction(et *txn) {
+	if et.dirtyAck {
+		// Dirty data pulled back by the backward invalidation is saved
+		// through the normal victim path.
+		if d.opts.LLCWriteBack {
+			d.llc.insert(et.addr, true)
+		} else {
+			d.llc.insert(et.addr, false)
+			d.mem.Write(et.addr, nil)
+		}
+	}
+	d.dirArr.Invalidate(et.addr)
+	delete(d.txns, et.addr)
+	cont := et.onData
+	et.onData = nil
+	if cont != nil {
+		cont()
+	}
+	d.drainPending(et.addr)
+}
+
+// EntryState reports the tracked state of a line for tests and the
+// invariant checker: "I", "S" or "O", plus owner index and sharer mask.
+func (d *Directory) EntryState(addr cachearray.LineAddr) (state string, owner int, sharers uint64) {
+	if d.dirArr == nil {
+		return "untracked", -1, 0
+	}
+	ln := d.dirArr.Peek(addr)
+	if ln == nil {
+		return "I", -1, 0
+	}
+	return ln.Meta.State.String(), int(ln.Meta.Owner), ln.Meta.Sharers
+}
+
+// DirOccupancy returns the number of valid directory entries.
+func (d *Directory) DirOccupancy() int {
+	if d.dirArr == nil {
+		return 0
+	}
+	return d.dirArr.Occupied()
+}

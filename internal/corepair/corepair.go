@@ -1,0 +1,366 @@
+// Package corepair implements the CPU cache subsystem of the simulated
+// APU (§II-B): two cores sharing a context-sensitive L1 instruction
+// cache, with dedicated L1 data caches, all backed by a shared inclusive
+// L2 implementing the MOESI protocol. The L2 is the CorePair's interface
+// to the system-level directory.
+package corepair
+
+import (
+	"fmt"
+
+	"hscsim/internal/cachearray"
+	"hscsim/internal/msg"
+	"hscsim/internal/noc"
+	"hscsim/internal/sim"
+	"hscsim/internal/stats"
+)
+
+// MOESI is the CPU cache-line state.
+type MOESI uint8
+
+// MOESI states.
+const (
+	Invalid MOESI = iota
+	Shared
+	Exclusive
+	Owned
+	Modified
+)
+
+func (s MOESI) String() string {
+	switch s {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	}
+	return "I"
+}
+
+func (s MOESI) dirty() bool { return s == Modified || s == Owned }
+
+// AccessKind classifies a core's memory access.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	Load AccessKind = iota
+	Store
+	IFetch
+	RMW // atomic read-modify-write: requires Modified, like Store
+)
+
+func (k AccessKind) needsWrite() bool { return k == Store || k == RMW }
+
+// Config sizes the CorePair caches (Table II).
+type Config struct {
+	L1ISizeBytes int // 32 KB, 2-way
+	L1IAssoc     int
+	L1DSizeBytes int // 64 KB, 2-way
+	L1DAssoc     int
+	L2SizeBytes  int // 2 MB, 8-way
+	L2Assoc      int
+	BlockSize    int // 64 B
+
+	L1Latency sim.Tick // 1 cy
+	L2Latency sim.Tick // L2 lookup
+}
+
+// DefaultConfig matches Table II.
+func DefaultConfig() Config {
+	return Config{
+		L1ISizeBytes: 32 << 10, L1IAssoc: 2,
+		L1DSizeBytes: 64 << 10, L1DAssoc: 2,
+		L2SizeBytes: 2 << 20, L2Assoc: 8,
+		BlockSize: 64,
+		L1Latency: 1, L2Latency: 4,
+	}
+}
+
+type l2Meta struct {
+	State MOESI
+}
+
+type waiter struct {
+	core int
+	kind AccessKind
+	done func()
+}
+
+type mshrEntry struct {
+	waiters []waiter
+	issued  sim.Tick
+}
+
+// CorePair is the two-core CPU cluster cache subsystem.
+type CorePair struct {
+	engine *sim.Engine
+	ic     *noc.Interconnect
+	cfg    Config
+	id     msg.NodeID // the L2's node on the interconnect
+	dirID  msg.NodeID
+
+	l2  *cachearray.Array[l2Meta]
+	l1d [2]*cachearray.Array[struct{}]
+	l1i *cachearray.Array[struct{}]
+
+	mshr map[cachearray.LineAddr]*mshrEntry
+	wb   map[cachearray.LineAddr]bool // victim buffer: line → dirty
+
+	loads      *stats.Counter
+	stores     *stats.Counter
+	l1Hits     *stats.Counter
+	l2Hits     *stats.Counter
+	l2Misses   *stats.Counter
+	upgrades   *stats.Counter
+	vicClean   *stats.Counter
+	vicDirty   *stats.Counter
+	probesRecv *stats.Counter
+	probeHits  *stats.Counter
+	missLat    *stats.Histogram
+}
+
+// New creates a CorePair attached to the interconnect at node id.
+func New(engine *sim.Engine, ic *noc.Interconnect, id, dirID msg.NodeID, cfg Config, sc *stats.Scope) *CorePair {
+	cp := &CorePair{
+		engine: engine,
+		ic:     ic,
+		cfg:    cfg,
+		id:     id,
+		dirID:  dirID,
+		l2: cachearray.New[l2Meta](cachearray.Config{
+			SizeBytes: cfg.L2SizeBytes, Assoc: cfg.L2Assoc, BlockSize: cfg.BlockSize}, nil),
+		l1i: cachearray.New[struct{}](cachearray.Config{
+			SizeBytes: cfg.L1ISizeBytes, Assoc: cfg.L1IAssoc, BlockSize: cfg.BlockSize}, nil),
+		mshr:       make(map[cachearray.LineAddr]*mshrEntry),
+		wb:         make(map[cachearray.LineAddr]bool),
+		loads:      sc.Counter("loads"),
+		stores:     sc.Counter("stores"),
+		l1Hits:     sc.Counter("l1_hits"),
+		l2Hits:     sc.Counter("l2_hits"),
+		l2Misses:   sc.Counter("l2_misses"),
+		upgrades:   sc.Counter("upgrades"),
+		vicClean:   sc.Counter("vic_clean"),
+		vicDirty:   sc.Counter("vic_dirty"),
+		probesRecv: sc.Counter("probes_received"),
+		probeHits:  sc.Counter("probe_hits"),
+		missLat:    sc.Histogram("miss_latency"),
+	}
+	for i := range cp.l1d {
+		cp.l1d[i] = cachearray.New[struct{}](cachearray.Config{
+			SizeBytes: cfg.L1DSizeBytes, Assoc: cfg.L1DAssoc, BlockSize: cfg.BlockSize}, nil)
+	}
+	ic.Register(id, cp)
+	return cp
+}
+
+// NodeID returns the CorePair's interconnect node.
+func (cp *CorePair) NodeID() msg.NodeID { return cp.id }
+
+func (cp *CorePair) l1For(core int, kind AccessKind) *cachearray.Array[struct{}] {
+	if kind == IFetch {
+		return cp.l1i
+	}
+	return cp.l1d[core]
+}
+
+// Access performs one line-granular access for a core; done fires when
+// the access has obtained sufficient permission (timing only — the
+// functional value lives in memdata and is read/written by the core).
+func (cp *CorePair) Access(core int, kind AccessKind, line cachearray.LineAddr, done func()) {
+	if kind.needsWrite() {
+		cp.stores.Inc()
+	} else {
+		cp.loads.Inc()
+	}
+	cp.access(core, kind, line, done)
+}
+
+// access is Access without demand counting (used to replay waiters).
+func (cp *CorePair) access(core int, kind AccessKind, line cachearray.LineAddr, done func()) {
+	l1 := cp.l1For(core, kind)
+	ln := cp.l2.Lookup(line)
+
+	if ln != nil {
+		st := ln.Meta.State
+		if !kind.needsWrite() {
+			if l1.Lookup(line) != nil {
+				cp.l1Hits.Inc()
+				cp.engine.Schedule(cp.cfg.L1Latency, done)
+				return
+			}
+			cp.l2Hits.Inc()
+			l1.Insert(line, nil)
+			cp.engine.Schedule(cp.cfg.L2Latency, done)
+			return
+		}
+		switch st {
+		case Modified:
+			cp.l2Hits.Inc()
+			l1.Insert(line, nil)
+			cp.engine.Schedule(cp.cfg.L1Latency, done)
+			return
+		case Exclusive:
+			// Silent E→M: the directory is not informed (§II-B).
+			ln.Meta.State = Modified
+			cp.l2Hits.Inc()
+			l1.Insert(line, nil)
+			cp.engine.Schedule(cp.cfg.L1Latency, done)
+			return
+		default:
+			// Store to S or O: upgrade via RdBlkM.
+			cp.upgrades.Inc()
+			cp.miss(line, msg.RdBlkM, waiter{core, kind, done})
+			return
+		}
+	}
+	cp.l2Misses.Inc()
+	var t msg.Type
+	switch {
+	case kind.needsWrite():
+		t = msg.RdBlkM
+	case kind == IFetch:
+		t = msg.RdBlkS
+	default:
+		t = msg.RdBlk
+	}
+	cp.miss(line, t, waiter{core, kind, done})
+}
+
+// miss allocates (or joins) an MSHR entry and issues the request.
+func (cp *CorePair) miss(line cachearray.LineAddr, t msg.Type, w waiter) {
+	if e, ok := cp.mshr[line]; ok {
+		e.waiters = append(e.waiters, w)
+		return
+	}
+	cp.mshr[line] = &mshrEntry{waiters: []waiter{w}, issued: cp.engine.Now()}
+	cp.engine.Schedule(cp.cfg.L2Latency, func() {
+		cp.ic.Send(&msg.Message{Type: t, Addr: line, Src: cp.id, Dst: cp.dirID})
+	})
+}
+
+// Receive implements noc.Handler.
+func (cp *CorePair) Receive(m *msg.Message) {
+	switch m.Type {
+	case msg.Resp:
+		cp.fill(m)
+	case msg.WBAck:
+		delete(cp.wb, m.Addr)
+	case msg.PrbInv, msg.PrbDowngrade:
+		cp.probe(m)
+	default:
+		panic(fmt.Sprintf("corepair: unexpected %s", m))
+	}
+}
+
+// fill installs a granted line and replays the waiting accesses.
+func (cp *CorePair) fill(m *msg.Message) {
+	e := cp.mshr[m.Addr]
+	if e == nil {
+		panic(fmt.Sprintf("corepair %d: fill without MSHR: %s", cp.id, m))
+	}
+	delete(cp.mshr, m.Addr)
+	cp.missLat.Observe(uint64(cp.engine.Now() - e.issued))
+
+	var st MOESI
+	switch m.Grant {
+	case msg.GrantM:
+		st = Modified
+	case msg.GrantE:
+		st = Exclusive
+	default:
+		st = Shared
+	}
+	if existing := cp.l2.Lookup(m.Addr); existing != nil {
+		// Upgrade response for a line already resident (S/O → M).
+		existing.Meta.State = st
+	} else {
+		ln, evTag, evMeta, evicted := cp.l2.Insert(m.Addr, nil)
+		ln.Meta.State = st
+		if evicted {
+			cp.victimize(evTag, evMeta.State)
+		}
+	}
+	// End of the coherence transaction at the directory (reply to the
+	// responding bank: the directory may be distributed, §VII).
+	cp.ic.Send(&msg.Message{Type: msg.Unblock, Addr: m.Addr, Src: cp.id, Dst: m.Src, TxnID: m.TxnID})
+
+	for _, w := range e.waiters {
+		// Replay: hits now, or triggers a further upgrade.
+		cp.access(w.core, w.kind, m.Addr, w.done)
+	}
+}
+
+// victimize writes back an evicted L2 line (noisy evictions: clean
+// victims are sent too, §II-D) and drops the L1 copies (inclusion).
+func (cp *CorePair) victimize(line cachearray.LineAddr, st MOESI) {
+	cp.invalidateL1s(line)
+	t := msg.VicClean
+	if st.dirty() {
+		t = msg.VicDirty
+		cp.vicDirty.Inc()
+	} else {
+		cp.vicClean.Inc()
+	}
+	cp.wb[line] = st.dirty()
+	cp.ic.Send(&msg.Message{Type: t, Addr: line, Src: cp.id, Dst: cp.dirID})
+}
+
+func (cp *CorePair) invalidateL1s(line cachearray.LineAddr) {
+	cp.l1i.Invalidate(line)
+	for _, l1 := range cp.l1d {
+		l1.Invalidate(line)
+	}
+}
+
+// probe services a directory probe: acknowledge with data when the line
+// is held (or sits in the victim buffer awaiting its WBAck), downgrading
+// or invalidating as requested.
+func (cp *CorePair) probe(m *msg.Message) {
+	cp.probesRecv.Inc()
+	ack := &msg.Message{Type: msg.PrbAck, Addr: m.Addr, Src: cp.id, Dst: m.Src, TxnID: m.TxnID}
+
+	if dirty, inWB := cp.wb[m.Addr]; inWB {
+		// The victim crossed this probe in flight: supply from the
+		// victim buffer.
+		ack.HasData = true
+		ack.Dirty = dirty
+		cp.probeHits.Inc()
+	} else if ln := cp.l2.Peek(m.Addr); ln != nil {
+		cp.probeHits.Inc()
+		ack.HasData = true
+		ack.Dirty = ln.Meta.State.dirty()
+		if m.Type == msg.PrbInv {
+			cp.l2.Invalidate(m.Addr)
+			cp.invalidateL1s(m.Addr)
+		} else {
+			switch ln.Meta.State {
+			case Modified:
+				ln.Meta.State = Owned
+			case Exclusive:
+				ln.Meta.State = Shared
+			}
+		}
+	}
+	cp.ic.Send(ack)
+}
+
+// L2State reports the MOESI state of a line (test/invariant hook).
+func (cp *CorePair) L2State(line cachearray.LineAddr) MOESI {
+	if ln := cp.l2.Peek(line); ln != nil {
+		return ln.Meta.State
+	}
+	return Invalid
+}
+
+// ForEachL2Line visits every valid L2 line (invariant checking).
+func (cp *CorePair) ForEachL2Line(fn func(line cachearray.LineAddr, st MOESI)) {
+	cp.l2.ForEach(func(a cachearray.LineAddr, m *l2Meta) { fn(a, m.State) })
+}
+
+// OutstandingMisses reports MSHR occupancy (quiesce checks).
+func (cp *CorePair) OutstandingMisses() int { return len(cp.mshr) }

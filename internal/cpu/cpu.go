@@ -1,0 +1,244 @@
+// Package cpu models the CPU cores of the simulated APU. Each core
+// executes one workload thread (package prog) in order: memory
+// operations walk the CorePair cache hierarchy and block until
+// permission is obtained; compute operations advance simulated time.
+//
+// The paper uses gem5's out-of-order X86O3CPU; the coherence-protocol
+// results it reports are driven by the access and sharing pattern, which
+// an in-order core preserves (DESIGN.md, substitutions).
+package cpu
+
+import (
+	"hscsim/internal/cachearray"
+	"hscsim/internal/corepair"
+	"hscsim/internal/memdata"
+	"hscsim/internal/prog"
+	"hscsim/internal/sim"
+	"hscsim/internal/stats"
+)
+
+// Dispatcher launches GPU kernels on behalf of host threads.
+type Dispatcher interface {
+	Launch(k *prog.Kernel, h *prog.KernelHandle)
+}
+
+// DMAStreamer runs host-initiated DMA transfers.
+type DMAStreamer interface {
+	Stream(base uint64, length int, write bool, maxOutstanding int, done func())
+}
+
+// Config sets per-core parameters.
+type Config struct {
+	// CodeFootprintBytes is the instruction working set per thread; the
+	// core issues an L1I fetch each time the program counter crosses
+	// into a new line of it.
+	CodeFootprintBytes uint64
+	// BytesPerOp advances the program counter per executed operation.
+	BytesPerOp uint64
+	// LaunchLatency models kernel-dispatch overhead in ticks.
+	LaunchLatency sim.Tick
+	// StoreBufferSize > 0 retires stores into a FIFO store buffer that
+	// drains in the background (program order preserved; loads forward
+	// from the buffer; atomics, DMA and kernel launches fence). 0 — the
+	// default — keeps fully blocking stores.
+	StoreBufferSize int
+}
+
+// DefaultConfig returns a 4 KB code footprint with 8-byte ops and a
+// modest kernel-launch overhead.
+func DefaultConfig() Config {
+	return Config{CodeFootprintBytes: 4 << 10, BytesPerOp: 8, LaunchLatency: 500}
+}
+
+// Core executes one workload thread on one CorePair slot.
+type Core struct {
+	engine *sim.Engine
+	pair   *corepair.CorePair
+	slot   int // 0 or 1 within the CorePair
+	fm     *memdata.Memory
+	gpu    Dispatcher
+	dma    DMAStreamer
+	cfg    Config
+
+	thread   *prog.CPUThread
+	codeBase memdata.Addr
+	pc       uint64
+	onExit   func()
+
+	// Store buffer (Config.StoreBufferSize > 0).
+	sb         []pendingStore
+	sbDraining bool
+	afterDrain func() // one deferred action waiting for an empty buffer
+	afterPop   func() // one deferred action waiting for a free slot
+
+	ops      *stats.Counter
+	sbStalls *stats.Counter
+	sbFwds   *stats.Counter
+}
+
+type pendingStore struct {
+	addr memdata.Addr
+	val  uint64
+}
+
+// New creates a core bound to slot `slot` of pair.
+func New(engine *sim.Engine, pair *corepair.CorePair, slot int, fm *memdata.Memory,
+	gpu Dispatcher, dma DMAStreamer, cfg Config, codeBase memdata.Addr, sc *stats.Scope) *Core {
+	return &Core{
+		engine: engine, pair: pair, slot: slot, fm: fm, gpu: gpu, dma: dma, cfg: cfg,
+		codeBase: codeBase,
+		ops:      sc.Counter("ops"),
+		sbStalls: sc.Counter("store_buffer_stalls"),
+		sbFwds:   sc.Counter("store_buffer_forwards"),
+	}
+}
+
+// Run starts executing thread; onExit fires when the thread returns.
+func (c *Core) Run(thread *prog.CPUThread, onExit func()) {
+	c.thread = thread
+	c.onExit = onExit
+	c.engine.Schedule(0, c.step)
+}
+
+func line(a memdata.Addr) cachearray.LineAddr { return cachearray.LineAddr(a >> 6) }
+
+func (c *Core) step() {
+	op, ok := c.thread.NextOp()
+	if !ok {
+		// Drain buffered stores before retiring the thread.
+		c.whenDrained(c.onExit)
+		return
+	}
+	c.ops.Inc()
+	c.fetchThen(func() { c.exec(op) })
+}
+
+// whenDrained runs fn once the store buffer is empty.
+func (c *Core) whenDrained(fn func()) {
+	if len(c.sb) == 0 {
+		fn()
+		return
+	}
+	c.afterDrain = fn
+}
+
+// drain writes buffered stores back in FIFO order, one at a time.
+func (c *Core) drain() {
+	if len(c.sb) == 0 {
+		c.sbDraining = false
+		if fn := c.afterDrain; fn != nil {
+			c.afterDrain = nil
+			fn()
+		}
+		return
+	}
+	c.sbDraining = true
+	s := c.sb[0]
+	c.pair.Access(c.slot, corepair.Store, line(s.addr), func() {
+		c.fm.Write(s.addr, s.val)
+		c.sb = c.sb[1:]
+		if fn := c.afterPop; fn != nil {
+			c.afterPop = nil
+			fn()
+		}
+		c.drain()
+	})
+}
+
+// whenDrainedBelow runs fn once the buffer has fewer than n entries.
+func (c *Core) whenDrainedBelow(n int, fn func()) {
+	if len(c.sb) < n {
+		fn()
+		return
+	}
+	c.afterPop = fn
+}
+
+// fetchThen models the instruction stream: the program counter advances
+// every op within a small looping footprint; crossing into a new cache
+// line costs an L1I access (an L2 RdBlkS on cold misses).
+func (c *Core) fetchThen(then func()) {
+	prev := c.pc / 64
+	c.pc += c.cfg.BytesPerOp
+	if c.pc >= c.cfg.CodeFootprintBytes {
+		c.pc = 0
+	}
+	if c.pc/64 == prev {
+		then()
+		return
+	}
+	c.pair.Access(c.slot, corepair.IFetch, line(c.codeBase+memdata.Addr(c.pc)), then)
+}
+
+func (c *Core) exec(op prog.Op) {
+	switch op.Kind {
+	case prog.OpLoad:
+		// Store-to-load forwarding: the youngest buffered store to the
+		// same word supplies the value without a cache access.
+		if c.cfg.StoreBufferSize > 0 {
+			word := op.Addr &^ 7
+			for i := len(c.sb) - 1; i >= 0; i-- {
+				if c.sb[i].addr&^7 == word {
+					c.sbFwds.Inc()
+					v := c.sb[i].val
+					c.engine.Schedule(1, func() { c.resume(v) })
+					return
+				}
+			}
+		}
+		c.pair.Access(c.slot, corepair.Load, line(op.Addr), func() {
+			c.resume(c.fm.Read(op.Addr))
+		})
+	case prog.OpStore:
+		if c.cfg.StoreBufferSize > 0 {
+			if len(c.sb) >= c.cfg.StoreBufferSize {
+				// Full: retry once the head retires.
+				c.sbStalls.Inc()
+				c.whenDrainedBelow(c.cfg.StoreBufferSize, func() { c.exec(op) })
+				return
+			}
+			c.sb = append(c.sb, pendingStore{op.Addr, op.Value})
+			if !c.sbDraining {
+				c.drain()
+			}
+			c.engine.Schedule(1, func() { c.resume(0) })
+			return
+		}
+		c.pair.Access(c.slot, corepair.Store, line(op.Addr), func() {
+			c.fm.Write(op.Addr, op.Value)
+			c.resume(0)
+		})
+	case prog.OpAtomic:
+		// CPU atomics serialize at ownership: the RMW applies once the
+		// line is held Modified. Atomics fence the store buffer.
+		c.whenDrained(func() {
+			c.pair.Access(c.slot, corepair.RMW, line(op.Addr), func() {
+				c.resume(c.fm.RMW(op.Addr, op.AOp, op.Value, op.Compare))
+			})
+		})
+	case prog.OpCompute:
+		d := sim.Tick(op.Cycles)
+		if d == 0 {
+			d = 1
+		}
+		c.engine.Schedule(d, func() { c.resume(0) })
+	case prog.OpLaunch:
+		c.whenDrained(func() {
+			c.engine.Schedule(c.cfg.LaunchLatency, func() {
+				c.gpu.Launch(op.Kernel, op.Handle)
+				c.resume(0)
+			})
+		})
+	case prog.OpWait:
+		op.Handle.OnDone(func() { c.resume(0) })
+	case prog.OpDMA:
+		c.whenDrained(func() {
+			c.dma.Stream(uint64(op.Addr), op.DMABytes, op.DMAWrite, 8, func() { c.resume(0) })
+		})
+	}
+}
+
+func (c *Core) resume(v uint64) {
+	c.thread.Complete(v)
+	c.step()
+}

@@ -1,0 +1,128 @@
+// Package dma models the DMA engine attached to the system-level
+// directory (§II-E). DMA reads and writes are line-granular requests
+// handled by the directory's DMA state machine (Fig. 3): in the
+// baseline they broadcast probes; DMA writes additionally probe the GPU
+// caches. DMA engines do not cache lines and do not participate in
+// coherence.
+package dma
+
+import (
+	"fmt"
+
+	"hscsim/internal/cachearray"
+	"hscsim/internal/msg"
+	"hscsim/internal/noc"
+	"hscsim/internal/sim"
+	"hscsim/internal/stats"
+)
+
+// Engine is the DMA engine.
+type Engine struct {
+	engine *sim.Engine
+	ic     *noc.Interconnect
+	id     msg.NodeID
+	dirID  msg.NodeID
+
+	rdWaiters map[cachearray.LineAddr][]func()
+	wrWaiters map[cachearray.LineAddr][]func()
+
+	reads  *stats.Counter
+	writes *stats.Counter
+}
+
+// New creates a DMA engine at node id.
+func New(engine *sim.Engine, ic *noc.Interconnect, id, dirID msg.NodeID, sc *stats.Scope) *Engine {
+	e := &Engine{
+		engine: engine, ic: ic, id: id, dirID: dirID,
+		rdWaiters: make(map[cachearray.LineAddr][]func()),
+		wrWaiters: make(map[cachearray.LineAddr][]func()),
+		reads:     sc.Counter("reads"),
+		writes:    sc.Counter("writes"),
+	}
+	ic.Register(id, e)
+	return e
+}
+
+// ReadBlock issues a DMARd for one line.
+func (e *Engine) ReadBlock(line cachearray.LineAddr, done func()) {
+	e.reads.Inc()
+	e.rdWaiters[line] = append(e.rdWaiters[line], done)
+	e.ic.Send(&msg.Message{Type: msg.DMARd, Addr: line, Src: e.id, Dst: e.dirID})
+}
+
+// WriteBlock issues a DMAWr for one line.
+func (e *Engine) WriteBlock(line cachearray.LineAddr, done func()) {
+	e.writes.Inc()
+	e.wrWaiters[line] = append(e.wrWaiters[line], done)
+	e.ic.Send(&msg.Message{Type: msg.DMAWr, Addr: line, Src: e.id, Dst: e.dirID})
+}
+
+// Stream transfers length bytes starting at byte address base, keeping
+// up to maxOutstanding line requests in flight; done fires when the
+// last line completes.
+func (e *Engine) Stream(base uint64, length int, write bool, maxOutstanding int, done func()) {
+	if maxOutstanding <= 0 {
+		maxOutstanding = 8
+	}
+	first := cachearray.LineAddr(base >> 6)
+	last := cachearray.LineAddr((base + uint64(length) - 1) >> 6)
+	total := int(last-first) + 1
+	next := first
+	inflight, finished := 0, 0
+
+	var pump func()
+	issue := func() {
+		line := next
+		next++
+		inflight++
+		cb := func() {
+			inflight--
+			finished++
+			if finished == total {
+				done()
+				return
+			}
+			pump()
+		}
+		if write {
+			e.WriteBlock(line, cb)
+		} else {
+			e.ReadBlock(line, cb)
+		}
+	}
+	pump = func() {
+		for inflight < maxOutstanding && int(next-first) < total {
+			issue()
+		}
+	}
+	pump()
+}
+
+// Receive implements noc.Handler.
+func (e *Engine) Receive(m *msg.Message) {
+	switch m.Type {
+	case msg.Resp:
+		e.pop(e.rdWaiters, m)
+	case msg.WBAck:
+		e.pop(e.wrWaiters, m)
+	default:
+		panic(fmt.Sprintf("dma: unexpected %s", m))
+	}
+}
+
+func (e *Engine) pop(w map[cachearray.LineAddr][]func(), m *msg.Message) {
+	q := w[m.Addr]
+	if len(q) == 0 {
+		panic(fmt.Sprintf("dma: stray response %s", m))
+	}
+	done := q[0]
+	if len(q) == 1 {
+		delete(w, m.Addr)
+	} else {
+		w[m.Addr] = q[1:]
+	}
+	done()
+}
+
+// Outstanding reports in-flight DMA requests (quiesce checks).
+func (e *Engine) Outstanding() int { return len(e.rdWaiters) + len(e.wrWaiters) }

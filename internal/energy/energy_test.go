@@ -1,0 +1,91 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEstimateBuckets(t *testing.T) {
+	stats := map[string]uint64{
+		"mem.reads":           10,
+		"mem.writes":          5,
+		"llc.reads":           20,
+		"llc.writes":          4,
+		"dir.requests":        30,
+		"dir.probe_acks":      12,
+		"dir.atomics":         3,
+		"noc.bytes":           1000,
+		"cp0.l1_hits":         100,
+		"cp1.l1_hits":         50,
+		"cp0.l2_hits":         40,
+		"cp0.l2_misses":       10,
+		"cp0.probes_received": 6,
+		"gpu.reads":           70,
+		"gpu.writes":          30,
+		"gpu.tcc_hits":        25,
+		"gpu.tcc_misses":      5,
+		"gpu.write_throughs":  8,
+		"gpu.probes_received": 2,
+		"gpu.sqc_hits":        9,
+		"gpu.sqc_misses":      1,
+		"gpu.device_atomics":  4,
+		"unrelated.counter":   999,
+		"core0.ops":           12345, // must not leak into cp buckets
+	}
+	c := Costs{
+		MemAccessPJ: 100, L1AccessPJ: 1, L2AccessPJ: 2, TCPAccessPJ: 3,
+		TCCAccessPJ: 4, SQCAccessPJ: 5, LLCAccessPJ: 6, DirAccessPJ: 7,
+		NoCBytePJ: 0.5, AtomicPJ: 10,
+	}
+	b := Estimate(stats, c)
+	if b.Memory != 1500 {
+		t.Errorf("memory = %v, want 1500", b.Memory)
+	}
+	if b.LLC != 144 {
+		t.Errorf("llc = %v, want 144", b.LLC)
+	}
+	if b.Directory != 7*42 {
+		t.Errorf("dir = %v, want %v", b.Directory, 7*42)
+	}
+	if b.NoC != 500 {
+		t.Errorf("noc = %v, want 500", b.NoC)
+	}
+	if b.CPUCaches != 1*150+2*56 {
+		t.Errorf("cpu = %v, want %v", b.CPUCaches, 1*150+2*56)
+	}
+	if b.GPUCaches != 3*100+4*40+5*10 {
+		t.Errorf("gpu = %v, want %v", b.GPUCaches, 3*100+4*40+5*10)
+	}
+	if b.Atomics != 10*7 {
+		t.Errorf("atomics = %v, want 70", b.Atomics)
+	}
+	wantTotal := 1500.0 + 144 + 294 + 500 + 262 + 510 + 70
+	if b.Total() != wantTotal {
+		t.Errorf("total = %v, want %v", b.Total(), wantTotal)
+	}
+}
+
+func TestDefaultCostsOrdering(t *testing.T) {
+	c := DefaultCosts()
+	// Sanity: DRAM ≫ LLC ≫ L2 ≫ L1; everything positive.
+	if !(c.MemAccessPJ > c.LLCAccessPJ && c.LLCAccessPJ > c.L2AccessPJ && c.L2AccessPJ > c.L1AccessPJ) {
+		t.Fatal("cost ordering violated")
+	}
+	if c.NoCBytePJ <= 0 || c.AtomicPJ <= 0 || c.DirAccessPJ <= 0 {
+		t.Fatal("non-positive default cost")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Memory: 2_000_000, NoC: 1000}
+	s := b.String()
+	for _, want := range []string{"memory", "total", "nJ"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("string missing %q:\n%s", want, s)
+		}
+	}
+	// Largest component first.
+	if strings.Index(s, "memory") > strings.Index(s, "interconnect") {
+		t.Errorf("breakdown not sorted by magnitude:\n%s", s)
+	}
+}

@@ -1,0 +1,45 @@
+package figures
+
+import (
+	"encoding/csv"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV exports a sweep as machine-readable CSV (benchmark ×
+// configuration rows with the metrics every figure derives from), for
+// plotting outside the harness.
+func WriteCSV(w io.Writer, sw *Sweep) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark", "config", "cycles", "mem_reads", "mem_writes", "probes_sent", "llc_hits", "noc_bytes"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	benches := append([]string(nil), sw.Benches...)
+	sort.Strings(benches)
+	for _, b := range benches {
+		configs := make([]string, 0, len(sw.Results[b]))
+		for c := range sw.Results[b] {
+			configs = append(configs, c)
+		}
+		sort.Strings(configs)
+		for _, c := range configs {
+			r := sw.Results[b][c]
+			row := []string{
+				b, c,
+				strconv.FormatUint(r.Cycles, 10),
+				strconv.FormatUint(r.MemReads, 10),
+				strconv.FormatUint(r.MemWrites, 10),
+				strconv.FormatUint(r.ProbesSent, 10),
+				strconv.FormatUint(r.LLCHits, 10),
+				strconv.FormatUint(r.NoCBytes, 10),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

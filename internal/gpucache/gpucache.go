@@ -1,0 +1,421 @@
+// Package gpucache implements the GPU cache hierarchy of the simulated
+// APU (§II-C): per-CU Texture Caches per Pipe (TCP, the GPU L1s), the
+// shared Texture Cache per Channel (TCC, the GPU L2) and the Sequencer
+// (instruction) Cache, all running the VIPER VI-like protocol.
+//
+// Per the paper: the TCC never forwards modified data when probed but
+// does invalidate itself; system-scope (SLC) requests bypass the TCC
+// (making it non-inclusive); device-scope (GLC) atomics execute at the
+// TCC; TCP and TCC default to write-through with optional write-back
+// configurations (WB_L1 / WB_L2).
+package gpucache
+
+import (
+	"fmt"
+
+	"hscsim/internal/cachearray"
+	"hscsim/internal/memdata"
+	"hscsim/internal/msg"
+	"hscsim/internal/noc"
+	"hscsim/internal/sim"
+	"hscsim/internal/stats"
+)
+
+// Config sizes the GPU caches (Table II; latencies converted to CPU
+// ticks, the GPU running at 1.1 GHz vs the CPU's 3.5 GHz).
+type Config struct {
+	NumCUs int
+	// NumTCCs banks the shared TCC by address (Table III configures 1;
+	// the protocol supports several — the paper's "TCC(s)").
+	NumTCCs int
+
+	TCPSizeBytes int // 16 KB, 16-way
+	TCPAssoc     int
+	TCCSizeBytes int // 256 KB, 16-way
+	TCCAssoc     int
+	SQCSizeBytes int // 32 KB, 8-way
+	SQCAssoc     int
+	BlockSize    int
+
+	TCPLatency sim.Tick
+	TCCLatency sim.Tick
+	SQCLatency sim.Tick
+
+	// WriteBackL1 / WriteBackL2 are the gem5 WB_L1 / WB_L2 parameters.
+	// The default (false) is write-through.
+	WriteBackL1 bool
+	WriteBackL2 bool
+}
+
+// DefaultConfig matches Table II/III (8 CUs; 4 / 8 / 1 GPU-cycle
+// latencies ≈ 13 / 25 / 3 CPU ticks at the 3.5/1.1 clock ratio).
+func DefaultConfig() Config {
+	return Config{
+		NumCUs:       8,
+		TCPSizeBytes: 16 << 10, TCPAssoc: 16,
+		TCCSizeBytes: 256 << 10, TCCAssoc: 16,
+		SQCSizeBytes: 32 << 10, SQCAssoc: 8,
+		BlockSize:  64,
+		TCPLatency: 13, TCCLatency: 25, SQCLatency: 3,
+	}
+}
+
+type tccMeta struct {
+	Dirty bool
+}
+
+type gpuWaiter struct {
+	cu   int
+	done func()
+}
+
+// GPUCaches is the whole GPU-side cache complex; the TCC is its single
+// interface to the system-level directory.
+type GPUCaches struct {
+	engine  *sim.Engine
+	ic      *noc.Interconnect
+	cfg     Config
+	ids     []msg.NodeID // one node per TCC bank
+	dirID   msg.NodeID
+	funcMem *memdata.Memory
+
+	tccs []*cachearray.Array[tccMeta] // one array per bank
+	tcps []*cachearray.Array[struct{}]
+	sqc  *cachearray.Array[struct{}]
+
+	mshr    map[cachearray.LineAddr][]gpuWaiter // TCC read misses
+	wtAcks  map[cachearray.LineAddr][]func()    // WT → WBAck FIFO
+	atomics map[cachearray.LineAddr][]func(old uint64)
+	flushes []func() // Flush → FlushAck FIFO
+
+	reads      *stats.Counter
+	writes     *stats.Counter
+	tcpHits    *stats.Counter
+	tccHits    *stats.Counter
+	tccMisses  *stats.Counter
+	wtSent     *stats.Counter
+	sysAtomics *stats.Counter
+	devAtomics *stats.Counter
+	probesRecv *stats.Counter
+	sqcHits    *stats.Counter
+	sqcMisses  *stats.Counter
+}
+
+// New creates the GPU cache complex. ids carries one interconnect node
+// per TCC bank (len(ids) == max(cfg.NumTCCs, 1)); the Table II TCC
+// capacity is split across the banks.
+func New(engine *sim.Engine, ic *noc.Interconnect, ids []msg.NodeID, dirID msg.NodeID,
+	fm *memdata.Memory, cfg Config, sc *stats.Scope) *GPUCaches {
+	if cfg.NumTCCs < 1 {
+		cfg.NumTCCs = 1
+	}
+	if len(ids) != cfg.NumTCCs {
+		panic(fmt.Sprintf("gpucache: %d ids for %d TCC banks", len(ids), cfg.NumTCCs))
+	}
+	g := &GPUCaches{
+		engine:  engine,
+		ic:      ic,
+		cfg:     cfg,
+		ids:     append([]msg.NodeID(nil), ids...),
+		dirID:   dirID,
+		funcMem: fm,
+		sqc: cachearray.New[struct{}](cachearray.Config{
+			SizeBytes: cfg.SQCSizeBytes, Assoc: cfg.SQCAssoc, BlockSize: cfg.BlockSize}, nil),
+		mshr:       make(map[cachearray.LineAddr][]gpuWaiter),
+		wtAcks:     make(map[cachearray.LineAddr][]func()),
+		atomics:    make(map[cachearray.LineAddr][]func(uint64)),
+		reads:      sc.Counter("reads"),
+		writes:     sc.Counter("writes"),
+		tcpHits:    sc.Counter("tcp_hits"),
+		tccHits:    sc.Counter("tcc_hits"),
+		tccMisses:  sc.Counter("tcc_misses"),
+		wtSent:     sc.Counter("write_throughs"),
+		sysAtomics: sc.Counter("system_atomics"),
+		devAtomics: sc.Counter("device_atomics"),
+		probesRecv: sc.Counter("probes_received"),
+		sqcHits:    sc.Counter("sqc_hits"),
+		sqcMisses:  sc.Counter("sqc_misses"),
+	}
+	for b := 0; b < cfg.NumTCCs; b++ {
+		g.tccs = append(g.tccs, cachearray.New[tccMeta](cachearray.Config{
+			SizeBytes: cfg.TCCSizeBytes / cfg.NumTCCs, Assoc: cfg.TCCAssoc, BlockSize: cfg.BlockSize}, nil))
+		ic.Register(ids[b], g)
+	}
+	for i := 0; i < cfg.NumCUs; i++ {
+		g.tcps = append(g.tcps, cachearray.New[struct{}](cachearray.Config{
+			SizeBytes: cfg.TCPSizeBytes, Assoc: cfg.TCPAssoc, BlockSize: cfg.BlockSize}, nil))
+	}
+	return g
+}
+
+// bankFor maps a line to its TCC bank (4 KB superblock interleave).
+func (g *GPUCaches) bankFor(line cachearray.LineAddr) int {
+	if len(g.tccs) == 1 {
+		return 0
+	}
+	return int((uint64(line) >> 6) % uint64(len(g.tccs)))
+}
+
+func (g *GPUCaches) tccOf(line cachearray.LineAddr) *cachearray.Array[tccMeta] {
+	return g.tccs[g.bankFor(line)]
+}
+
+func (g *GPUCaches) idOf(line cachearray.LineAddr) msg.NodeID {
+	return g.ids[g.bankFor(line)]
+}
+
+// NodeIDs returns the TCC banks' interconnect nodes.
+func (g *GPUCaches) NodeIDs() []msg.NodeID { return g.ids }
+
+// ReadLine services a coalesced vector load for one cache line from a
+// CU's TCP; done fires when the data is available.
+func (g *GPUCaches) ReadLine(cu int, line cachearray.LineAddr, done func()) {
+	g.reads.Inc()
+	tcp := g.tcps[cu]
+	if tcp.Lookup(line) != nil {
+		g.tcpHits.Inc()
+		g.engine.Schedule(g.cfg.TCPLatency, done)
+		return
+	}
+	g.engine.Schedule(g.cfg.TCPLatency, func() { g.tccRead(cu, line, done) })
+}
+
+func (g *GPUCaches) tccRead(cu int, line cachearray.LineAddr, done func()) {
+	if g.tccOf(line).Lookup(line) != nil {
+		g.tccHits.Inc()
+		g.tcps[cu].Insert(line, nil)
+		g.engine.Schedule(g.cfg.TCCLatency, done)
+		return
+	}
+	g.tccMisses.Inc()
+	if ws, outstanding := g.mshr[line]; outstanding {
+		g.mshr[line] = append(ws, gpuWaiter{cu, done})
+		return
+	}
+	g.mshr[line] = []gpuWaiter{{cu, done}}
+	g.engine.Schedule(g.cfg.TCCLatency, func() {
+		g.ic.Send(&msg.Message{Type: msg.RdBlk, Addr: line, Src: g.idOf(line), Dst: g.dirID})
+	})
+}
+
+// WriteLine services a coalesced vector store for one line. In the
+// default write-through configuration every store issues a WT to the
+// directory for system-level visibility; in WB_L2 mode the TCC buffers
+// the dirty line and writes it back on eviction or flush.
+func (g *GPUCaches) WriteLine(cu int, line cachearray.LineAddr, done func()) {
+	g.writes.Inc()
+	tcp := g.tcps[cu]
+	if g.cfg.WriteBackL1 {
+		tcp.Insert(line, nil)
+	} else if tcp.Peek(line) != nil {
+		tcp.Lookup(line) // write-through updates a present copy
+	}
+	g.engine.Schedule(g.cfg.TCPLatency, func() { g.tccWrite(line, done) })
+}
+
+func (g *GPUCaches) tccWrite(line cachearray.LineAddr, done func()) {
+	if g.cfg.WriteBackL2 {
+		if ln := g.tccOf(line).Lookup(line); ln != nil {
+			ln.Meta.Dirty = true
+		} else {
+			g.insertTCC(line, true)
+		}
+		g.engine.Schedule(g.cfg.TCCLatency, done)
+		return
+	}
+	// Write-through: the TCC keeps/updates a valid copy and forwards the
+	// write to the directory.
+	if g.tccOf(line).Peek(line) == nil {
+		g.insertTCC(line, false)
+	}
+	g.sendWT(line, true, done)
+}
+
+func (g *GPUCaches) sendWT(line cachearray.LineAddr, retain bool, done func()) {
+	g.wtSent.Inc()
+	if done != nil {
+		g.wtAcks[line] = append(g.wtAcks[line], done)
+	} else {
+		g.wtAcks[line] = append(g.wtAcks[line], func() {})
+	}
+	g.engine.Schedule(g.cfg.TCCLatency, func() {
+		g.ic.Send(&msg.Message{Type: msg.WT, Addr: line, Src: g.idOf(line), Dst: g.dirID, Retain: retain})
+	})
+}
+
+// insertTCC allocates (or refreshes) a TCC line, writing back a
+// displaced dirty line. A resident line keeps its dirty bit: a fill
+// must not clobber a write that landed while the miss was in flight.
+func (g *GPUCaches) insertTCC(line cachearray.LineAddr, dirty bool) {
+	arr := g.tccOf(line)
+	if ln := arr.Lookup(line); ln != nil {
+		ln.Meta.Dirty = ln.Meta.Dirty || dirty
+		return
+	}
+	ln, evTag, evMeta, evicted := arr.Insert(line, nil)
+	ln.Meta.Dirty = dirty
+	if evicted && evMeta.Dirty {
+		g.sendWT(evTag, false, nil)
+	}
+}
+
+// AtomicSystem executes a system-scope (SLC) atomic: bypassed through
+// the TCC to the directory, which performs the RMW at system visibility.
+// Local copies are dropped so later reads observe the result.
+func (g *GPUCaches) AtomicSystem(cu int, line cachearray.LineAddr, word memdata.Addr,
+	op memdata.AtomicOp, operand, compare uint64, done func(old uint64)) {
+	g.sysAtomics.Inc()
+	g.tcps[cu].Invalidate(line)
+	if meta, ok := g.tccOf(line).Invalidate(line); ok && meta.Dirty {
+		g.sendWT(line, false, nil)
+	}
+	g.atomics[line] = append(g.atomics[line], done)
+	g.engine.Schedule(g.cfg.TCCLatency, func() {
+		g.ic.Send(&msg.Message{
+			Type: msg.Atomic, Addr: line, Src: g.idOf(line), Dst: g.dirID,
+			AOp: op, WordAddr: word, Operand: operand, Compare: compare,
+		})
+	})
+}
+
+// AtomicDevice executes a device-scope (GLC) atomic at the TCC (GPU
+// visibility). In write-through mode the result is forwarded to the
+// directory as a WT; in write-back mode the line turns dirty.
+func (g *GPUCaches) AtomicDevice(cu int, line cachearray.LineAddr, word memdata.Addr,
+	op memdata.AtomicOp, operand, compare uint64, done func(old uint64)) {
+	g.devAtomics.Inc()
+	g.tcps[cu].Invalidate(line)
+	fire := func() {
+		old := g.funcMem.RMW(word, op, operand, compare)
+		if g.cfg.WriteBackL2 {
+			if ln := g.tccOf(line).Lookup(line); ln != nil {
+				ln.Meta.Dirty = true
+			} else {
+				g.insertTCC(line, true)
+			}
+		} else {
+			if g.tccOf(line).Peek(line) == nil {
+				g.insertTCC(line, false)
+			}
+			g.sendWT(line, true, nil)
+		}
+		done(old)
+	}
+	g.engine.Schedule(g.cfg.TCCLatency, fire)
+}
+
+// IFetch services a wavefront instruction fetch through the SQC.
+func (g *GPUCaches) IFetch(cu int, line cachearray.LineAddr, done func()) {
+	if g.sqc.Lookup(line) != nil {
+		g.sqcHits.Inc()
+		g.engine.Schedule(g.cfg.SQCLatency, done)
+		return
+	}
+	g.sqcMisses.Inc()
+	g.sqc.Insert(line, nil)
+	g.engine.Schedule(g.cfg.SQCLatency, func() { g.tccRead(0, line, done) })
+}
+
+// AcquireInvalidate drops all TCP lines of a CU (kernel-launch /
+// barrier-acquire semantics of the VIPER model).
+func (g *GPUCaches) AcquireInvalidate(cu int) {
+	g.tcps[cu].Clear()
+}
+
+// ReleaseFlush writes back every dirty TCC line (WB_L2 mode) and sends
+// the Flush marker the paper lists among TCC requests; done fires when
+// the directory acknowledges.
+func (g *GPUCaches) ReleaseFlush(done func()) {
+	if g.cfg.WriteBackL2 {
+		var dirtyLines []cachearray.LineAddr
+		for _, arr := range g.tccs {
+			arr.ForEach(func(a cachearray.LineAddr, m *tccMeta) {
+				if m.Dirty {
+					dirtyLines = append(dirtyLines, a)
+				}
+			})
+		}
+		for _, a := range dirtyLines {
+			if ln := g.tccOf(a).Peek(a); ln != nil {
+				ln.Meta.Dirty = false
+			}
+			g.sendWT(a, true, nil)
+		}
+	}
+	g.flushes = append(g.flushes, done)
+	g.ic.Send(&msg.Message{Type: msg.Flush, Addr: 0, Src: g.ids[0], Dst: g.dirID})
+}
+
+// Receive implements noc.Handler.
+func (g *GPUCaches) Receive(m *msg.Message) {
+	switch m.Type {
+	case msg.Resp:
+		ws := g.mshr[m.Addr]
+		delete(g.mshr, m.Addr)
+		if ws == nil {
+			panic(fmt.Sprintf("gpucache: fill without MSHR %s", m))
+		}
+		g.insertTCC(m.Addr, false)
+		for _, w := range ws {
+			g.tcps[w.cu].Insert(m.Addr, nil)
+			w.done()
+		}
+
+	case msg.WBAck:
+		q := g.wtAcks[m.Addr]
+		if len(q) == 0 {
+			panic(fmt.Sprintf("gpucache: stray WBAck %s", m))
+		}
+		done := q[0]
+		if len(q) == 1 {
+			delete(g.wtAcks, m.Addr)
+		} else {
+			g.wtAcks[m.Addr] = q[1:]
+		}
+		done()
+
+	case msg.AtomicResp:
+		q := g.atomics[m.Addr]
+		if len(q) == 0 {
+			panic(fmt.Sprintf("gpucache: stray AtomicResp %s", m))
+		}
+		done := q[0]
+		if len(q) == 1 {
+			delete(g.atomics, m.Addr)
+		} else {
+			g.atomics[m.Addr] = q[1:]
+		}
+		done(m.Old)
+
+	case msg.FlushAck:
+		done := g.flushes[0]
+		g.flushes = g.flushes[:copy(g.flushes, g.flushes[1:])]
+		done()
+
+	case msg.PrbInv:
+		// The TCC invalidates itself and never forwards data (§II-C).
+		g.probesRecv.Inc()
+		if meta, ok := g.tccOf(m.Addr).Invalidate(m.Addr); ok && meta.Dirty {
+			// A dirty WB-mode line is lost to the probe; VIPER relies on
+			// the write-through of its data having system visibility, so
+			// flush it on the way out.
+			g.sendWT(m.Addr, false, nil)
+		}
+		g.ic.Send(&msg.Message{Type: msg.PrbAck, Addr: m.Addr, Src: g.idOf(m.Addr), Dst: m.Src, TxnID: m.TxnID})
+
+	case msg.PrbDowngrade:
+		g.probesRecv.Inc()
+		g.ic.Send(&msg.Message{Type: msg.PrbAck, Addr: m.Addr, Src: g.idOf(m.Addr), Dst: m.Src, TxnID: m.TxnID})
+
+	default:
+		panic(fmt.Sprintf("gpucache: unexpected %s", m))
+	}
+}
+
+// TCCHas reports whether the owning TCC bank holds a line (test hook).
+func (g *GPUCaches) TCCHas(line cachearray.LineAddr) bool { return g.tccOf(line).Peek(line) != nil }
+
+// Outstanding reports in-flight TCC transactions (quiesce checks).
+func (g *GPUCaches) Outstanding() int {
+	return len(g.mshr) + len(g.wtAcks) + len(g.atomics) + len(g.flushes)
+}

@@ -1,0 +1,118 @@
+// Package memctrl models the main-memory controller behind the
+// system-level directory.
+//
+// The directory is the only agent that talks to memory, over an ordered
+// interface (§III-C), so the model is a single FIFO channel with a fixed
+// access latency and a bandwidth limit. Reads invoke a completion
+// callback; writes are posted (non-blocking for the requester) but still
+// occupy channel bandwidth. Read/write counts feed Fig. 5.
+package memctrl
+
+import (
+	"hscsim/internal/cachearray"
+	"hscsim/internal/sim"
+	"hscsim/internal/stats"
+)
+
+// Config sets memory timing.
+type Config struct {
+	// Latency is the access latency in ticks once the request is issued
+	// to the channel.
+	Latency sim.Tick
+	// CyclesPerAccess limits bandwidth: successive accesses occupy the
+	// channel for this many ticks each.
+	CyclesPerAccess sim.Tick
+	// Banks, when > 1, adds per-bank occupancy: a bank stays busy for
+	// BankCycles after each access, so same-bank bursts serialize even
+	// when channel bandwidth is available. Lines interleave across
+	// banks by address.
+	Banks int
+	// BankCycles is the per-bank busy time (row cycle); defaults to 40
+	// when Banks > 1.
+	BankCycles sim.Tick
+}
+
+// DefaultConfig approximates DDR4 behind a 3.5 GHz core: ~160-cycle
+// access latency and one 64-byte access every 4 cycles of channel time.
+func DefaultConfig() Config {
+	return Config{Latency: 160, CyclesPerAccess: 4}
+}
+
+// Controller is the DRAM model.
+type Controller struct {
+	engine *sim.Engine
+	cfg    Config
+
+	nextFree sim.Tick
+	bankFree []sim.Tick
+
+	reads      *stats.Counter
+	writes     *stats.Counter
+	bankStalls *stats.Counter
+}
+
+// New creates a memory controller.
+func New(engine *sim.Engine, cfg Config, sc *stats.Scope) *Controller {
+	if cfg.CyclesPerAccess == 0 {
+		cfg.CyclesPerAccess = 1
+	}
+	if cfg.Banks > 1 && cfg.BankCycles == 0 {
+		cfg.BankCycles = 40
+	}
+	ctl := &Controller{
+		engine:     engine,
+		cfg:        cfg,
+		reads:      sc.Counter("reads"),
+		writes:     sc.Counter("writes"),
+		bankStalls: sc.Counter("bank_stall_cycles"),
+	}
+	if cfg.Banks > 1 {
+		ctl.bankFree = make([]sim.Tick, cfg.Banks)
+	}
+	return ctl
+}
+
+// occupy reserves the next channel slot (and bank, when banked) and
+// returns the tick at which the access completes. A busy bank delays
+// only its own access, not the channel pipeline (the controller
+// reorders around busy banks).
+func (c *Controller) occupy(addr cachearray.LineAddr) sim.Tick {
+	slot := c.engine.Now()
+	if c.nextFree > slot {
+		slot = c.nextFree
+	}
+	c.nextFree = slot + c.cfg.CyclesPerAccess
+	begin := slot
+	if c.bankFree != nil {
+		b := int(uint64(addr) % uint64(len(c.bankFree)))
+		if c.bankFree[b] > begin {
+			c.bankStalls.Add(uint64(c.bankFree[b] - begin))
+			begin = c.bankFree[b]
+		}
+		c.bankFree[b] = begin + c.cfg.BankCycles
+	}
+	return begin + c.cfg.Latency
+}
+
+// Read fetches a line; done fires when the data is available.
+func (c *Controller) Read(addr cachearray.LineAddr, done func()) {
+	c.reads.Inc()
+	c.engine.At(c.occupy(addr), done)
+}
+
+// Write stores a line. The write is posted: it consumes a channel slot
+// but the caller does not wait. If done is non-nil it fires when the
+// write is globally visible (used by fences and flushes).
+func (c *Controller) Write(addr cachearray.LineAddr, done func()) {
+	c.writes.Inc()
+	t := c.occupy(addr)
+	if done != nil {
+		c.engine.At(t, done)
+	}
+}
+
+// Reads returns the number of line reads issued.
+func (c *Controller) Reads() uint64 { return c.reads.Value() }
+
+// Writes returns the number of line writes issued.
+func (c *Controller) Writes() uint64 { return c.writes.Value() }

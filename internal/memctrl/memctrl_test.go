@@ -1,0 +1,128 @@
+package memctrl
+
+import (
+	"testing"
+
+	"hscsim/internal/sim"
+	"hscsim/internal/stats"
+)
+
+func newCtrl(t *testing.T, cfg Config) (*sim.Engine, *Controller) {
+	t.Helper()
+	e := sim.NewEngine()
+	return e, New(e, cfg, stats.NewRegistry().Scope("mem"))
+}
+
+func TestReadLatency(t *testing.T) {
+	e, c := newCtrl(t, Config{Latency: 100, CyclesPerAccess: 4})
+	var done sim.Tick
+	e.Schedule(10, func() {
+		c.Read(1, func() { done = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 110 {
+		t.Fatalf("read completed at %d, want 110", done)
+	}
+	if c.Reads() != 1 || c.Writes() != 0 {
+		t.Fatalf("reads=%d writes=%d", c.Reads(), c.Writes())
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	e, c := newCtrl(t, Config{Latency: 100, CyclesPerAccess: 4})
+	var finish []sim.Tick
+	e.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			c.Read(1, func() { finish = append(finish, e.Now()) })
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Channel slots at 0, 4, 8 → completions at 100, 104, 108.
+	want := []sim.Tick{100, 104, 108}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestPostedWrite(t *testing.T) {
+	e, c := newCtrl(t, Config{Latency: 50, CyclesPerAccess: 2})
+	var done sim.Tick
+	e.Schedule(0, func() {
+		c.Write(1, nil) // posted, no callback
+		c.Write(2, func() { done = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Second write occupies slot 2 → visible at 52.
+	if done != 52 {
+		t.Fatalf("write visible at %d, want 52", done)
+	}
+	if c.Writes() != 2 {
+		t.Fatalf("writes = %d", c.Writes())
+	}
+}
+
+func TestWritesConsumeReadBandwidth(t *testing.T) {
+	e, c := newCtrl(t, Config{Latency: 10, CyclesPerAccess: 4})
+	var readDone sim.Tick
+	e.Schedule(0, func() {
+		c.Write(1, nil)
+		c.Read(2, func() { readDone = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if readDone != 14 {
+		t.Fatalf("read after write done at %d, want 14", readDone)
+	}
+}
+
+func TestZeroCyclesPerAccessDefaults(t *testing.T) {
+	_, c := newCtrl(t, Config{Latency: 10})
+	if c.cfg.CyclesPerAccess != 1 {
+		t.Fatal("zero CyclesPerAccess should default to 1")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	d := DefaultConfig()
+	if d.Latency == 0 || d.CyclesPerAccess == 0 {
+		t.Fatal("default config must be positive")
+	}
+}
+
+func TestBankedOccupancy(t *testing.T) {
+	e, c := newCtrl(t, Config{Latency: 10, CyclesPerAccess: 1, Banks: 4, BankCycles: 50})
+	var sameBank, otherBank sim.Tick
+	e.Schedule(0, func() {
+		c.Read(0, func() {})                      // bank 0 busy until 50
+		c.Read(4, func() { sameBank = e.Now() })  // bank 0 again: waits
+		c.Read(1, func() { otherBank = e.Now() }) // bank 1: only channel slot
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sameBank != 60 { // starts at 50, +10 latency
+		t.Fatalf("same-bank read done at %d, want 60", sameBank)
+	}
+	if otherBank != 12 { // channel slot 2, +10 latency
+		t.Fatalf("other-bank read done at %d, want 12", otherBank)
+	}
+	if c.bankStalls.Value() == 0 {
+		t.Fatal("bank stalls not counted")
+	}
+}
+
+func TestBankCyclesDefault(t *testing.T) {
+	_, c := newCtrl(t, Config{Latency: 10, Banks: 2})
+	if c.cfg.BankCycles != 40 {
+		t.Fatalf("BankCycles default = %d, want 40", c.cfg.BankCycles)
+	}
+}

@@ -1,0 +1,103 @@
+// Package memdata provides the functional (value-level) view of the
+// unified memory space.
+//
+// The timing simulation decides *when* an access completes; this package
+// decides *what value* it observes. Loads read the current word, stores
+// update it at their point of visibility, and atomics perform their
+// read-modify-write at the serialization point (the TCC for device-scope
+// atomics, the system-level directory for system-scope atomics), which is
+// exactly the visibility model of the simulated protocol. Keeping values
+// functional lets the CHAI workloads synchronize through real flags and
+// work queues, so runs terminate for the same reason the originals do.
+package memdata
+
+// Addr is a byte address in the unified memory space.
+type Addr uint64
+
+// AtomicOp identifies a read-modify-write operation.
+type AtomicOp uint8
+
+// Supported atomic operations.
+const (
+	AtomicAdd AtomicOp = iota
+	AtomicMax
+	AtomicMin
+	AtomicExch
+	AtomicCAS
+	AtomicAnd
+	AtomicOr
+)
+
+func (op AtomicOp) String() string {
+	switch op {
+	case AtomicAdd:
+		return "Add"
+	case AtomicMax:
+		return "Max"
+	case AtomicMin:
+		return "Min"
+	case AtomicExch:
+		return "Exch"
+	case AtomicCAS:
+		return "CAS"
+	case AtomicAnd:
+		return "And"
+	case AtomicOr:
+		return "Or"
+	}
+	return "?"
+}
+
+// Memory is a sparse map of aligned 64-bit words. Addresses are rounded
+// down to 8-byte alignment. The zero value is not usable; call New.
+type Memory struct {
+	words map[Addr]uint64
+}
+
+// New returns an empty memory (all words read as zero).
+func New() *Memory {
+	return &Memory{words: make(map[Addr]uint64)}
+}
+
+func align(a Addr) Addr { return a &^ 7 }
+
+// Read returns the 64-bit word containing address a.
+func (m *Memory) Read(a Addr) uint64 { return m.words[align(a)] }
+
+// Write stores v into the word containing address a.
+func (m *Memory) Write(a Addr, v uint64) { m.words[align(a)] = v }
+
+// RMW applies op atomically to the word containing a and returns the old
+// value. For AtomicCAS, operand is the desired value and compare the
+// expected value; the swap happens only when the stored word equals
+// compare.
+func (m *Memory) RMW(a Addr, op AtomicOp, operand, compare uint64) (old uint64) {
+	w := align(a)
+	old = m.words[w]
+	switch op {
+	case AtomicAdd:
+		m.words[w] = old + operand
+	case AtomicMax:
+		if int64(operand) > int64(old) {
+			m.words[w] = operand
+		}
+	case AtomicMin:
+		if int64(operand) < int64(old) {
+			m.words[w] = operand
+		}
+	case AtomicExch:
+		m.words[w] = operand
+	case AtomicCAS:
+		if old == compare {
+			m.words[w] = operand
+		}
+	case AtomicAnd:
+		m.words[w] = old & operand
+	case AtomicOr:
+		m.words[w] = old | operand
+	}
+	return old
+}
+
+// Len reports how many distinct words have been written.
+func (m *Memory) Len() int { return len(m.words) }

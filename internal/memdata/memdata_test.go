@@ -1,0 +1,140 @@
+package memdata
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteAlignment(t *testing.T) {
+	m := New()
+	m.Write(0x100, 42)
+	// Any address within the same 8-byte word reads the same value.
+	for off := Addr(0); off < 8; off++ {
+		if got := m.Read(0x100 + off); got != 42 {
+			t.Fatalf("Read(0x100+%d) = %d, want 42", off, got)
+		}
+	}
+	if m.Read(0x108) != 0 {
+		t.Fatal("adjacent word should be zero")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestZeroDefault(t *testing.T) {
+	m := New()
+	if m.Read(0xdeadbeef) != 0 {
+		t.Fatal("unwritten word should read zero")
+	}
+}
+
+func TestRMWOps(t *testing.T) {
+	cases := []struct {
+		op       AtomicOp
+		init     uint64
+		operand  uint64
+		compare  uint64
+		want     uint64 // stored value after
+		wantName string
+	}{
+		{AtomicAdd, 10, 5, 0, 15, "Add"},
+		{AtomicMax, 10, 20, 0, 20, "Max"},
+		{AtomicMax, 30, 20, 0, 30, "Max"},
+		{AtomicMin, 10, 5, 0, 5, "Min"},
+		{AtomicMin, 3, 5, 0, 3, "Min"},
+		{AtomicExch, 7, 9, 0, 9, "Exch"},
+		{AtomicCAS, 7, 9, 7, 9, "CAS"}, // matching compare swaps
+		{AtomicCAS, 7, 9, 8, 7, "CAS"}, // mismatched compare leaves value
+		{AtomicAnd, 0b1100, 0b1010, 0, 0b1000, "And"},
+		{AtomicOr, 0b1100, 0b1010, 0, 0b1110, "Or"},
+	}
+	for i, c := range cases {
+		m := New()
+		m.Write(8, c.init)
+		old := m.RMW(8, c.op, c.operand, c.compare)
+		if old != c.init {
+			t.Errorf("case %d (%s): old = %d, want %d", i, c.op, old, c.init)
+		}
+		if got := m.Read(8); got != c.want {
+			t.Errorf("case %d (%s): stored = %d, want %d", i, c.op, got, c.want)
+		}
+		if c.op.String() != c.wantName {
+			t.Errorf("case %d: String = %q, want %q", i, c.op, c.wantName)
+		}
+	}
+}
+
+func TestMaxMinAreSigned(t *testing.T) {
+	m := New()
+	neg := uint64(0xFFFFFFFFFFFFFFFF) // -1 as int64
+	m.Write(0, neg)
+	m.RMW(0, AtomicMax, 1, 0)
+	if m.Read(0) != 1 {
+		t.Fatalf("signed max(-1, 1) = %d, want 1", m.Read(0))
+	}
+	m.Write(8, 1)
+	m.RMW(8, AtomicMin, neg, 0)
+	if m.Read(8) != neg {
+		t.Fatalf("signed min(1, -1) = %d, want -1", m.Read(8))
+	}
+}
+
+// TestRMWAgainstReference property-checks RMW against an independent
+// model over random operation sequences.
+func TestRMWAgainstReference(t *testing.T) {
+	type step struct {
+		Op      uint8
+		Addr    uint16
+		Operand uint64
+		Compare uint64
+	}
+	f := func(steps []step) bool {
+		m := New()
+		ref := make(map[Addr]uint64)
+		for _, s := range steps {
+			op := AtomicOp(s.Op % 7)
+			a := Addr(s.Addr) &^ 7
+			old := m.RMW(Addr(s.Addr), op, s.Operand, s.Compare)
+			refOld := ref[a]
+			if old != refOld {
+				return false
+			}
+			switch op {
+			case AtomicAdd:
+				ref[a] = refOld + s.Operand
+			case AtomicMax:
+				if int64(s.Operand) > int64(refOld) {
+					ref[a] = s.Operand
+				}
+			case AtomicMin:
+				if int64(s.Operand) < int64(refOld) {
+					ref[a] = s.Operand
+				}
+			case AtomicExch:
+				ref[a] = s.Operand
+			case AtomicCAS:
+				if refOld == s.Compare {
+					ref[a] = s.Operand
+				}
+			case AtomicAnd:
+				ref[a] = refOld & s.Operand
+			case AtomicOr:
+				ref[a] = refOld | s.Operand
+			}
+			if m.Read(a) != ref[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpStringUnknown(t *testing.T) {
+	if AtomicOp(99).String() != "?" {
+		t.Fatal("unknown op should stringify as ?")
+	}
+}

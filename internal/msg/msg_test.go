@@ -1,0 +1,89 @@
+package msg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		RdBlk: "RdBlk", RdBlkS: "RdBlkS", RdBlkM: "RdBlkM",
+		VicDirty: "VicDirty", VicClean: "VicClean",
+		WT: "WT", Atomic: "Atomic", Flush: "Flush",
+		DMARd: "DMARd", DMAWr: "DMAWr",
+		PrbInv: "PrbInv", PrbDowngrade: "PrbDowngrade", PrbAck: "PrbAck",
+		Resp: "Resp", WBAck: "WBAck", AtomicResp: "AtomicResp",
+		FlushAck: "FlushAck", Unblock: "Unblock",
+	}
+	for typ, want := range cases {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+	if !strings.Contains(Type(200).String(), "200") {
+		t.Error("unknown type should include its number")
+	}
+}
+
+func TestIsRequest(t *testing.T) {
+	reqs := []Type{RdBlk, RdBlkS, RdBlkM, VicDirty, VicClean, WT, Atomic, Flush, DMARd, DMAWr}
+	for _, r := range reqs {
+		if !r.IsRequest() {
+			t.Errorf("%s should be a request", r)
+		}
+	}
+	for _, n := range []Type{PrbInv, PrbDowngrade, PrbAck, Resp, WBAck, AtomicResp, FlushAck, Unblock} {
+		if n.IsRequest() {
+			t.Errorf("%s should not be a request", n)
+		}
+	}
+}
+
+// TestNeedsInvProbe pins the paper's §III-A list: invalidating probes
+// for DMAWr, RdBlkM, WT and Atomic; downgrading probes otherwise.
+func TestNeedsInvProbe(t *testing.T) {
+	inv := map[Type]bool{
+		RdBlkM: true, WT: true, Atomic: true, DMAWr: true,
+		RdBlk: false, RdBlkS: false, DMARd: false, VicDirty: false, VicClean: false,
+	}
+	for typ, want := range inv {
+		if typ.NeedsInvProbe() != want {
+			t.Errorf("%s.NeedsInvProbe = %v, want %v", typ, typ.NeedsInvProbe(), want)
+		}
+	}
+}
+
+func TestGrantString(t *testing.T) {
+	for g, want := range map[Grant]string{GrantNone: "None", GrantS: "S", GrantE: "E", GrantM: "M"} {
+		if g.String() != want {
+			t.Errorf("grant %d = %q, want %q", g, g.String(), want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if (&Message{Type: RdBlk}).Bytes() != ControlBytes {
+		t.Error("request should be control-sized")
+	}
+	for _, d := range []Type{VicDirty, VicClean, WT, Resp} {
+		if (&Message{Type: d}).Bytes() != DataBytes {
+			t.Errorf("%s should be data-sized", d)
+		}
+	}
+	if (&Message{Type: PrbAck}).Bytes() != ControlBytes {
+		t.Error("dataless ack should be control-sized")
+	}
+	if (&Message{Type: PrbAck, HasData: true}).Bytes() != DataBytes {
+		t.Error("data ack should be data-sized")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := &Message{Type: RdBlkM, Addr: 0x42, Src: 1, Dst: 6}
+	s := m.String()
+	for _, part := range []string{"RdBlkM", "0x42", "src=1", "dst=6"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("String %q missing %q", s, part)
+		}
+	}
+}

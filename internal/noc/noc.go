@@ -1,0 +1,122 @@
+// Package noc models the on-die interconnect between the CorePair L2s,
+// the TCC, the DMA engine and the system-level directory.
+//
+// The paper's evaluation reports network activity as the number of
+// probes (and their acknowledgments) crossing this fabric, so the model
+// focuses on per-message latency and exact message accounting rather
+// than detailed router microarchitecture.
+package noc
+
+import (
+	"fmt"
+
+	"hscsim/internal/msg"
+	"hscsim/internal/sim"
+	"hscsim/internal/stats"
+)
+
+// Handler receives delivered messages.
+type Handler interface {
+	Receive(m *msg.Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(m *msg.Message)
+
+// Receive calls f(m).
+func (f HandlerFunc) Receive(m *msg.Message) { f(m) }
+
+// Config sets interconnect timing.
+type Config struct {
+	// Latency is the one-way message latency in ticks (CPU cycles).
+	Latency sim.Tick
+	// WidthBytes, when non-zero, serializes each node's egress port:
+	// a message occupies its sender's port for ceil(bytes/WidthBytes)
+	// ticks, so bursts (probe broadcasts, vector fills) contend.
+	WidthBytes int
+}
+
+// DefaultConfig matches the simulated APU: a small crossbar with a few
+// cycles of traversal latency and 32-byte links.
+func DefaultConfig() Config { return Config{Latency: 4, WidthBytes: 32} }
+
+// Tracer observes every message at send time.
+type Tracer func(t sim.Tick, m *msg.Message)
+
+// Interconnect is a crossbar connecting registered nodes.
+type Interconnect struct {
+	engine   *sim.Engine
+	cfg      Config
+	handlers map[msg.NodeID]Handler
+	portFree map[msg.NodeID]sim.Tick
+	tracer   Tracer
+
+	msgs      *stats.Counter
+	bytes     *stats.Counter
+	probes    *stats.Counter
+	probeAcks *stats.Counter
+	dataMsgs  *stats.Counter
+	portStall *stats.Counter
+}
+
+// New creates an interconnect.
+func New(engine *sim.Engine, cfg Config, sc *stats.Scope) *Interconnect {
+	return &Interconnect{
+		engine:    engine,
+		cfg:       cfg,
+		handlers:  make(map[msg.NodeID]Handler),
+		portFree:  make(map[msg.NodeID]sim.Tick),
+		msgs:      sc.Counter("messages"),
+		bytes:     sc.Counter("bytes"),
+		probes:    sc.Counter("probes"),
+		probeAcks: sc.Counter("probe_acks"),
+		dataMsgs:  sc.Counter("data_messages"),
+		portStall: sc.Counter("port_stall_cycles"),
+	}
+}
+
+// Register attaches a handler to a node ID. Registering the same ID
+// twice is a wiring bug and panics.
+func (ic *Interconnect) Register(id msg.NodeID, h Handler) {
+	if _, dup := ic.handlers[id]; dup {
+		panic(fmt.Sprintf("noc: duplicate node %d", id))
+	}
+	ic.handlers[id] = h
+}
+
+// SetTracer installs (or, with nil, removes) a message tracer.
+func (ic *Interconnect) SetTracer(t Tracer) { ic.tracer = t }
+
+// Send delivers m to m.Dst after the configured latency, counting
+// traffic by class.
+func (ic *Interconnect) Send(m *msg.Message) {
+	if ic.tracer != nil {
+		ic.tracer(ic.engine.Now(), m)
+	}
+	h, ok := ic.handlers[m.Dst]
+	if !ok {
+		panic(fmt.Sprintf("noc: send to unregistered node %d (%s)", m.Dst, m))
+	}
+	ic.msgs.Inc()
+	ic.bytes.Add(uint64(m.Bytes()))
+	switch m.Type {
+	case msg.PrbInv, msg.PrbDowngrade:
+		ic.probes.Inc()
+	case msg.PrbAck:
+		ic.probeAcks.Inc()
+	}
+	if m.Bytes() == msg.DataBytes {
+		ic.dataMsgs.Inc()
+	}
+	depart := ic.engine.Now()
+	if ic.cfg.WidthBytes > 0 {
+		// Serialize the sender's egress port.
+		if free := ic.portFree[m.Src]; free > depart {
+			ic.portStall.Add(uint64(free - depart))
+			depart = free
+		}
+		occupancy := sim.Tick((m.Bytes() + ic.cfg.WidthBytes - 1) / ic.cfg.WidthBytes)
+		ic.portFree[m.Src] = depart + occupancy
+	}
+	ic.engine.At(depart+ic.cfg.Latency, func() { h.Receive(m) })
+}

@@ -1,0 +1,126 @@
+package noc
+
+import (
+	"testing"
+
+	"hscsim/internal/msg"
+	"hscsim/internal/sim"
+	"hscsim/internal/stats"
+)
+
+func newIC(t *testing.T, latency sim.Tick) (*sim.Engine, *Interconnect, *stats.Registry) {
+	t.Helper()
+	e := sim.NewEngine()
+	reg := stats.NewRegistry()
+	return e, New(e, Config{Latency: latency}, reg.Scope("noc")), reg
+}
+
+func TestDeliveryLatencyAndOrder(t *testing.T) {
+	e, ic, _ := newIC(t, 4)
+	var got []sim.Tick
+	var payloads []msg.Type
+	ic.Register(1, HandlerFunc(func(m *msg.Message) {
+		got = append(got, e.Now())
+		payloads = append(payloads, m.Type)
+	}))
+	e.Schedule(10, func() {
+		ic.Send(&msg.Message{Type: msg.RdBlk, Dst: 1})
+		ic.Send(&msg.Message{Type: msg.RdBlkM, Dst: 1})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 14 || got[1] != 14 {
+		t.Fatalf("delivery ticks = %v, want [14 14]", got)
+	}
+	// Same-tick sends are delivered in send order.
+	if payloads[0] != msg.RdBlk || payloads[1] != msg.RdBlkM {
+		t.Fatalf("delivery order = %v", payloads)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	e, ic, reg := newIC(t, 1)
+	ic.Register(1, HandlerFunc(func(*msg.Message) {}))
+	e.Schedule(0, func() {
+		ic.Send(&msg.Message{Type: msg.PrbInv, Dst: 1})
+		ic.Send(&msg.Message{Type: msg.PrbDowngrade, Dst: 1})
+		ic.Send(&msg.Message{Type: msg.PrbAck, Dst: 1, HasData: true})
+		ic.Send(&msg.Message{Type: msg.Resp, Dst: 1})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Get("noc.messages"); got != 4 {
+		t.Fatalf("messages = %d", got)
+	}
+	if got := reg.Get("noc.probes"); got != 2 {
+		t.Fatalf("probes = %d", got)
+	}
+	if got := reg.Get("noc.probe_acks"); got != 1 {
+		t.Fatalf("probe_acks = %d", got)
+	}
+	if got := reg.Get("noc.data_messages"); got != 2 {
+		t.Fatalf("data_messages = %d", got)
+	}
+	wantBytes := uint64(msg.ControlBytes*2 + msg.DataBytes*2)
+	if got := reg.Get("noc.bytes"); got != wantBytes {
+		t.Fatalf("bytes = %d, want %d", got, wantBytes)
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	_, ic, _ := newIC(t, 1)
+	ic.Register(1, HandlerFunc(func(*msg.Message) {}))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate register did not panic")
+		}
+	}()
+	ic.Register(1, HandlerFunc(func(*msg.Message) {}))
+}
+
+func TestSendToUnregisteredPanics(t *testing.T) {
+	_, ic, _ := newIC(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("send to unregistered node did not panic")
+		}
+	}()
+	ic.Send(&msg.Message{Type: msg.RdBlk, Dst: 9})
+}
+
+func TestDefaultConfig(t *testing.T) {
+	if DefaultConfig().Latency == 0 {
+		t.Fatal("default latency must be positive")
+	}
+}
+
+func TestEgressPortSerialization(t *testing.T) {
+	e := sim.NewEngine()
+	reg := stats.NewRegistry()
+	ic := New(e, Config{Latency: 4, WidthBytes: 8}, reg.Scope("noc"))
+	var arrivals []sim.Tick
+	ic.Register(1, HandlerFunc(func(m *msg.Message) { arrivals = append(arrivals, e.Now()) }))
+	e.Schedule(0, func() {
+		// A 72-byte data message occupies the port for 9 ticks.
+		ic.Send(&msg.Message{Type: msg.Resp, Src: 0, Dst: 1})
+		ic.Send(&msg.Message{Type: msg.RdBlk, Src: 0, Dst: 1}) // stalls behind it
+		ic.Send(&msg.Message{Type: msg.RdBlk, Src: 2, Dst: 1}) // different port: no stall
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrivals[0] != 4 {
+		t.Fatalf("first arrival %d, want 4", arrivals[0])
+	}
+	if arrivals[1] != 4 { // the other port's message is not stalled
+		t.Fatalf("other-port arrival %d, want 4", arrivals[1])
+	}
+	if arrivals[2] != 13 { // departs at 9, +4 latency
+		t.Fatalf("stalled arrival %d, want 13", arrivals[2])
+	}
+	if reg.Get("noc.port_stall_cycles") == 0 {
+		t.Fatal("stall cycles not counted")
+	}
+}

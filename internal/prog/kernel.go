@@ -1,0 +1,205 @@
+package prog
+
+import "hscsim/internal/memdata"
+
+// Kernel describes a GPU grid: Workgroups × WavesPerWG wavefronts, each
+// executing Fn. CHAI kernels use the IDs to partition work.
+type Kernel struct {
+	Name       string
+	Workgroups int
+	WavesPerWG int
+	// Fn is the wavefront program.
+	Fn func(w *Wave)
+	// CodeAddr is the base address used for SQC instruction fetches.
+	CodeAddr memdata.Addr
+}
+
+// KernelHandle tracks kernel completion for host-side Wait.
+type KernelHandle struct {
+	done    bool
+	waiters []func()
+}
+
+// Done reports completion.
+func (h *KernelHandle) Done() bool { return h.done }
+
+// OnDone registers fn to run at completion (immediately if already done).
+func (h *KernelHandle) OnDone(fn func()) {
+	if h.done {
+		fn()
+		return
+	}
+	h.waiters = append(h.waiters, fn)
+}
+
+// CompleteKernel marks the kernel finished and releases waiters. Called
+// by the GPU dispatcher.
+func (h *KernelHandle) CompleteKernel() {
+	h.done = true
+	ws := h.waiters
+	h.waiters = nil
+	for _, fn := range ws {
+		fn()
+	}
+}
+
+// WaveOpKind identifies a wavefront operation.
+type WaveOpKind uint8
+
+// Wavefront operation kinds.
+const (
+	WaveVecLoad WaveOpKind = iota
+	WaveVecStore
+	WaveAtomicSys
+	WaveAtomicDev
+	WaveBarrier
+	WaveCompute
+)
+
+// WaveOp is one wavefront operation delivered to the executing CU.
+type WaveOp struct {
+	Kind    WaveOpKind
+	Addrs   []memdata.Addr // VecLoad / VecStore word addresses
+	Values  []uint64       // VecStore values
+	Addr    memdata.Addr   // atomic word address
+	AOp     memdata.AtomicOp
+	Operand uint64
+	Compare uint64
+	Cycles  uint64
+}
+
+// Wave is the context a wavefront program runs against.
+type Wave struct {
+	WG     int // workgroup index
+	Lane   int // wavefront index within the workgroup
+	Global int // global wavefront index
+
+	ops  chan WaveOp
+	res  chan []uint64
+	kill chan struct{}
+}
+
+// NewWave starts the wavefront program on its own goroutine.
+func NewWave(wg, lane, global int, fn func(*Wave)) *Wave {
+	w := &Wave{
+		WG: wg, Lane: lane, Global: global,
+		ops:  make(chan WaveOp),
+		res:  make(chan []uint64),
+		kill: make(chan struct{}),
+	}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil && r != errAborted {
+				panic(r)
+			}
+		}()
+		defer close(w.ops)
+		fn(w)
+	}()
+	return w
+}
+
+func (w *Wave) do(op WaveOp) []uint64 {
+	select {
+	case w.ops <- op:
+	case <-w.kill:
+		panic(errAborted)
+	}
+	select {
+	case v := <-w.res:
+		return v
+	case <-w.kill:
+		panic(errAborted)
+	}
+}
+
+// VecLoad performs a coalesced vector load of the given word addresses
+// and returns their values.
+func (w *Wave) VecLoad(addrs []memdata.Addr) []uint64 {
+	return w.do(WaveOp{Kind: WaveVecLoad, Addrs: addrs})
+}
+
+// Load reads a single word through the vector path.
+func (w *Wave) Load(a memdata.Addr) uint64 {
+	return w.VecLoad([]memdata.Addr{a})[0]
+}
+
+// VecStore performs a coalesced vector store of values to addrs
+// (len(values) must equal len(addrs)).
+func (w *Wave) VecStore(addrs []memdata.Addr, values []uint64) {
+	if len(addrs) != len(values) {
+		panic("prog: VecStore length mismatch")
+	}
+	w.do(WaveOp{Kind: WaveVecStore, Addrs: addrs, Values: values})
+}
+
+// Store writes a single word through the vector path.
+func (w *Wave) Store(a memdata.Addr, v uint64) {
+	w.VecStore([]memdata.Addr{a}, []uint64{v})
+}
+
+// AtomicSys performs a system-scope (SLC) atomic, visible to the CPUs.
+func (w *Wave) AtomicSys(op memdata.AtomicOp, a memdata.Addr, operand, compare uint64) uint64 {
+	return w.do(WaveOp{Kind: WaveAtomicSys, Addr: a, AOp: op, Operand: operand, Compare: compare})[0]
+}
+
+// AtomicDev performs a device-scope (GLC) atomic at the TCC.
+func (w *Wave) AtomicDev(op memdata.AtomicOp, a memdata.Addr, operand, compare uint64) uint64 {
+	return w.do(WaveOp{Kind: WaveAtomicDev, Addr: a, AOp: op, Operand: operand, Compare: compare})[0]
+}
+
+// AtomicSysAdd adds delta at system scope, returning the old value.
+func (w *Wave) AtomicSysAdd(a memdata.Addr, delta uint64) uint64 {
+	return w.AtomicSys(memdata.AtomicAdd, a, delta, 0)
+}
+
+// AtomicDevAdd adds delta at device scope, returning the old value.
+func (w *Wave) AtomicDevAdd(a memdata.Addr, delta uint64) uint64 {
+	return w.AtomicDev(memdata.AtomicAdd, a, delta, 0)
+}
+
+// Barrier synchronizes all wavefronts of the workgroup.
+func (w *Wave) Barrier() { w.do(WaveOp{Kind: WaveBarrier}) }
+
+// Compute advances the wavefront by the given number of GPU cycles.
+func (w *Wave) Compute(gpuCycles uint64) { w.do(WaveOp{Kind: WaveCompute, Cycles: gpuCycles}) }
+
+// NextOp is the executor-side rendezvous (see CPUThread.NextOp).
+func (w *Wave) NextOp() (WaveOp, bool) {
+	op, ok := <-w.ops
+	return op, ok
+}
+
+// Complete delivers results and resumes the wavefront.
+func (w *Wave) Complete(v []uint64) { w.res <- v }
+
+// Abort tears the wavefront down.
+func (w *Wave) Abort() {
+	select {
+	case <-w.kill:
+	default:
+		close(w.kill)
+	}
+}
+
+// Arena is a bump allocator carving benchmark data structures out of
+// the unified memory space.
+type Arena struct {
+	next memdata.Addr
+}
+
+// NewArena starts allocating at base.
+func NewArena(base memdata.Addr) *Arena { return &Arena{next: base} }
+
+// Alloc reserves size bytes aligned to a cache line and returns the
+// base address.
+func (a *Arena) Alloc(size int) memdata.Addr {
+	const line = 64
+	a.next = (a.next + line - 1) &^ (line - 1)
+	p := a.next
+	a.next += memdata.Addr(size)
+	return p
+}
+
+// AllocWords reserves n 8-byte words.
+func (a *Arena) AllocWords(n int) memdata.Addr { return a.Alloc(n * 8) }

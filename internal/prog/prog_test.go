@@ -1,0 +1,274 @@
+package prog
+
+import (
+	"testing"
+
+	"hscsim/internal/memdata"
+)
+
+// drive pulls ops from a thread and executes them against a plain
+// functional memory, synchronously.
+func drive(t *testing.T, th *CPUThread, fm *memdata.Memory) []Op {
+	t.Helper()
+	var ops []Op
+	for {
+		op, ok := th.NextOp()
+		if !ok {
+			return ops
+		}
+		ops = append(ops, op)
+		switch op.Kind {
+		case OpLoad:
+			th.Complete(fm.Read(op.Addr))
+		case OpStore:
+			fm.Write(op.Addr, op.Value)
+			th.Complete(0)
+		case OpAtomic:
+			th.Complete(fm.RMW(op.Addr, op.AOp, op.Value, op.Compare))
+		default:
+			th.Complete(0)
+		}
+	}
+}
+
+func TestThreadRendezvous(t *testing.T) {
+	fm := memdata.New()
+	var got uint64
+	th := NewCPUThread(0, func(c *CPUThread) {
+		c.Store(8, 42)
+		got = c.Load(8)
+		c.Compute(10)
+	})
+	ops := drive(t, th, fm)
+	if got != 42 {
+		t.Fatalf("load = %d, want 42", got)
+	}
+	if len(ops) != 3 || ops[0].Kind != OpStore || ops[1].Kind != OpLoad || ops[2].Kind != OpCompute {
+		t.Fatalf("ops = %+v", ops)
+	}
+}
+
+func TestAtomicHelpers(t *testing.T) {
+	fm := memdata.New()
+	var adds, cas, exch uint64
+	th := NewCPUThread(1, func(c *CPUThread) {
+		adds = c.AtomicAdd(0, 5)   // 0 → 5
+		cas = c.AtomicCAS(0, 5, 9) // 5 → 9
+		exch = c.AtomicExch(0, 1)  // 9 → 1
+	})
+	drive(t, th, fm)
+	if adds != 0 || cas != 5 || exch != 9 || fm.Read(0) != 1 {
+		t.Fatalf("adds=%d cas=%d exch=%d final=%d", adds, cas, exch, fm.Read(0))
+	}
+	if th.ID() != 1 {
+		t.Fatal("thread id lost")
+	}
+}
+
+func TestSpinUntil(t *testing.T) {
+	fm := memdata.New()
+	th := NewCPUThread(0, func(c *CPUThread) {
+		v := c.SpinUntil(16, func(v uint64) bool { return v >= 3 })
+		if v != 3 {
+			t.Errorf("spin returned %d", v)
+		}
+	})
+	polls := 0
+	for {
+		op, ok := th.NextOp()
+		if !ok {
+			break
+		}
+		if op.Kind == OpLoad {
+			polls++
+			fm.RMW(op.Addr, memdata.AtomicAdd, 1, 0)
+			th.Complete(fm.Read(op.Addr))
+		} else {
+			th.Complete(0)
+		}
+	}
+	if polls != 3 {
+		t.Fatalf("polls = %d, want 3", polls)
+	}
+}
+
+func TestAbortUnblocksThread(t *testing.T) {
+	th := NewCPUThread(0, func(c *CPUThread) {
+		for {
+			c.Load(0) // would spin forever
+		}
+	})
+	if _, ok := th.NextOp(); !ok {
+		t.Fatal("no first op")
+	}
+	th.Abort()
+	th.Abort() // idempotent
+	// The goroutine unwinds via the abort sentinel; the ops channel
+	// closes, so NextOp reports completion.
+	if _, ok := th.NextOp(); ok {
+		t.Fatal("aborted thread issued another op")
+	}
+}
+
+func TestDMAOps(t *testing.T) {
+	th := NewCPUThread(0, func(c *CPUThread) {
+		c.DMAIn(0x100, 256)
+		c.DMAOut(0x200, 128)
+	})
+	op1, _ := th.NextOp()
+	th.Complete(0)
+	op2, _ := th.NextOp()
+	th.Complete(0)
+	th.NextOp()
+	if op1.Kind != OpDMA || !op1.DMAWrite || op1.DMABytes != 256 || op1.Addr != 0x100 {
+		t.Fatalf("op1 = %+v", op1)
+	}
+	if op2.Kind != OpDMA || op2.DMAWrite || op2.DMABytes != 128 {
+		t.Fatalf("op2 = %+v", op2)
+	}
+}
+
+func TestLaunchAndWait(t *testing.T) {
+	k := &Kernel{Name: "k", Workgroups: 1, WavesPerWG: 1}
+	var handle *KernelHandle
+	th := NewCPUThread(0, func(c *CPUThread) {
+		h := c.Launch(k)
+		c.Wait(h)
+		handle = h
+	})
+	op, _ := th.NextOp()
+	if op.Kind != OpLaunch || op.Kernel != k {
+		t.Fatalf("op = %+v", op)
+	}
+	op.Handle.CompleteKernel()
+	th.Complete(0)
+	op2, _ := th.NextOp()
+	if op2.Kind != OpWait {
+		t.Fatalf("op2 = %+v", op2)
+	}
+	if !op2.Handle.Done() {
+		t.Fatal("handle should be done")
+	}
+	fired := false
+	op2.Handle.OnDone(func() { fired = true })
+	if !fired {
+		t.Fatal("OnDone on a completed handle must fire immediately")
+	}
+	th.Complete(0)
+	th.NextOp()
+	if handle == nil || !handle.Done() {
+		t.Fatal("wait did not observe completion")
+	}
+}
+
+func TestKernelHandleWaiters(t *testing.T) {
+	h := &KernelHandle{}
+	n := 0
+	h.OnDone(func() { n++ })
+	h.OnDone(func() { n++ })
+	if n != 0 {
+		t.Fatal("waiters fired early")
+	}
+	h.CompleteKernel()
+	if n != 2 {
+		t.Fatalf("waiters fired %d times", n)
+	}
+}
+
+func TestWaveRendezvous(t *testing.T) {
+	fm := memdata.New()
+	fm.Write(0, 11)
+	fm.Write(8, 22)
+	var vals []uint64
+	w := NewWave(0, 1, 2, func(wv *Wave) {
+		vals = wv.VecLoad([]memdata.Addr{0, 8})
+		wv.Store(16, vals[0]+vals[1])
+		wv.Barrier()
+		wv.Compute(5)
+	})
+	if w.WG != 0 || w.Lane != 1 || w.Global != 2 {
+		t.Fatal("wave ids wrong")
+	}
+	for {
+		op, ok := w.NextOp()
+		if !ok {
+			break
+		}
+		switch op.Kind {
+		case WaveVecLoad:
+			out := make([]uint64, len(op.Addrs))
+			for i, a := range op.Addrs {
+				out[i] = fm.Read(a)
+			}
+			w.Complete(out)
+		case WaveVecStore:
+			for i, a := range op.Addrs {
+				fm.Write(a, op.Values[i])
+			}
+			w.Complete(nil)
+		default:
+			w.Complete(nil)
+		}
+	}
+	if vals[0] != 11 || vals[1] != 22 || fm.Read(16) != 33 {
+		t.Fatalf("vals=%v sum=%d", vals, fm.Read(16))
+	}
+}
+
+func TestVecStoreLengthMismatchPanics(t *testing.T) {
+	w := NewWave(0, 0, 0, func(wv *Wave) {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched VecStore did not panic")
+			}
+		}()
+		wv.VecStore([]memdata.Addr{0, 8}, []uint64{1})
+	})
+	for {
+		if _, ok := w.NextOp(); !ok {
+			break
+		}
+		w.Complete(nil)
+	}
+}
+
+func TestWaveAtomicsAndAbort(t *testing.T) {
+	w := NewWave(0, 0, 0, func(wv *Wave) {
+		wv.AtomicSysAdd(0, 1)
+		wv.AtomicDevAdd(8, 2)
+		wv.Load(16) // aborted here
+	})
+	op, _ := w.NextOp()
+	if op.Kind != WaveAtomicSys || op.Operand != 1 {
+		t.Fatalf("op = %+v", op)
+	}
+	w.Complete([]uint64{0})
+	op, _ = w.NextOp()
+	if op.Kind != WaveAtomicDev || op.Operand != 2 {
+		t.Fatalf("op = %+v", op)
+	}
+	w.Complete([]uint64{0})
+	if _, ok := w.NextOp(); !ok {
+		t.Fatal("expected the load op")
+	}
+	w.Abort()
+	if _, ok := w.NextOp(); ok {
+		t.Fatal("aborted wave issued another op")
+	}
+}
+
+func TestArena(t *testing.T) {
+	a := NewArena(0x1000)
+	p1 := a.Alloc(10)
+	p2 := a.Alloc(100)
+	p3 := a.AllocWords(4)
+	if p1 != 0x1000 {
+		t.Fatalf("p1 = %#x", p1)
+	}
+	if p2%64 != 0 || p2 <= p1 {
+		t.Fatalf("p2 = %#x not line-aligned after p1", p2)
+	}
+	if p3%64 != 0 || p3 < p2+100 {
+		t.Fatalf("p3 = %#x", p3)
+	}
+}

@@ -1,0 +1,143 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All components of the simulated APU schedule work on a single Engine.
+// Events are ordered by tick; events scheduled for the same tick execute
+// in the order they were scheduled (a stable sequence number breaks ties),
+// which makes every simulation run bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Tick is the simulation time unit. One tick is one CPU clock cycle
+// (3.5 GHz in the paper's configuration); slower clock domains schedule
+// events at multiples of the tick.
+type Tick uint64
+
+// Event is a unit of scheduled work.
+type Event struct {
+	when Tick
+	seq  uint64
+	fn   func()
+}
+
+// When reports the tick at which the event fires.
+func (e *Event) When() Tick { return e.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event scheduler. The zero value is not usable;
+// create one with NewEngine.
+type Engine struct {
+	now     Tick
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// MaxTicks aborts the run when exceeded (0 means no limit). It is a
+	// safety net against livelocked protocols or non-terminating spins.
+	MaxTicks Tick
+
+	executed uint64
+}
+
+// NewEngine returns an empty engine at tick 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation tick.
+func (e *Engine) Now() Tick { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule runs fn after delay ticks (0 means "later this tick", after
+// events already queued for the current tick).
+func (e *Engine) Schedule(delay Tick, fn func()) *Event {
+	ev := &Event{when: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// At runs fn at absolute tick t, which must not be in the past.
+func (e *Engine) At(t Tick, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Run executes events until the queue drains, Stop is called, or MaxTicks
+// is exceeded. It returns an error only on tick-limit exhaustion, which
+// indicates a protocol deadlock or a runaway workload.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		e.now = ev.when
+		if e.MaxTicks != 0 && e.now > e.MaxTicks {
+			return fmt.Errorf("sim: exceeded MaxTicks=%d with %d events pending", e.MaxTicks, len(e.queue)+1)
+		}
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		e.executed++
+	}
+	return nil
+}
+
+// Cancel prevents a scheduled event from firing. Safe to call on events
+// that already fired.
+func (e *Engine) Cancel(ev *Event) {
+	if ev != nil {
+		ev.fn = nil
+	}
+}
+
+// Ticker invokes fn every period ticks until fn returns false.
+func (e *Engine) Ticker(period Tick, fn func() bool) {
+	if period == 0 {
+		panic("sim: zero ticker period")
+	}
+	var step func()
+	step = func() {
+		if fn() {
+			e.Schedule(period, step)
+		}
+	}
+	e.Schedule(period, step)
+}

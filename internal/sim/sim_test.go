@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func() { order = append(order, 2) })
+	e.Schedule(5, func() { order = append(order, 1) })
+	e.Schedule(10, func() { order = append(order, 3) }) // same tick: FIFO
+	e.Schedule(20, func() { order = append(order, 4) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", e.Now())
+	}
+	if e.Executed() != 4 {
+		t.Fatalf("Executed = %d, want 4", e.Executed())
+	}
+}
+
+func TestSameTickFIFOWithinHandler(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(1, func() {
+		e.Schedule(0, func() { order = append(order, 2) })
+		order = append(order, 1)
+	})
+	e.Schedule(1, func() { order = append(order, 3) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The zero-delay event scheduled from inside a tick-1 handler runs
+	// after events already queued for tick 1.
+	if order[0] != 1 || order[1] != 3 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestAtAbsolute(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(42, func() { fired = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired || e.Now() != 42 {
+		t.Fatalf("fired=%v now=%d", fired, e.Now())
+	}
+}
+
+func TestAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(5, func() { fired = true })
+	e.Cancel(ev)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	e.Cancel(ev) // double-cancel is safe
+	e.Cancel(nil)
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(1, func() { n++; e.Stop() })
+	e.Schedule(2, func() { n++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", n)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestMaxTicks(t *testing.T) {
+	e := NewEngine()
+	e.MaxTicks = 100
+	var loop func()
+	loop = func() { e.Schedule(10, loop) }
+	e.Schedule(10, loop)
+	if err := e.Run(); err == nil {
+		t.Fatal("expected MaxTicks error")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Ticker(10, func() bool {
+		n++
+		return n < 5
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("ticker fired %d times, want 5", n)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now = %d, want 50", e.Now())
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero ticker period did not panic")
+		}
+	}()
+	NewEngine().Ticker(0, func() bool { return false })
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		var order []int
+		for i := 0; i < 100; i++ {
+			i := i
+			e.Schedule(Tick(i%7), func() { order = append(order, i) })
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

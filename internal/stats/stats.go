@@ -1,0 +1,128 @@
+// Package stats collects named counters for simulation components.
+//
+// Every controller owns a *Scope; scopes roll up into a Registry that the
+// benchmark harness formats into the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing statistic.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Name returns the fully qualified counter name.
+func (c *Counter) Name() string { return c.name }
+
+// Scope is a named group of counters (one per component instance).
+type Scope struct {
+	prefix   string
+	registry *Registry
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// Counter returns (creating if needed) the counter with the given short
+// name within this scope.
+func (s *Scope) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: s.prefix + "." + name}
+	s.counters[name] = c
+	s.registry.all = append(s.registry.all, c)
+	return c
+}
+
+// Registry owns all scopes for a simulation run.
+type Registry struct {
+	scopes   map[string]*Scope
+	all      []*Counter
+	allHists []*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{scopes: make(map[string]*Scope)}
+}
+
+// Scope returns (creating if needed) the scope with the given prefix.
+func (r *Registry) Scope(prefix string) *Scope {
+	if s, ok := r.scopes[prefix]; ok {
+		return s
+	}
+	s := &Scope{prefix: prefix, registry: r, counters: make(map[string]*Counter)}
+	r.scopes[prefix] = s
+	return s
+}
+
+// Get returns the value of a fully qualified counter name, or 0 if the
+// counter was never created.
+func (r *Registry) Get(fullName string) uint64 {
+	dot := strings.LastIndex(fullName, ".")
+	if dot < 0 {
+		return 0
+	}
+	s, ok := r.scopes[fullName[:dot]]
+	if !ok {
+		return 0
+	}
+	c, ok := s.counters[fullName[dot+1:]]
+	if !ok {
+		return 0
+	}
+	return c.Value()
+}
+
+// Sum adds up counter short-name `name` across every scope whose prefix
+// begins with scopePrefix.
+func (r *Registry) Sum(scopePrefix, name string) uint64 {
+	var total uint64
+	for p, s := range r.scopes {
+		if !strings.HasPrefix(p, scopePrefix) {
+			continue
+		}
+		if c, ok := s.counters[name]; ok {
+			total += c.Value()
+		}
+	}
+	return total
+}
+
+// Snapshot returns all counters as a sorted name→value map.
+func (r *Registry) Snapshot() map[string]uint64 {
+	m := make(map[string]uint64, len(r.all))
+	for _, c := range r.all {
+		m[c.name] = c.v
+	}
+	return m
+}
+
+// Dump renders every counter, sorted by name, one per line.
+func (r *Registry) Dump() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-48s %12d\n", n, snap[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Scope("dir").Counter("probes")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d, want 5", c.Value())
+	}
+	if c.Name() != "dir.probes" {
+		t.Fatalf("name = %q", c.Name())
+	}
+}
+
+func TestScopeAndCounterReuse(t *testing.T) {
+	r := NewRegistry()
+	a := r.Scope("cp0").Counter("loads")
+	b := r.Scope("cp0").Counter("loads")
+	if a != b {
+		t.Fatal("same scope/counter returned distinct objects")
+	}
+	a.Inc()
+	if r.Get("cp0.loads") != 1 {
+		t.Fatalf("Get = %d, want 1", r.Get("cp0.loads"))
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	r := NewRegistry()
+	if r.Get("nope.counter") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	if r.Get("malformed") != 0 {
+		t.Fatal("malformed name should read 0")
+	}
+	r.Scope("a").Counter("x").Inc()
+	if r.Get("a.y") != 0 {
+		t.Fatal("missing counter in existing scope should read 0")
+	}
+}
+
+func TestSumAcrossScopes(t *testing.T) {
+	r := NewRegistry()
+	r.Scope("cp0").Counter("loads").Add(3)
+	r.Scope("cp1").Counter("loads").Add(4)
+	r.Scope("gpu").Counter("loads").Add(100)
+	if got := r.Sum("cp", "loads"); got != 7 {
+		t.Fatalf("Sum(cp, loads) = %d, want 7", got)
+	}
+	if got := r.Sum("", "loads"); got != 107 {
+		t.Fatalf("Sum(all, loads) = %d, want 107", got)
+	}
+}
+
+func TestSnapshotAndDump(t *testing.T) {
+	r := NewRegistry()
+	r.Scope("z").Counter("b").Add(2)
+	r.Scope("a").Counter("c").Add(1)
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap["z.b"] != 2 || snap["a.c"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	d := r.Dump()
+	// Dump is sorted by name.
+	if strings.Index(d, "a.c") > strings.Index(d, "z.b") {
+		t.Fatalf("dump not sorted:\n%s", d)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Scope("dir").Histogram("txn_latency")
+	for _, v := range []uint64{1, 2, 3, 100, 200, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if h.Mean() < 217 || h.Mean() > 218 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	// p50 falls in the bucket containing 3 → upper bound ≥ 3.
+	if p := h.Percentile(50); p < 3 {
+		t.Fatalf("p50 ≤ %d, want ≥ 3", p)
+	}
+	if p := h.Percentile(100); p < 1000 {
+		t.Fatalf("p100 ≤ %d, want ≥ 1000", p)
+	}
+	if h.Percentile(-5) > h.Percentile(200) {
+		t.Fatal("clamping broken")
+	}
+	if !strings.Contains(h.String(), "dir.txn_latency") {
+		t.Fatalf("string = %q", h.String())
+	}
+	if !strings.Contains(r.DumpHistograms(), "n=6") {
+		t.Fatal("dump missing histogram")
+	}
+	// Same-name lookup returns the same histogram.
+	if r.Scope("dir").Histogram("txn_latency") != h {
+		t.Fatal("histogram not reused")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should be zero-valued")
+	}
+	if !strings.Contains(h.String(), "no samples") {
+		t.Fatal("empty string form")
+	}
+}

@@ -1,0 +1,106 @@
+package system
+
+import (
+	"fmt"
+
+	"hscsim/internal/cachearray"
+	"hscsim/internal/core"
+	"hscsim/internal/corepair"
+)
+
+// CheckCoherence validates protocol invariants at quiescence (no
+// transactions in flight):
+//
+//  1. Single-writer: at most one L2 holds a line Modified or Exclusive,
+//     and then no other L2 holds it at all.
+//  2. Single-owner: at most one L2 holds a line Owned.
+//  3. Tracking inclusion: every line cached in an L2 has a directory
+//     entry (tracking modes only).
+//  4. Tracking precision: a dirty line (M/E/O) is tracked in state O
+//     with the correct owner; an S-state entry has no M/E/O holder.
+//
+// TCC residency is intentionally not checked: VIPER clean evictions are
+// silent, so TCC sharer information is conservative by design.
+func (s *System) CheckCoherence() error {
+	for _, bank := range s.DirBanks {
+		if !bank.Idle() {
+			return fmt.Errorf("coherence check requires quiescence")
+		}
+	}
+	type holders struct {
+		me    []int // pairs holding M or E
+		owned []int // pairs holding O
+		any   []int
+	}
+	lines := make(map[cachearray.LineAddr]*holders)
+	for p, cp := range s.CorePairs {
+		cp.ForEachL2Line(func(line cachearray.LineAddr, st corepair.MOESI) {
+			h := lines[line]
+			if h == nil {
+				h = &holders{}
+				lines[line] = h
+			}
+			h.any = append(h.any, p)
+			switch st {
+			case corepair.Modified, corepair.Exclusive:
+				h.me = append(h.me, p)
+			case corepair.Owned:
+				h.owned = append(h.owned, p)
+			}
+		})
+	}
+	tracking := s.Cfg.Protocol.Tracking != core.TrackNone
+	for line, h := range lines {
+		if len(h.me) > 1 {
+			return fmt.Errorf("line %#x: %d M/E holders", uint64(line), len(h.me))
+		}
+		if len(h.me) == 1 && len(h.any) > 1 {
+			return fmt.Errorf("line %#x: M/E in pair %d with %d total holders",
+				uint64(line), h.me[0], len(h.any))
+		}
+		if len(h.owned) > 1 {
+			return fmt.Errorf("line %#x: %d Owned holders", uint64(line), len(h.owned))
+		}
+		if !tracking {
+			continue
+		}
+		if s.Cfg.Protocol.ReadOnlyElision && s.lineIsReadOnly(line) {
+			// Read-only lines are intentionally untracked (§IX); they
+			// can only ever be Shared, which rule 1 already checked.
+			continue
+		}
+		state, owner, _ := s.BankFor(line).EntryState(line)
+		if state == "I" {
+			return fmt.Errorf("line %#x: cached in L2s %v but untracked (inclusion violated)",
+				uint64(line), h.any)
+		}
+		dirtyHolder := -1
+		if len(h.me) == 1 {
+			dirtyHolder = h.me[0]
+		} else if len(h.owned) == 1 {
+			dirtyHolder = h.owned[0]
+		}
+		if dirtyHolder >= 0 {
+			if state != "O" {
+				return fmt.Errorf("line %#x: dirty in pair %d but directory state %s",
+					uint64(line), dirtyHolder, state)
+			}
+			if owner != dirtyHolder {
+				return fmt.Errorf("line %#x: owner tracked as %d, actual %d",
+					uint64(line), owner, dirtyHolder)
+			}
+		} else if state == "S" {
+			// fine: clean sharers under an S entry
+		}
+	}
+	return nil
+}
+
+func (s *System) lineIsReadOnly(line cachearray.LineAddr) bool {
+	for _, r := range s.roRanges {
+		if r.Contains(line) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,333 @@
+// Package system assembles the full simulated APU — CorePairs, GPU,
+// DMA, system-level directory, LLC, interconnect and memory — from a
+// Config matching the paper's Tables II and III, and runs workloads on
+// it to completion.
+package system
+
+import (
+	"fmt"
+	"io"
+
+	"hscsim/internal/cachearray"
+	"hscsim/internal/core"
+	"hscsim/internal/corepair"
+	"hscsim/internal/cpu"
+	"hscsim/internal/dma"
+	"hscsim/internal/gpu"
+	"hscsim/internal/gpucache"
+	"hscsim/internal/memctrl"
+	"hscsim/internal/memdata"
+	"hscsim/internal/msg"
+	"hscsim/internal/noc"
+	"hscsim/internal/prog"
+	"hscsim/internal/sim"
+	"hscsim/internal/stats"
+	"hscsim/internal/trace"
+)
+
+// Config describes the whole APU plus the protocol variant under test.
+type Config struct {
+	NumCorePairs int // 4 (Table III)
+	CoresPerPair int // 2
+
+	CorePair corepair.Config
+	GPU      gpucache.Config
+	GPUDisp  gpu.Config
+	CPU      cpu.Config
+
+	Protocol core.Options
+	Timing   core.Timing
+	Geometry core.Geometry
+
+	NoC noc.Config
+	Mem memctrl.Config
+
+	// DirBanks distributes the system-level directory (and its LLC
+	// slice) over N address-interleaved banks (§VII future work:
+	// "the state-tracking directory can be made compatible with
+	// distributed directories"). Must be a power of two; 0/1 means the
+	// paper's single monolithic directory.
+	DirBanks int
+
+	// MaxTicks aborts deadlocked/runaway runs.
+	MaxTicks sim.Tick
+}
+
+// Default returns the paper's configuration (Tables II and III) with
+// the baseline protocol.
+func Default() Config {
+	return Config{
+		NumCorePairs: 4,
+		CoresPerPair: 2,
+		CorePair:     corepair.DefaultConfig(),
+		GPU:          gpucache.DefaultConfig(),
+		GPUDisp:      gpu.DefaultConfig(),
+		CPU:          cpu.DefaultConfig(),
+		Timing:       core.DefaultTiming(),
+		Geometry:     core.DefaultGeometry(),
+		NoC:          noc.DefaultConfig(),
+		Mem:          memctrl.DefaultConfig(),
+		MaxTicks:     2_000_000_000,
+	}
+}
+
+// Workload is a complete benchmark: per-thread CPU programs (thread 0
+// is the host and may launch kernels), optional functional-memory
+// initialization, and a result check.
+type Workload struct {
+	Name string
+	// Setup pre-initializes input data in functional memory (the part
+	// of the original benchmarks that runs before the region of
+	// interest).
+	Setup func(fm *memdata.Memory)
+	// Threads are the CPU thread programs; len(Threads) must not exceed
+	// NumCorePairs*CoresPerPair. Threads communicate only through
+	// simulated memory and kernel handles.
+	Threads []func(*prog.CPUThread)
+	// Verify checks the computed results in functional memory.
+	Verify func(fm *memdata.Memory) error
+	// ReadOnly declares byte ranges [start, end) that are never written
+	// during the run. With Protocol.ReadOnlyElision the directory
+	// serves them probe- and tracking-free (§IX future work).
+	ReadOnly [][2]memdata.Addr
+}
+
+// System is the assembled APU.
+type System struct {
+	Cfg      Config
+	Engine   *sim.Engine
+	Registry *stats.Registry
+	FuncMem  *memdata.Memory
+
+	IC        *noc.Interconnect
+	Mem       *memctrl.Controller
+	roRanges  []core.LineRange
+	Dir       *core.Directory // bank 0 (the whole directory when DirBanks ≤ 1)
+	DirBanks  []*core.Directory
+	CorePairs []*corepair.CorePair
+	Cores     []*cpu.Core
+	GPUCaches *gpucache.GPUCaches
+	GPU       *gpu.Dispatcher
+	DMA       *dma.Engine
+}
+
+// Node-ID layout: L2s occupy 0..n-1; TCC banks, DMA, the directory
+// request port, then one node per directory bank.
+func nodeLayout(nPairs, nTCCs int) (l2s, tccs []msg.NodeID, dmaID, dir msg.NodeID) {
+	for i := 0; i < nPairs; i++ {
+		l2s = append(l2s, msg.NodeID(i))
+	}
+	for t := 0; t < nTCCs; t++ {
+		tccs = append(tccs, msg.NodeID(nPairs+t))
+	}
+	return l2s, tccs, msg.NodeID(nPairs + nTCCs), msg.NodeID(nPairs + nTCCs + 1)
+}
+
+// dirBankFor routes a line to its directory bank: interleaved on
+// 64-line (4 KB) superblocks so each bank's set index still sees the
+// full low-order address entropy.
+func dirBankFor(line cachearray.LineAddr, banks int) int {
+	if banks <= 1 {
+		return 0
+	}
+	return int((uint64(line) >> 6) % uint64(banks))
+}
+
+// BankFor returns the directory bank responsible for a line.
+func (s *System) BankFor(line cachearray.LineAddr) *core.Directory {
+	return s.DirBanks[dirBankFor(line, len(s.DirBanks))]
+}
+
+// dirRouter demultiplexes directory-bound requests to their bank with
+// zero added latency (the banks themselves pay the directory latency).
+type dirRouter struct {
+	banks []*core.Directory
+}
+
+func (r *dirRouter) Receive(m *msg.Message) {
+	r.banks[dirBankFor(m.Addr, len(r.banks))].Receive(m)
+}
+
+// New assembles a System.
+func New(cfg Config) *System {
+	engine := sim.NewEngine()
+	engine.MaxTicks = cfg.MaxTicks
+	reg := stats.NewRegistry()
+	fm := memdata.New()
+
+	ic := noc.New(engine, cfg.NoC, reg.Scope("noc"))
+	mem := memctrl.New(engine, cfg.Mem, reg.Scope("mem"))
+
+	nTCCs := cfg.GPU.NumTCCs
+	if nTCCs < 1 {
+		nTCCs = 1
+	}
+	l2IDs, tccIDs, dmaID, dirID := nodeLayout(cfg.NumCorePairs, nTCCs)
+
+	s := &System{
+		Cfg:      cfg,
+		Engine:   engine,
+		Registry: reg,
+		FuncMem:  fm,
+		IC:       ic,
+		Mem:      mem,
+	}
+
+	banks := cfg.DirBanks
+	if banks < 1 {
+		banks = 1
+	}
+	if banks&(banks-1) != 0 {
+		panic(fmt.Sprintf("system: DirBanks=%d is not a power of two", banks))
+	}
+	bankGeo := cfg.Geometry
+	bankGeo.LLCSizeBytes /= banks
+	bankGeo.DirEntries /= banks
+	for b := 0; b < banks; b++ {
+		dirScope, llcScope := "dir", "llc"
+		bankID := dirID
+		if banks > 1 {
+			dirScope, llcScope = fmt.Sprintf("dir%d", b), fmt.Sprintf("llc%d", b)
+			bankID = dirID + 1 + msg.NodeID(b)
+		}
+		bank := core.NewDirectory(engine, ic, mem, fm, core.DirectoryConfig{
+			ID: bankID, L2s: l2IDs, TCCs: tccIDs,
+			Opts: cfg.Protocol, Timing: cfg.Timing, Geo: bankGeo,
+		}, reg.Scope(dirScope), reg.Scope(llcScope))
+		ic.Register(bankID, bank)
+		s.DirBanks = append(s.DirBanks, bank)
+	}
+	s.Dir = s.DirBanks[0]
+	if banks > 1 {
+		// Requesters address the directory port; the router hands each
+		// line to its bank inline.
+		ic.Register(dirID, &dirRouter{banks: s.DirBanks})
+	}
+
+	gcfg := cfg.GPU
+	gcfg.NumCUs = cfg.GPUDisp.NumCUs
+	gcfg.NumTCCs = nTCCs
+	s.GPUCaches = gpucache.New(engine, ic, tccIDs, dirID, fm, gcfg, reg.Scope("gpu"))
+	s.GPU = gpu.New(engine, s.GPUCaches, fm, cfg.GPUDisp, reg.Scope("gpudisp"))
+	s.DMA = dma.New(engine, ic, dmaID, dirID, reg.Scope("dma"))
+
+	// Code regions live high in the address space, far from data.
+	const codeBase = memdata.Addr(0xF000_0000)
+	for p := 0; p < cfg.NumCorePairs; p++ {
+		pair := corepair.New(engine, ic, l2IDs[p], dirID, cfg.CorePair,
+			reg.Scope(fmt.Sprintf("cp%d", p)))
+		s.CorePairs = append(s.CorePairs, pair)
+		for c := 0; c < cfg.CoresPerPair; c++ {
+			coreIdx := p*cfg.CoresPerPair + c
+			base := codeBase + memdata.Addr(coreIdx)*0x10000
+			s.Cores = append(s.Cores, cpu.New(engine, pair, c, fm, s.GPU, s.DMA,
+				cfg.CPU, base, reg.Scope(fmt.Sprintf("core%d", coreIdx))))
+		}
+	}
+	return s
+}
+
+// TraceTo streams every interconnect message of subsequent runs to w as
+// JSON lines (see internal/trace); pass nil to stop tracing.
+func (s *System) TraceTo(w io.Writer) {
+	if w == nil {
+		s.IC.SetTracer(nil)
+		return
+	}
+	tw := trace.NewWriter(w)
+	s.IC.SetTracer(func(t sim.Tick, m *msg.Message) {
+		// Encoding errors surface at analysis time; tracing must never
+		// perturb the run.
+		_ = tw.Write(trace.FromMessage(t, m))
+	})
+}
+
+// Results summarizes a run with the metrics the paper's figures report.
+type Results struct {
+	Name   string
+	Config string
+
+	Cycles     uint64 // simulated ticks (CPU cycles) — Figs. 4 and 6
+	MemReads   uint64 // directory→memory reads — Fig. 5
+	MemWrites  uint64 // directory→memory writes — Fig. 5
+	ProbesSent uint64 // probes out of the directory — Fig. 7
+	LLCHits    uint64
+	NoCBytes   uint64
+
+	Stats map[string]uint64
+}
+
+// MemAccesses is reads+writes (Fig. 5's bar height).
+func (r Results) MemAccesses() uint64 { return r.MemReads + r.MemWrites }
+
+// Run executes the workload to completion and returns measured results.
+// It errors if the run exceeds MaxTicks, a thread never finishes, or
+// verification fails.
+func (s *System) Run(w Workload) (Results, error) {
+	if len(w.Threads) > len(s.Cores) {
+		return Results{}, fmt.Errorf("system: workload %q wants %d threads, have %d cores",
+			w.Name, len(w.Threads), len(s.Cores))
+	}
+	if w.Setup != nil {
+		w.Setup(s.FuncMem)
+	}
+	if len(w.ReadOnly) > 0 {
+		s.roRanges = s.roRanges[:0]
+		for _, r := range w.ReadOnly {
+			if r[1] <= r[0] {
+				return Results{}, fmt.Errorf("system: workload %q has an empty read-only range %v", w.Name, r)
+			}
+			s.roRanges = append(s.roRanges, core.LineRange{
+				First: cachearray.LineAddr(r[0] >> 6),
+				Last:  cachearray.LineAddr((r[1] - 1) >> 6),
+			})
+		}
+		for _, bank := range s.DirBanks {
+			bank.SetReadOnly(s.roRanges)
+		}
+	}
+
+	finished := 0
+	threads := make([]*prog.CPUThread, len(w.Threads))
+	for i, fn := range w.Threads {
+		threads[i] = prog.NewCPUThread(i, fn)
+	}
+	defer func() {
+		for _, t := range threads {
+			t.Abort()
+		}
+	}()
+	for i, t := range threads {
+		s.Cores[i].Run(t, func() { finished++ })
+	}
+
+	if err := s.Engine.Run(); err != nil {
+		return Results{}, fmt.Errorf("system: workload %q: %w", w.Name, err)
+	}
+	if finished != len(w.Threads) {
+		return Results{}, fmt.Errorf("system: workload %q deadlocked: %d/%d threads finished",
+			w.Name, finished, len(w.Threads))
+	}
+	for b, bank := range s.DirBanks {
+		if !bank.Idle() {
+			return Results{}, fmt.Errorf("system: workload %q left directory bank %d transactions in flight", w.Name, b)
+		}
+	}
+	if w.Verify != nil {
+		if err := w.Verify(s.FuncMem); err != nil {
+			return Results{}, fmt.Errorf("system: workload %q failed verification: %w", w.Name, err)
+		}
+	}
+
+	return Results{
+		Name:       w.Name,
+		Config:     s.Cfg.Protocol.Named(),
+		Cycles:     uint64(s.Engine.Now()),
+		MemReads:   s.Mem.Reads(),
+		MemWrites:  s.Mem.Writes(),
+		ProbesSent: s.Registry.Sum("dir", "probes_sent"),
+		LLCHits:    s.Registry.Sum("llc", "read_hits"),
+		NoCBytes:   s.Registry.Get("noc.bytes"),
+		Stats:      s.Registry.Snapshot(),
+	}, nil
+}
