@@ -1,0 +1,34 @@
+// Command hsclint runs the project's static-analysis rules (see
+// internal/lint) over the given package patterns:
+//
+//	go run ./cmd/hsclint ./...
+//
+// It exits non-zero if any rule fires.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hscsim/internal/lint"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := lint.Check(pkgs, lint.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hsclint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

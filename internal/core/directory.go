@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"hscsim/internal/cachearray"
-	"hscsim/internal/memctrl"
 	"hscsim/internal/memdata"
 	"hscsim/internal/msg"
 	"hscsim/internal/noc"
@@ -18,8 +18,8 @@ import (
 // (the only path to memory in the system).
 type Directory struct {
 	engine  *sim.Engine
-	ic      *noc.Interconnect
-	mem     *memctrl.Controller
+	ic      noc.Fabric
+	mem     MemPort
 	funcMem *memdata.Memory
 	opts    Options
 	timing  Timing
@@ -100,7 +100,7 @@ type DirectoryConfig struct {
 
 // NewDirectory creates the directory, its LLC, and (in tracking modes)
 // the directory cache.
-func NewDirectory(engine *sim.Engine, ic *noc.Interconnect, mem *memctrl.Controller,
+func NewDirectory(engine *sim.Engine, ic noc.Fabric, mem MemPort,
 	fm *memdata.Memory, cfg DirectoryConfig, sc *stats.Scope, llcScope *stats.Scope) *Directory {
 
 	d := &Directory{
@@ -213,7 +213,7 @@ func (d *Directory) Receive(m *msg.Message) {
 		d.handleUnblock(m)
 	default:
 		if !m.Type.IsRequest() {
-			panic(fmt.Sprintf("core: directory received %s", m))
+			d.violate("dispatch", m.Addr, m.TxnID, m, "directory received a non-request message")
 		}
 		d.enqueue(m)
 	}
@@ -303,7 +303,7 @@ func (d *Directory) beginStateless(t *txn) {
 		d.maybeProgress(t)
 
 	default:
-		panic(fmt.Sprintf("core: unexpected request %s", m))
+		d.violate("dispatch", t.addr, t.id, m, "request type not handled by the stateless directory")
 	}
 }
 
@@ -370,7 +370,7 @@ func (d *Directory) handleAck(m *msg.Message) {
 		if t != nil {
 			have = fmt.Sprintf("txn id=%d type=%s pendingAcks=%d", t.id, t.req.Type, t.pendingAcks)
 		}
-		panic(fmt.Sprintf("core: stray probe ack %s ackTxn=%d have=%s", m, m.TxnID, have))
+		d.violate("stray-probe-ack", m.Addr, m.TxnID, m, "ack for "+have)
 	}
 	d.acksRecv.Inc()
 	t.pendingAcks--
@@ -386,7 +386,7 @@ func (d *Directory) handleAck(m *msg.Message) {
 func (d *Directory) handleUnblock(m *msg.Message) {
 	t := d.txns[m.Addr]
 	if t == nil {
-		panic(fmt.Sprintf("core: stray unblock %s", m))
+		d.violate("stray-unblock", m.Addr, m.TxnID, m, "no transaction in flight for the line")
 	}
 	t.unblocked = true
 	d.maybeProgress(t)
@@ -472,7 +472,7 @@ func (d *Directory) buildResponse(t *txn) *msg.Message {
 	case msg.Flush:
 		out.Type = msg.FlushAck
 	default:
-		panic(fmt.Sprintf("core: no response for %s", m))
+		d.violate("dispatch", t.addr, t.id, m, "no response defined for request type")
 	}
 	return out
 }
@@ -610,3 +610,30 @@ func (d *Directory) LLCDirty(addr cachearray.LineAddr) bool { return d.llc.dirty
 
 // Idle reports whether the directory has no in-flight transactions.
 func (d *Directory) Idle() bool { return len(d.txns) == 0 && len(d.pend) == 0 }
+
+// LineBusy reports whether a transaction is in flight (or queued) for
+// addr (checker/oracle hook: stable-state invariants are only asserted
+// on quiescent lines).
+func (d *Directory) LineBusy(addr cachearray.LineAddr) bool {
+	return d.txns[addr] != nil || len(d.pend[addr]) > 0
+}
+
+// LineFingerprint renders the directory's complete per-line state —
+// in-flight transaction flags, queued request types, tracking entry and
+// LLC state — as a canonical string for the model checker's state hash.
+func (d *Directory) LineFingerprint(addr cachearray.LineAddr) string {
+	var b strings.Builder
+	if t := d.txns[addr]; t != nil {
+		fmt.Fprintf(&b, "txn(%s,%d,a%d,r%t,c%t,mi%t,md%t,u%t,nu%t,nd%t,dfc%t,da%t,dg%t,fs%t,ev%t,id%d)",
+			t.req.Type, t.req.Src, t.pendingAcks, t.responded, t.completed, t.memIssued, t.memDone,
+			t.unblocked, t.needUnblock, t.needData, t.dataFromCache, t.dirtyAck, t.downgrade,
+			t.forceShared, t.eviction, t.id)
+	}
+	for _, m := range d.pend[addr] {
+		fmt.Fprintf(&b, "+%s<%d", m.Type, m.Src)
+	}
+	st, owner, sharers := d.EntryState(addr)
+	fmt.Fprintf(&b, "|%s,%d,%#x", st, owner, sharers)
+	fmt.Fprintf(&b, "|llc%t%t", d.llc.present(addr), d.llc.dirtyLine(addr))
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"hscsim/internal/msg"
+)
+
+// TestEntryStateUntracked: without a tracking directory there is no
+// entry array; the introspection hooks must say so rather than lie.
+func TestEntryStateUntracked(t *testing.T) {
+	r := newRig(t, Options{}, testGeo())
+	r.l2a.send(msg.RdBlk, 0x20)
+	r.run()
+	if st, owner, sharers := r.dir.EntryState(0x20); st != "untracked" || owner != -1 || sharers != 0 {
+		t.Fatalf("EntryState = %q,%d,%#x; want untracked,-1,0", st, owner, sharers)
+	}
+	if n := r.dir.DirOccupancy(); n != 0 {
+		t.Fatalf("DirOccupancy = %d, want 0", n)
+	}
+}
+
+// TestEntryStateTracksProtocolActivity walks a line through the
+// tracked-directory states and checks EntryState/DirOccupancy reflect
+// each step: read → S with the reader as sharer, write by the other L2
+// → O owned by the writer, and a second line bumps occupancy.
+func TestEntryStateTracksProtocolActivity(t *testing.T) {
+	r := newRig(t, Options{Tracking: TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true}, testGeo())
+
+	if st, _, _ := r.dir.EntryState(0x20); st != "I" {
+		t.Fatalf("initial EntryState = %q, want I", st)
+	}
+	if n := r.dir.DirOccupancy(); n != 0 {
+		t.Fatalf("initial DirOccupancy = %d, want 0", n)
+	}
+
+	// RdBlkS: shared-only grant → S entry (a plain RdBlk would be
+	// granted Exclusive and conservatively tracked as O).
+	r.l2a.send(msg.RdBlkS, 0x20)
+	r.run()
+	st, _, sharers := r.dir.EntryState(0x20)
+	if st != "S" {
+		t.Fatalf("after read: EntryState = %q, want S", st)
+	}
+	if sharers&1 == 0 {
+		t.Fatalf("after read by L2 0: sharers = %#x, want bit 0 set", sharers)
+	}
+	if n := r.dir.DirOccupancy(); n != 1 {
+		t.Fatalf("after read: DirOccupancy = %d, want 1", n)
+	}
+
+	r.l2b.hasLine[0x20] = false
+	r.l2a.hasLine[0x20] = false
+	r.l2b.send(msg.RdBlkM, 0x20)
+	r.run()
+	st, owner, _ := r.dir.EntryState(0x20)
+	if st != "O" {
+		t.Fatalf("after write: EntryState = %q, want O", st)
+	}
+	if owner != 1 {
+		t.Fatalf("after write by L2 1: owner = %d, want 1", owner)
+	}
+	if n := r.dir.DirOccupancy(); n != 1 {
+		t.Fatalf("after write to same line: DirOccupancy = %d, want 1", n)
+	}
+
+	r.l2a.send(msg.RdBlk, 0x40)
+	r.run()
+	if n := r.dir.DirOccupancy(); n != 2 {
+		t.Fatalf("after second line: DirOccupancy = %d, want 2", n)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"hscsim/internal/cachearray"
-	"hscsim/internal/memctrl"
 	"hscsim/internal/stats"
 )
 
@@ -19,7 +18,7 @@ type llcMeta struct {
 type llc struct {
 	arr  *cachearray.Array[llcMeta]
 	opts Options
-	mem  *memctrl.Controller
+	mem  MemPort
 
 	reads      *stats.Counter
 	readHits   *stats.Counter
@@ -27,7 +26,7 @@ type llc struct {
 	dirtyEvict *stats.Counter
 }
 
-func newLLC(geo Geometry, opts Options, mem *memctrl.Controller, sc *stats.Scope) *llc {
+func newLLC(geo Geometry, opts Options, mem MemPort, sc *stats.Scope) *llc {
 	return &llc{
 		arr: cachearray.New[llcMeta](cachearray.Config{
 			SizeBytes: geo.LLCSizeBytes,

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"hscsim/internal/cachearray"
 	"hscsim/internal/msg"
 )
@@ -68,8 +66,7 @@ func (d *Directory) beginReadOnly(t *txn) {
 		d.respondAndFinish(t, msg.WBAck)
 
 	default:
-		panic(fmt.Sprintf("core: %s to read-only line %#x — the workload violated its read-only guarantee",
-			m.Type, uint64(t.addr)))
+		d.violate("read-only", t.addr, t.id, m, "write-class request to a declared read-only line — the workload violated its guarantee")
 	}
 }
 

@@ -71,8 +71,15 @@ func TestReadOnlyWritePanics(t *testing.T) {
 		if rec == nil {
 			t.Fatal("write to a read-only line did not panic")
 		}
-		if !strings.Contains(rec.(string), "read-only") {
-			t.Fatalf("panic = %v", rec)
+		v, ok := rec.(*ProtocolViolation)
+		if !ok {
+			t.Fatalf("panic value %T, want *ProtocolViolation", rec)
+		}
+		if v.Rule != "read-only" || v.Line != 0x150 {
+			t.Fatalf("violation = %v", v)
+		}
+		if !strings.Contains(v.Error(), "read-only") {
+			t.Fatalf("report lacks rule name: %s", v)
 		}
 	}()
 	r.l2a.send(msg.RdBlkM, 0x150)

@@ -66,6 +66,8 @@ func (c *t1cache) Receive(m *msg.Message) {
 			c.ic.Send(&msg.Message{Type: msg.Unblock, Addr: m.Addr, Src: c.id, Dst: m.Src, TxnID: m.TxnID})
 		}
 	case msg.WBAck, msg.AtomicResp, msg.FlushAck:
+	default:
+		// The Table 1 rig never receives requests or raw data messages.
 	}
 }
 

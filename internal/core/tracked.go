@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"hscsim/internal/cachearray"
 	"hscsim/internal/msg"
 )
@@ -50,7 +48,7 @@ func (d *Directory) beginTracked(t *txn) {
 		}, false)
 
 	default:
-		panic(fmt.Sprintf("core: unexpected tracked request %s", t.req))
+		d.violate("dispatch", t.addr, t.id, t.req, "request type not handled by the tracked directory")
 	}
 }
 

@@ -99,7 +99,7 @@ type mshrEntry struct {
 // CorePair is the two-core CPU cluster cache subsystem.
 type CorePair struct {
 	engine *sim.Engine
-	ic     *noc.Interconnect
+	ic     noc.Fabric
 	cfg    Config
 	id     msg.NodeID // the L2's node on the interconnect
 	dirID  msg.NodeID
@@ -108,8 +108,9 @@ type CorePair struct {
 	l1d [2]*cachearray.Array[struct{}]
 	l1i *cachearray.Array[struct{}]
 
-	mshr map[cachearray.LineAddr]*mshrEntry
-	wb   map[cachearray.LineAddr]bool // victim buffer: line → dirty
+	mshr   map[cachearray.LineAddr]*mshrEntry
+	wb     map[cachearray.LineAddr]bool     // victim buffer: line → dirty
+	wbWait map[cachearray.LineAddr][]waiter // accesses stalled on an outstanding writeback
 
 	loads      *stats.Counter
 	stores     *stats.Counter
@@ -121,11 +122,12 @@ type CorePair struct {
 	vicDirty   *stats.Counter
 	probesRecv *stats.Counter
 	probeHits  *stats.Counter
+	wbStalls   *stats.Counter
 	missLat    *stats.Histogram
 }
 
 // New creates a CorePair attached to the interconnect at node id.
-func New(engine *sim.Engine, ic *noc.Interconnect, id, dirID msg.NodeID, cfg Config, sc *stats.Scope) *CorePair {
+func New(engine *sim.Engine, ic noc.Fabric, id, dirID msg.NodeID, cfg Config, sc *stats.Scope) *CorePair {
 	cp := &CorePair{
 		engine: engine,
 		ic:     ic,
@@ -138,6 +140,7 @@ func New(engine *sim.Engine, ic *noc.Interconnect, id, dirID msg.NodeID, cfg Con
 			SizeBytes: cfg.L1ISizeBytes, Assoc: cfg.L1IAssoc, BlockSize: cfg.BlockSize}, nil),
 		mshr:       make(map[cachearray.LineAddr]*mshrEntry),
 		wb:         make(map[cachearray.LineAddr]bool),
+		wbWait:     make(map[cachearray.LineAddr][]waiter),
 		loads:      sc.Counter("loads"),
 		stores:     sc.Counter("stores"),
 		l1Hits:     sc.Counter("l1_hits"),
@@ -148,6 +151,7 @@ func New(engine *sim.Engine, ic *noc.Interconnect, id, dirID msg.NodeID, cfg Con
 		vicDirty:   sc.Counter("vic_dirty"),
 		probesRecv: sc.Counter("probes_received"),
 		probeHits:  sc.Counter("probe_hits"),
+		wbStalls:   sc.Counter("wb_stalls"),
 		missLat:    sc.Histogram("miss_latency"),
 	}
 	for i := range cp.l1d {
@@ -218,6 +222,16 @@ func (cp *CorePair) access(core int, kind AccessKind, line cachearray.LineAddr, 
 			return
 		}
 	}
+	if _, inWB := cp.wb[line]; inWB {
+		// The line sits in the victim buffer awaiting its WBAck.
+		// Re-acquiring it now would leave two live copies — a probe
+		// crossing the window would be answered from the stale victim
+		// while the refetched L2 copy kept its grant, breaking SWMR.
+		// Stall until the writeback acknowledgment retires the victim.
+		cp.wbStalls.Inc()
+		cp.wbWait[line] = append(cp.wbWait[line], waiter{core, kind, done})
+		return
+	}
 	cp.l2Misses.Inc()
 	var t msg.Type
 	switch {
@@ -250,6 +264,12 @@ func (cp *CorePair) Receive(m *msg.Message) {
 		cp.fill(m)
 	case msg.WBAck:
 		delete(cp.wb, m.Addr)
+		if ws := cp.wbWait[m.Addr]; len(ws) > 0 {
+			delete(cp.wbWait, m.Addr)
+			for _, w := range ws {
+				cp.access(w.core, w.kind, m.Addr, w.done)
+			}
+		}
 	case msg.PrbInv, msg.PrbDowngrade:
 		cp.probe(m)
 	default:
@@ -364,3 +384,25 @@ func (cp *CorePair) ForEachL2Line(fn func(line cachearray.LineAddr, st MOESI)) {
 
 // OutstandingMisses reports MSHR occupancy (quiesce checks).
 func (cp *CorePair) OutstandingMisses() int { return len(cp.mshr) }
+
+// WBState reports whether line sits in the victim buffer awaiting its
+// WBAck, and whether the buffered data is dirty (checker/oracle hook).
+func (cp *CorePair) WBState(line cachearray.LineAddr) (present, dirty bool) {
+	d, ok := cp.wb[line]
+	return ok, d
+}
+
+// MSHRWaiters reports the number of accesses parked on an outstanding
+// miss to line (checker hook).
+func (cp *CorePair) MSHRWaiters(line cachearray.LineAddr) int {
+	if e, ok := cp.mshr[line]; ok {
+		return len(e.waiters)
+	}
+	return 0
+}
+
+// WBWaiters reports the number of accesses stalled on line's
+// outstanding writeback (checker hook).
+func (cp *CorePair) WBWaiters(line cachearray.LineAddr) int {
+	return len(cp.wbWait[line])
+}

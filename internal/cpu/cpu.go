@@ -12,6 +12,7 @@ import (
 	"hscsim/internal/cachearray"
 	"hscsim/internal/corepair"
 	"hscsim/internal/memdata"
+	"hscsim/internal/msg"
 	"hscsim/internal/prog"
 	"hscsim/internal/sim"
 	"hscsim/internal/stats"
@@ -20,6 +21,25 @@ import (
 // Dispatcher launches GPU kernels on behalf of host threads.
 type Dispatcher interface {
 	Launch(k *prog.Kernel, h *prog.KernelHandle)
+}
+
+// Observer receives issue/retire notifications for the core's memory
+// operations. The runtime coherence oracle (internal/verify) attaches
+// here to check the data-value invariant: a load must observe a line
+// version at least as new as the line's version when the load issued.
+// node identifies the core's CorePair L2 on the interconnect.
+type Observer interface {
+	// LoadIssued fires when a load leaves the core; the returned token is
+	// handed back to LoadRetired (the oracle stores the issue-time line
+	// version in it).
+	LoadIssued(node msg.NodeID, line cachearray.LineAddr) (token uint64)
+	// LoadRetired fires when the load's value is bound.
+	LoadRetired(node msg.NodeID, line cachearray.LineAddr, token uint64)
+	// StoreRetired fires at the store's global serialization point: when
+	// the cache access that obtained write permission completes (for
+	// buffered stores, that is store-buffer drain, not retire into the
+	// buffer). Atomics count as stores.
+	StoreRetired(node msg.NodeID, line cachearray.LineAddr)
 }
 
 // DMAStreamer runs host-initiated DMA transfers.
@@ -42,6 +62,9 @@ type Config struct {
 	// from the buffer; atomics, DMA and kernel launches fence). 0 — the
 	// default — keeps fully blocking stores.
 	StoreBufferSize int
+	// Observer, when non-nil, receives issue/retire notifications
+	// (coherence-oracle hook).
+	Observer Observer
 }
 
 // DefaultConfig returns a 4 KB code footprint with 8-byte ops and a
@@ -136,6 +159,9 @@ func (c *Core) drain() {
 	s := c.sb[0]
 	c.pair.Access(c.slot, corepair.Store, line(s.addr), func() {
 		c.fm.Write(s.addr, s.val)
+		if obs := c.cfg.Observer; obs != nil {
+			obs.StoreRetired(c.pair.NodeID(), line(s.addr))
+		}
 		c.sb = c.sb[1:]
 		if fn := c.afterPop; fn != nil {
 			c.afterPop = nil
@@ -186,7 +212,14 @@ func (c *Core) exec(op prog.Op) {
 				}
 			}
 		}
+		var token uint64
+		if obs := c.cfg.Observer; obs != nil {
+			token = obs.LoadIssued(c.pair.NodeID(), line(op.Addr))
+		}
 		c.pair.Access(c.slot, corepair.Load, line(op.Addr), func() {
+			if obs := c.cfg.Observer; obs != nil {
+				obs.LoadRetired(c.pair.NodeID(), line(op.Addr), token)
+			}
 			c.resume(c.fm.Read(op.Addr))
 		})
 	case prog.OpStore:
@@ -206,6 +239,9 @@ func (c *Core) exec(op prog.Op) {
 		}
 		c.pair.Access(c.slot, corepair.Store, line(op.Addr), func() {
 			c.fm.Write(op.Addr, op.Value)
+			if obs := c.cfg.Observer; obs != nil {
+				obs.StoreRetired(c.pair.NodeID(), line(op.Addr))
+			}
 			c.resume(0)
 		})
 	case prog.OpAtomic:
@@ -213,7 +249,11 @@ func (c *Core) exec(op prog.Op) {
 		// line is held Modified. Atomics fence the store buffer.
 		c.whenDrained(func() {
 			c.pair.Access(c.slot, corepair.RMW, line(op.Addr), func() {
-				c.resume(c.fm.RMW(op.Addr, op.AOp, op.Value, op.Compare))
+				old := c.fm.RMW(op.Addr, op.AOp, op.Value, op.Compare)
+				if obs := c.cfg.Observer; obs != nil {
+					obs.StoreRetired(c.pair.NodeID(), line(op.Addr))
+				}
+				c.resume(old)
 			})
 		})
 	case prog.OpCompute:

@@ -19,7 +19,7 @@ import (
 // Engine is the DMA engine.
 type Engine struct {
 	engine *sim.Engine
-	ic     *noc.Interconnect
+	ic     noc.Fabric
 	id     msg.NodeID
 	dirID  msg.NodeID
 
@@ -31,7 +31,7 @@ type Engine struct {
 }
 
 // New creates a DMA engine at node id.
-func New(engine *sim.Engine, ic *noc.Interconnect, id, dirID msg.NodeID, sc *stats.Scope) *Engine {
+func New(engine *sim.Engine, ic noc.Fabric, id, dirID msg.NodeID, sc *stats.Scope) *Engine {
 	e := &Engine{
 		engine: engine, ic: ic, id: id, dirID: dirID,
 		rdWaiters: make(map[cachearray.LineAddr][]func()),

@@ -73,7 +73,7 @@ type gpuWaiter struct {
 // interface to the system-level directory.
 type GPUCaches struct {
 	engine  *sim.Engine
-	ic      *noc.Interconnect
+	ic      noc.Fabric
 	cfg     Config
 	ids     []msg.NodeID // one node per TCC bank
 	dirID   msg.NodeID
@@ -104,7 +104,7 @@ type GPUCaches struct {
 // New creates the GPU cache complex. ids carries one interconnect node
 // per TCC bank (len(ids) == max(cfg.NumTCCs, 1)); the Table II TCC
 // capacity is split across the banks.
-func New(engine *sim.Engine, ic *noc.Interconnect, ids []msg.NodeID, dirID msg.NodeID,
+func New(engine *sim.Engine, ic noc.Fabric, ids []msg.NodeID, dirID msg.NodeID,
 	fm *memdata.Memory, cfg Config, sc *stats.Scope) *GPUCaches {
 	if cfg.NumTCCs < 1 {
 		cfg.NumTCCs = 1
@@ -414,6 +414,20 @@ func (g *GPUCaches) Receive(m *msg.Message) {
 
 // TCCHas reports whether the owning TCC bank holds a line (test hook).
 func (g *GPUCaches) TCCHas(line cachearray.LineAddr) bool { return g.tccOf(line).Peek(line) != nil }
+
+// TCCDirty reports whether the owning TCC bank holds line dirty
+// (WB_L2 mode; checker hook).
+func (g *GPUCaches) TCCDirty(line cachearray.LineAddr) bool {
+	ln := g.tccOf(line).Peek(line)
+	return ln != nil && ln.Meta.Dirty
+}
+
+// PendingLine reports the per-line in-flight transaction counts
+// (checker fingerprint hook): read-miss waiters, unacknowledged
+// write-throughs, and outstanding atomics.
+func (g *GPUCaches) PendingLine(line cachearray.LineAddr) (mshrWaiters, wts, atomics int) {
+	return len(g.mshr[line]), len(g.wtAcks[line]), len(g.atomics[line])
+}
 
 // Outstanding reports in-flight TCC transactions (quiesce checks).
 func (g *GPUCaches) Outstanding() int {

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+const badPkg = "hscsim/internal/lint/testdata/bad"
+
+func loadBad(t *testing.T) []*Package {
+	t.Helper()
+	pkgs, err := Load(".", badPkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return pkgs
+}
+
+// countBy tallies diagnostics per analyzer.
+func countBy(diags []Diagnostic) map[string]int {
+	n := make(map[string]int)
+	for _, d := range diags {
+		n[d.Analyzer]++
+	}
+	return n
+}
+
+func TestMsgSwitchCatchesNonExhaustive(t *testing.T) {
+	diags := Check(loadBad(t), []*Analyzer{MsgSwitch})
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want exactly 1", diags)
+	}
+	m := diags[0].Message
+	for _, want := range []string{"PrbAck", "Resp", "VicDirty"} {
+		if !strings.Contains(m, want) {
+			t.Errorf("missing-type list lacks %s: %s", want, m)
+		}
+	}
+	for _, covered := range []string{"RdBlk,", "WT,"} {
+		if strings.Contains(m, covered) {
+			t.Errorf("covered type reported as missing: %s in %s", covered, m)
+		}
+	}
+}
+
+func TestMapLoopCatchesUnannotatedRange(t *testing.T) {
+	pkgs := loadBad(t)
+	// The testdata package is not on the real hot list; mark it hot for
+	// the duration of the test.
+	hotPackages[badPkg] = true
+	defer delete(hotPackages, badPkg)
+
+	diags := Check(pkgs, []*Analyzer{MapLoop})
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want exactly 1 (the annotated range must be suppressed)", diags)
+	}
+	if !strings.Contains(diags[0].Message, "map iteration") {
+		t.Fatalf("unexpected message: %s", diags[0].Message)
+	}
+}
+
+func TestMapLoopIgnoresColdPackages(t *testing.T) {
+	if diags := Check(loadBad(t), []*Analyzer{MapLoop}); len(diags) != 0 {
+		t.Fatalf("cold package reported: %v", diags)
+	}
+}
+
+func TestStatsRegCatchesUnassignedFields(t *testing.T) {
+	diags := Check(loadBad(t), []*Analyzer{StatsReg})
+	if len(diags) != 2 {
+		t.Fatalf("diags = %v, want exactly 2 (misses, lat)", diags)
+	}
+	joined := diags[0].Message + " " + diags[1].Message
+	if !strings.Contains(joined, "widget.misses") || !strings.Contains(joined, "widget.lat") {
+		t.Fatalf("wrong fields reported: %v", diags)
+	}
+	if strings.Contains(joined, "widget.hits") {
+		t.Fatalf("registered field reported: %v", diags)
+	}
+}
+
+// TestRepoIsClean is the enforcement test: the whole module must pass
+// every analyzer. It doubles as an integration test of the go-list
+// loader (export data, cross-package types).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load(".", "hscsim/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("only %d packages loaded — loader lost some", len(pkgs))
+	}
+	diags := Check(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if n := countBy(diags); len(n) > 0 {
+		t.Fatalf("per-analyzer counts: %v", n)
+	}
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deterministicMarker suppresses a maploop finding when it appears on
+// the range statement's line or the line above it — the author asserts
+// the loop body is insensitive to iteration order (commutative
+// accumulation, or keys sorted before use).
+const deterministicMarker = "hsclint:deterministic"
+
+// hotPackages are the packages on the simulation fast path, where map
+// iteration order would leak Go's randomized ordering into simulated
+// behavior and break run-to-run determinism (the model checker's
+// replay-based search and the determinism regression tests both depend
+// on it).
+var hotPackages = map[string]bool{
+	"hscsim/internal/sim":        true,
+	"hscsim/internal/core":       true,
+	"hscsim/internal/corepair":   true,
+	"hscsim/internal/gpucache":   true,
+	"hscsim/internal/cpu":        true,
+	"hscsim/internal/gpu":        true,
+	"hscsim/internal/dma":        true,
+	"hscsim/internal/noc":        true,
+	"hscsim/internal/memctrl":    true,
+	"hscsim/internal/system":     true,
+	"hscsim/internal/cachearray": true,
+	"hscsim/internal/prog":       true,
+}
+
+// MapLoop flags `range` over map values in simulator hot-path packages.
+var MapLoop = &Analyzer{
+	Name: "maploop",
+	Doc:  "no raw map iteration in simulator hot paths (nondeterministic order)",
+	Run:  runMapLoop,
+}
+
+func runMapLoop(p *Pass) {
+	if !hotPackages[p.Pkg.PkgPath] {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		marked := make(map[int]bool)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, deterministicMarker) {
+					marked[p.Pkg.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Pkg.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := p.Pkg.Fset.Position(rs.Pos()).Line
+			if marked[line] || marked[line-1] {
+				return true
+			}
+			p.Report(rs.Pos(),
+				"map iteration order is randomized and this package is on the simulator hot path; iterate sorted keys, or annotate //%s if order provably cannot matter",
+				deterministicMarker)
+			return true
+		})
+	}
+}

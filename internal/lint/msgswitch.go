@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+const msgPkgPath = "hscsim/internal/msg"
+
+// MsgSwitch requires every switch over msg.Type to either enumerate all
+// message types or carry a default clause. The protocol controllers
+// dispatch on msg.Type; a new message type that falls through an
+// unlisted switch silently vanishes, which manifests as a hung
+// transaction far from the bug.
+var MsgSwitch = &Analyzer{
+	Name: "msgswitch",
+	Doc:  "switches on msg.Type must be exhaustive or have a default clause",
+	Run:  runMsgSwitch,
+}
+
+func runMsgSwitch(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := msgTypeOf(p, sw.Tag)
+			if named == nil {
+				return true
+			}
+			covered := make(map[int64]bool)
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				if cc.List == nil {
+					return true // default clause present
+				}
+				for _, e := range cc.List {
+					if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil {
+						if v, exact := constant.Int64Val(tv.Value); exact {
+							covered[v] = true
+						}
+					}
+				}
+			}
+			var missing []string
+			seen := make(map[int64]bool)
+			scope := named.Obj().Pkg().Scope()
+			for _, name := range scope.Names() {
+				c, ok := scope.Lookup(name).(*types.Const)
+				if !ok || !types.Identical(c.Type(), named) {
+					continue
+				}
+				v, _ := constant.Int64Val(c.Val())
+				if !covered[v] && !seen[v] {
+					seen[v] = true
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				p.Report(sw.Pos(),
+					"switch on msg.Type is not exhaustive and has no default clause: missing %s",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// msgTypeOf returns the named type of e if it is msg.Type.
+func msgTypeOf(p *Pass, e ast.Expr) *types.Named {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Type" || obj.Pkg() == nil || obj.Pkg().Path() != msgPkgPath {
+		return nil
+	}
+	return named
+}

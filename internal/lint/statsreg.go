@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const statsPkgPath = "hscsim/internal/stats"
+
+// StatsReg requires every *stats.Counter / *stats.Histogram struct
+// field to be assigned somewhere in its defining package. The stats
+// types are registered through Scope.Counter / Scope.Histogram in a
+// component's constructor; a field that is declared but never wired up
+// is a nil pointer that crashes the first time the component counts
+// something — typically only under a protocol variant the smoke tests
+// don't cover.
+var StatsReg = &Analyzer{
+	Name: "statsreg",
+	Doc:  "every stats.Counter/Histogram struct field must be registered",
+	Run:  runStatsReg,
+}
+
+func runStatsReg(p *Pass) {
+	// Every stats-typed field declared by a struct in this package.
+	declared := make(map[*types.Var]bool)
+	scope := p.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); isStatsHandle(f.Type()) {
+				declared[f] = true
+			}
+		}
+	}
+	if len(declared) == 0 {
+		return
+	}
+
+	// Every field set via composite literal key or selector assignment.
+	assigned := make(map[*types.Var]bool)
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				// Struct-literal keys resolve to the field object.
+				if id, ok := n.Key.(*ast.Ident); ok {
+					if f, ok := p.Pkg.Info.Uses[id].(*types.Var); ok {
+						assigned[f] = true
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok {
+						if s := p.Pkg.Info.Selections[sel]; s != nil {
+							if f, ok := s.Obj().(*types.Var); ok {
+								assigned[f] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if declared[f] && !assigned[f] {
+				p.Report(f.Pos(),
+					"stats field %s.%s is never assigned — register it via Scope.%s in the constructor",
+					name, f.Name(), statsKind(f.Type()))
+			}
+		}
+	}
+}
+
+// isStatsHandle reports whether t is *stats.Counter or *stats.Histogram.
+func isStatsHandle(t types.Type) bool { return statsKind(t) != "" }
+
+func statsKind(t types.Type) string {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != statsPkgPath {
+		return ""
+	}
+	switch obj.Name() {
+	case "Counter", "Histogram":
+		return obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,53 @@
+// Package bad deliberately violates every hsclint rule; it lives under
+// testdata so wildcard patterns (and therefore builds, vet and the CI
+// lint sweep) skip it, and only internal/lint's tests load it.
+package bad
+
+import (
+	"hscsim/internal/msg"
+	"hscsim/internal/stats"
+)
+
+// classify switches on msg.Type without a default and without covering
+// every type → msgswitch.
+func classify(t msg.Type) int {
+	switch t {
+	case msg.RdBlk:
+		return 1
+	case msg.WT:
+		return 2
+	}
+	return 0
+}
+
+// widget declares stats fields its constructor never registers →
+// statsreg (misses and lat; hits is fine).
+type widget struct {
+	hits   *stats.Counter
+	misses *stats.Counter
+	lat    *stats.Histogram
+}
+
+func newWidget(sc *stats.Scope) *widget {
+	return &widget{hits: sc.Counter("hits")}
+}
+
+// sum ranges over a map unannotated → maploop (when the test marks this
+// package hot). The second loop carries the suppression marker and an
+// order-insensitive body, so it must NOT be reported.
+func sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	for k := range m { //hsclint:deterministic — max is order-free
+		if k > total {
+			total = k
+		}
+	}
+	return total
+}
+
+var _ = classify
+var _ = newWidget
+var _ = sum

@@ -74,8 +74,9 @@ func (t Type) IsRequest() bool {
 	switch t {
 	case RdBlk, RdBlkS, RdBlkM, VicDirty, VicClean, WT, Atomic, Flush, DMARd, DMAWr:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // NeedsInvProbe reports whether t is a write-permission request that
@@ -85,8 +86,9 @@ func (t Type) NeedsInvProbe() bool {
 	switch t {
 	case RdBlkM, WT, Atomic, DMAWr:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // Grant is the permission granted by a directory response.

@@ -26,6 +26,20 @@ type HandlerFunc func(m *msg.Message)
 // Receive calls f(m).
 func (f HandlerFunc) Receive(m *msg.Message) { f(m) }
 
+// Fabric is the interface cache controllers use to reach the
+// interconnect. The production implementation is *Interconnect; the
+// model checker in internal/verify substitutes a fabric that buffers
+// in-flight messages so delivery order can be explored exhaustively.
+type Fabric interface {
+	Register(id msg.NodeID, h Handler)
+	Send(m *msg.Message)
+}
+
+// DeliveryHook observes every message just after the destination
+// handler has processed it. The runtime coherence oracle attaches here
+// to cross-check cache states against a golden functional memory.
+type DeliveryHook func(t sim.Tick, m *msg.Message)
+
 // Config sets interconnect timing.
 type Config struct {
 	// Latency is the one-way message latency in ticks (CPU cycles).
@@ -45,11 +59,12 @@ type Tracer func(t sim.Tick, m *msg.Message)
 
 // Interconnect is a crossbar connecting registered nodes.
 type Interconnect struct {
-	engine   *sim.Engine
-	cfg      Config
-	handlers map[msg.NodeID]Handler
-	portFree map[msg.NodeID]sim.Tick
-	tracer   Tracer
+	engine     *sim.Engine
+	cfg        Config
+	handlers   map[msg.NodeID]Handler
+	portFree   map[msg.NodeID]sim.Tick
+	tracer     Tracer
+	onDelivery DeliveryHook
 
 	msgs      *stats.Counter
 	bytes     *stats.Counter
@@ -87,6 +102,11 @@ func (ic *Interconnect) Register(id msg.NodeID, h Handler) {
 // SetTracer installs (or, with nil, removes) a message tracer.
 func (ic *Interconnect) SetTracer(t Tracer) { ic.tracer = t }
 
+// SetDeliveryHook installs (or, with nil, removes) a post-delivery
+// observer. The hook runs after the destination handler returns, so it
+// sees the receiver's state with the message already applied.
+func (ic *Interconnect) SetDeliveryHook(h DeliveryHook) { ic.onDelivery = h }
+
 // Send delivers m to m.Dst after the configured latency, counting
 // traffic by class.
 func (ic *Interconnect) Send(m *msg.Message) {
@@ -104,6 +124,8 @@ func (ic *Interconnect) Send(m *msg.Message) {
 		ic.probes.Inc()
 	case msg.PrbAck:
 		ic.probeAcks.Inc()
+	default:
+		// Only probe traffic is classified separately.
 	}
 	if m.Bytes() == msg.DataBytes {
 		ic.dataMsgs.Inc()
@@ -118,5 +140,10 @@ func (ic *Interconnect) Send(m *msg.Message) {
 		occupancy := sim.Tick((m.Bytes() + ic.cfg.WidthBytes - 1) / ic.cfg.WidthBytes)
 		ic.portFree[m.Src] = depart + occupancy
 	}
-	ic.engine.At(depart+ic.cfg.Latency, func() { h.Receive(m) })
+	ic.engine.At(depart+ic.cfg.Latency, func() {
+		h.Receive(m)
+		if ic.onDelivery != nil {
+			ic.onDelivery(ic.engine.Now(), m)
+		}
+	})
 }

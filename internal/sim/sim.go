@@ -120,6 +120,26 @@ func (e *Engine) Run() error {
 	return nil
 }
 
+// Step executes exactly one event (skipping cancelled entries) and
+// returns true, or returns false when the queue is empty. It is the
+// single-step primitive the model checker (internal/verify) uses to
+// drain handler cascades under an event budget; Run is Step in a loop.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		e.now = ev.when
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		e.executed++
+		return true
+	}
+	return false
+}
+
 // Cancel prevents a scheduled event from firing. Safe to call on events
 // that already fired.
 func (e *Engine) Cancel(ev *Event) {

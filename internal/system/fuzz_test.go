@@ -91,6 +91,7 @@ func TestFuzzProtocolInvariants(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/seed%d", opts.Named(), seed), func(t *testing.T) {
 				cfg := smallConfig(opts)
 				cfg.MaxTicks = 50_000_000
+				cfg.Oracle = true // cross-check every delivery against the golden mirror
 				s := system.New(cfg)
 				if _, err := s.Run(randomWorkload(seed, 8)); err != nil {
 					t.Fatal(err)

@@ -2,6 +2,7 @@ package system
 
 import (
 	"fmt"
+	"sort"
 
 	"hscsim/internal/cachearray"
 	"hscsim/internal/core"
@@ -50,7 +51,14 @@ func (s *System) CheckCoherence() error {
 		})
 	}
 	tracking := s.Cfg.Protocol.Tracking != core.TrackNone
-	for line, h := range lines {
+	// Sorted sweep so the first violation reported is deterministic.
+	order := make([]cachearray.LineAddr, 0, len(lines))
+	for line := range lines { //hsclint:deterministic — sorted below
+		order = append(order, line)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, line := range order {
+		h := lines[line]
 		if len(h.me) > 1 {
 			return fmt.Errorf("line %#x: %d M/E holders", uint64(line), len(h.me))
 		}

@@ -1,0 +1,56 @@
+package system_test
+
+import (
+	"testing"
+
+	"hscsim/internal/core"
+	"hscsim/internal/system"
+)
+
+// TestOracleTransparent: the runtime coherence oracle must observe the
+// run (non-zero checks) without perturbing it — identical cycle counts
+// and statistics with the oracle on and off.
+func TestOracleTransparent(t *testing.T) {
+	opts := core.Options{Tracking: core.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true}
+	run := func(oracle bool) (system.Results, uint64) {
+		cfg := smallConfig(opts)
+		cfg.Oracle = oracle
+		s := system.New(cfg)
+		res, err := s.Run(randomWorkload(7, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, s.OracleChecks()
+	}
+	plain, zero := run(false)
+	checked, n := run(true)
+	if zero != 0 {
+		t.Fatalf("oracle off but %d checks recorded", zero)
+	}
+	if n == 0 {
+		t.Fatal("oracle on but performed no checks")
+	}
+	if plain.Cycles != checked.Cycles {
+		t.Fatalf("oracle perturbed timing: %d vs %d cycles", plain.Cycles, checked.Cycles)
+	}
+	for k, v := range plain.Stats {
+		if checked.Stats[k] != v {
+			t.Fatalf("oracle perturbed stat %s: %d vs %d", k, v, checked.Stats[k])
+		}
+	}
+	t.Logf("oracle performed %d checks", n)
+}
+
+// TestOracleOnBankedDirectoryRejected: the oracle's directory
+// cross-checks assume the monolithic directory.
+func TestOracleOnBankedDirectoryRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Oracle with DirBanks > 1")
+		}
+	}()
+	cfg := smallConfig(core.Options{})
+	cfg.DirBanks = 4
+	cfg.Oracle = true
+	system.New(cfg)
+}

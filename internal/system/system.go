@@ -23,6 +23,7 @@ import (
 	"hscsim/internal/sim"
 	"hscsim/internal/stats"
 	"hscsim/internal/trace"
+	"hscsim/internal/verify"
 )
 
 // Config describes the whole APU plus the protocol variant under test.
@@ -48,6 +49,14 @@ type Config struct {
 	// distributed directories"). Must be a power of two; 0/1 means the
 	// paper's single monolithic directory.
 	DirBanks int
+
+	// Oracle attaches the runtime coherence oracle (internal/verify):
+	// every message delivery is cross-checked against a golden version
+	// mirror, and Run fails with a *core.ProtocolViolation error on the
+	// first SWMR, data-value or directory-consistency breach. Requires
+	// the monolithic directory (DirBanks ≤ 1). Simulation results are
+	// unchanged; expect a constant-factor slowdown.
+	Oracle bool
 
 	// MaxTicks aborts deadlocked/runaway runs.
 	MaxTicks sim.Tick
@@ -109,6 +118,9 @@ type System struct {
 	GPUCaches *gpucache.GPUCaches
 	GPU       *gpu.Dispatcher
 	DMA       *dma.Engine
+
+	oracle     *verify.Oracle
+	oracleViol *core.ProtocolViolation
 }
 
 // Node-ID layout: L2s occupy 0..n-1; TCC banks, DMA, the directory
@@ -217,6 +229,28 @@ func New(cfg Config) *System {
 		pair := corepair.New(engine, ic, l2IDs[p], dirID, cfg.CorePair,
 			reg.Scope(fmt.Sprintf("cp%d", p)))
 		s.CorePairs = append(s.CorePairs, pair)
+	}
+	if cfg.Oracle {
+		if banks > 1 {
+			panic("system: Oracle requires the monolithic directory (DirBanks <= 1)")
+		}
+		s.oracle = verify.NewOracle(verify.OracleConfig{
+			Engine: engine,
+			CPUs:   s.CorePairs,
+			GPU:    s.GPUCaches,
+			Dir:    s.Dir,
+			Opts:   cfg.Protocol,
+			Report: func(v *core.ProtocolViolation) {
+				if s.oracleViol == nil {
+					s.oracleViol = v
+				}
+			},
+		})
+		ic.SetDeliveryHook(s.oracle.OnDeliver)
+		cfg.CPU.Observer = s.oracle
+	}
+	for p := 0; p < cfg.NumCorePairs; p++ {
+		pair := s.CorePairs[p]
 		for c := 0; c < cfg.CoresPerPair; c++ {
 			coreIdx := p*cfg.CoresPerPair + c
 			base := codeBase + memdata.Addr(coreIdx)*0x10000
@@ -225,6 +259,15 @@ func New(cfg Config) *System {
 		}
 	}
 	return s
+}
+
+// OracleChecks reports how many line-state checks the coherence oracle
+// has performed (0 when Config.Oracle is off).
+func (s *System) OracleChecks() uint64 {
+	if s.oracle == nil {
+		return 0
+	}
+	return s.oracle.Checks()
 }
 
 // TraceTo streams every interconnect message of subsequent runs to w as
@@ -304,6 +347,9 @@ func (s *System) Run(w Workload) (Results, error) {
 	if err := s.Engine.Run(); err != nil {
 		return Results{}, fmt.Errorf("system: workload %q: %w", w.Name, err)
 	}
+	if s.oracleViol != nil {
+		return Results{}, fmt.Errorf("system: workload %q: coherence oracle: %w", w.Name, s.oracleViol)
+	}
 	if finished != len(w.Threads) {
 		return Results{}, fmt.Errorf("system: workload %q deadlocked: %d/%d threads finished",
 			w.Name, finished, len(w.Threads))
@@ -311,6 +357,11 @@ func (s *System) Run(w Workload) (Results, error) {
 	for b, bank := range s.DirBanks {
 		if !bank.Idle() {
 			return Results{}, fmt.Errorf("system: workload %q left directory bank %d transactions in flight", w.Name, b)
+		}
+	}
+	if s.oracle != nil {
+		if v := s.oracle.CheckFinal(); v != nil {
+			return Results{}, fmt.Errorf("system: workload %q: coherence oracle: %w", w.Name, v)
 		}
 	}
 	if w.Verify != nil {

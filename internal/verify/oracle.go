@@ -1,0 +1,354 @@
+// Package verify is the protocol-correctness toolkit: a runtime
+// coherence oracle that cross-checks cache states against a golden
+// version mirror after every message delivery, and an exhaustive model
+// checker (checker.go) that drives small configurations through every
+// interleaving of message delivery, memory completion and operation
+// issue.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"hscsim/internal/cachearray"
+	"hscsim/internal/core"
+	"hscsim/internal/corepair"
+	"hscsim/internal/gpucache"
+	"hscsim/internal/msg"
+	"hscsim/internal/sim"
+)
+
+// copyState mirrors one CPU L2's view of a line: whether the oracle
+// believes the cache holds it, and the version of the data it holds.
+type copyState struct {
+	valid bool
+	ver   uint64
+}
+
+// OracleConfig wires the oracle to a simulated system.
+type OracleConfig struct {
+	Engine *sim.Engine
+	// CPUs lists the CorePair L2s in probe-target order.
+	CPUs []*corepair.CorePair
+	// GPU is the TCC complex; may be nil in CPU-only systems.
+	GPU  *gpucache.GPUCaches
+	Dir  *core.Directory
+	Opts core.Options
+	// Report receives violations; the default panics with the violation,
+	// matching the controllers' own defensive checks. The model checker
+	// substitutes a recorder.
+	Report func(v *core.ProtocolViolation)
+}
+
+// Oracle is the runtime coherence checker. It observes every message
+// delivery (noc.DeliveryHook) and every CPU load/store retirement
+// (cpu.Observer) and asserts:
+//
+//   - SWMR: at most one CPU L2 holds a line Exclusive/Modified, and an
+//     exclusive holder excludes all other CPU copies. (The TCC is
+//     exempt: VIPER allows stale GPU copies until an acquire.)
+//   - Data-value: a load retires with a line version at least as new as
+//     the line's global version when the load issued. Versions advance
+//     at store serialization points (CPU store/atomic retirement, WT /
+//     Atomic / DMA-write commits at the directory).
+//   - Mirror consistency: the oracle's message-derived mirror of each
+//     L2 agrees with the real cache (modulo victim-buffer windows).
+//   - Directory inclusivity (tracking modes, quiescent lines only):
+//     cached lines are tracked, exclusive holders are tracked as the
+//     owner, and a tracked owner actually holds the line.
+//
+// The version bookkeeping is deliberately conservative (monotone max
+// merges), so it never flags a legal execution; some exotic stale-data
+// bugs can slip through, but all the single-step mutations exercised by
+// the checker's negative tests are caught.
+type Oracle struct {
+	cfg       OracleConfig
+	cpuByNode map[msg.NodeID]*corepair.CorePair
+	cpuIndex  map[msg.NodeID]int // probe-target index
+
+	lineVer map[cachearray.LineAddr]uint64
+	homeVer map[cachearray.LineAddr]uint64
+	copies  map[msg.NodeID]map[cachearray.LineAddr]copyState
+
+	checks uint64
+}
+
+// NewOracle creates an oracle. Attach it with
+// ic.SetDeliveryHook(o.OnDeliver) and cpu.Config{Observer: o}.
+func NewOracle(cfg OracleConfig) *Oracle {
+	o := &Oracle{
+		cfg:       cfg,
+		cpuByNode: make(map[msg.NodeID]*corepair.CorePair),
+		cpuIndex:  make(map[msg.NodeID]int),
+		lineVer:   make(map[cachearray.LineAddr]uint64),
+		homeVer:   make(map[cachearray.LineAddr]uint64),
+		copies:    make(map[msg.NodeID]map[cachearray.LineAddr]copyState),
+	}
+	for i, cp := range cfg.CPUs {
+		o.cpuByNode[cp.NodeID()] = cp
+		o.cpuIndex[cp.NodeID()] = i
+		o.copies[cp.NodeID()] = make(map[cachearray.LineAddr]copyState)
+	}
+	if o.cfg.Report == nil {
+		o.cfg.Report = func(v *core.ProtocolViolation) { panic(v) }
+	}
+	return o
+}
+
+// Checks returns the number of per-delivery invariant sweeps performed.
+func (o *Oracle) Checks() uint64 { return o.checks }
+
+func (o *Oracle) isCPU(n msg.NodeID) bool { _, ok := o.cpuByNode[n]; return ok }
+
+// mergeHome folds a surrendered CPU copy's version into the home
+// (LLC/memory) version. Clean copies never exceed homeVer, so the max
+// is exact for dirty data and a no-op for clean data.
+func (o *Oracle) mergeHome(n msg.NodeID, line cachearray.LineAddr) {
+	if c := o.copies[n][line]; c.valid && c.ver > o.homeVer[line] {
+		o.homeVer[line] = c.ver
+	}
+}
+
+// serializeWrite advances the line version for a write that commits at
+// the directory (WT, system-scope atomic, DMA write) and makes home
+// current.
+func (o *Oracle) serializeWrite(line cachearray.LineAddr) {
+	o.lineVer[line]++
+	o.homeVer[line] = o.lineVer[line]
+}
+
+// OnDeliver implements noc.DeliveryHook: the destination handler has
+// already processed m.
+func (o *Oracle) OnDeliver(_ sim.Tick, m *msg.Message) {
+	switch m.Type {
+	case msg.Flush, msg.FlushAck:
+		return // no line association
+	case msg.Resp:
+		if o.isCPU(m.Dst) {
+			o.copies[m.Dst][m.Addr] = copyState{valid: true, ver: o.homeVer[m.Addr]}
+		}
+	case msg.PrbInv:
+		if o.isCPU(m.Dst) {
+			o.mergeHome(m.Dst, m.Addr)
+			delete(o.copies[m.Dst], m.Addr)
+		}
+	case msg.PrbDowngrade:
+		if o.isCPU(m.Dst) {
+			o.mergeHome(m.Dst, m.Addr)
+		}
+	case msg.VicDirty, msg.VicClean:
+		if o.isCPU(m.Src) {
+			o.mergeHome(m.Src, m.Addr)
+			delete(o.copies[m.Src], m.Addr)
+		}
+	case msg.WBAck:
+		// A WBAck to the TCC commits a write-through; to the DMA engine,
+		// a DMA write. To a CPU it merely retires a victim (whose version
+		// was merged when the VicDirty/VicClean was delivered).
+		if !o.isCPU(m.Dst) {
+			o.serializeWrite(m.Addr)
+		}
+	case msg.AtomicResp:
+		o.serializeWrite(m.Addr)
+	default:
+		// Requests and remaining replies don't move the version mirror;
+		// they still trigger the line-state check below.
+	}
+	o.checkLine(m.Addr, m)
+}
+
+// LoadIssued implements cpu.Observer: the token is the line version at
+// issue time.
+func (o *Oracle) LoadIssued(_ msg.NodeID, line cachearray.LineAddr) uint64 {
+	return o.lineVer[line]
+}
+
+// LoadRetired implements cpu.Observer: the core's copy must be at least
+// as new as the line was when the load issued.
+func (o *Oracle) LoadRetired(node msg.NodeID, line cachearray.LineAddr, token uint64) {
+	c := o.copies[node][line]
+	if c.valid && c.ver < token {
+		o.report("data-value", line, nil, fmt.Sprintf(
+			"load on node %d retired with version %d, but the line was at version %d when the load issued",
+			node, c.ver, token))
+	}
+}
+
+// StoreRetired implements cpu.Observer: the store is the line's new
+// latest version and the storing cache holds it.
+func (o *Oracle) StoreRetired(node msg.NodeID, line cachearray.LineAddr) {
+	o.lineVer[line]++
+	if c := o.copies[node][line]; c.valid {
+		o.copies[node][line] = copyState{valid: true, ver: o.lineVer[line]}
+	}
+	// A probe that raced the retirement leaves the mirror invalid; the
+	// version bump alone keeps later checks sound.
+}
+
+// checkLine sweeps the per-delivery invariants for one line.
+func (o *Oracle) checkLine(line cachearray.LineAddr, m *msg.Message) {
+	o.checks++
+
+	// SWMR over the CPU L2s.
+	exclusive, valid := 0, 0
+	for _, cp := range o.cfg.CPUs {
+		switch cp.L2State(line) {
+		case corepair.Exclusive, corepair.Modified:
+			exclusive++
+			valid++
+		case corepair.Shared, corepair.Owned:
+			valid++
+		}
+	}
+	if exclusive > 1 || (exclusive == 1 && valid > 1) {
+		o.report("swmr", line, m, fmt.Sprintf(
+			"%d exclusive holder(s) among %d valid CPU copies", exclusive, valid))
+	}
+
+	// Mirror consistency.
+	for _, cp := range o.cfg.CPUs {
+		n := cp.NodeID()
+		real := cp.L2State(line) != corepair.Invalid
+		wb, _ := cp.WBState(line)
+		mirror := o.copies[n][line].valid
+		if real && !mirror {
+			o.report("mirror", line, m, fmt.Sprintf(
+				"node %d holds the line but the oracle never saw it filled", n))
+		}
+		if mirror && !real && !wb {
+			o.report("mirror", line, m, fmt.Sprintf(
+				"oracle believes node %d holds the line but it is neither cached nor in the victim buffer", n))
+		}
+	}
+
+	// Directory inclusivity (tracking modes, quiescent lines only:
+	// in-flight transactions legitimately pass through inconsistent
+	// transient states).
+	if o.cfg.Opts.Tracking != core.TrackNone && !o.cfg.Dir.LineBusy(line) {
+		st, owner, sharers := o.cfg.Dir.EntryState(line)
+		for _, cp := range o.cfg.CPUs {
+			n := cp.NodeID()
+			idx := o.cpuIndex[n]
+			cs := cp.L2State(line)
+			if cs == corepair.Invalid {
+				continue
+			}
+			if st == "I" {
+				o.report("inclusivity", line, m, fmt.Sprintf(
+					"node %d holds the line %s but the directory tracks nothing", n, cs))
+			}
+			if cs == corepair.Exclusive || cs == corepair.Modified {
+				if st != "O" || owner != idx {
+					o.report("inclusivity", line, m, fmt.Sprintf(
+						"node %d holds the line %s but the entry is %s with owner %d", n, cs, st, owner))
+				}
+			} else if o.cfg.Opts.Tracking == core.TrackOwnerSharers && o.cfg.Opts.LimitedPointers == 0 {
+				if owner != idx && sharers&(1<<uint(idx)) == 0 {
+					o.report("inclusivity", line, m, fmt.Sprintf(
+						"node %d holds the line %s but is neither owner nor sharer (entry %s owner=%d sharers=%#x)",
+						n, cs, st, owner, sharers))
+				}
+			}
+		}
+		if st == "O" {
+			ownerHolds := false
+			if owner >= 0 && owner < len(o.cfg.CPUs) {
+				cp := o.cfg.CPUs[owner]
+				wb, _ := cp.WBState(line)
+				ownerHolds = cp.L2State(line) != corepair.Invalid || wb
+			}
+			if !ownerHolds {
+				o.report("inclusivity", line, m, fmt.Sprintf(
+					"entry is O with owner %d but the owner holds nothing (not cached, not in the victim buffer)", owner))
+			}
+		}
+	}
+}
+
+// CheckFinal asserts the quiescent-state invariants once the system has
+// drained: every surviving CPU copy holds the line's latest version,
+// and untouched-by-any-cache lines have a current home. It returns the
+// first violation instead of reporting, so callers decide whether to
+// panic.
+func (o *Oracle) CheckFinal() *core.ProtocolViolation {
+	lines := make(map[cachearray.LineAddr]bool)
+	for l := range o.lineVer { //hsclint:deterministic — collected into a sorted slice
+		lines[l] = true
+	}
+	for _, byLine := range o.copies { //hsclint:deterministic — collected into a sorted slice
+		for l := range byLine { //hsclint:deterministic — collected into a sorted slice
+			lines[l] = true
+		}
+	}
+	sorted := make([]cachearray.LineAddr, 0, len(lines))
+	for l := range lines { //hsclint:deterministic — sorted below
+		sorted = append(sorted, l)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	for _, line := range sorted {
+		anyHolder := false
+		for _, cp := range o.cfg.CPUs {
+			n := cp.NodeID()
+			c := o.copies[n][line]
+			wb, _ := cp.WBState(line)
+			if c.valid || wb || cp.L2State(line) != corepair.Invalid {
+				anyHolder = true
+			}
+			if c.valid && c.ver != o.lineVer[line] {
+				return o.violation("final-stale-copy", line, nil, fmt.Sprintf(
+					"node %d still holds version %d of a line at version %d", n, c.ver, o.lineVer[line]))
+			}
+		}
+		if !anyHolder && o.homeVer[line] != o.lineVer[line] {
+			return o.violation("final-lost-write", line, nil, fmt.Sprintf(
+				"no cache holds the line but home is at version %d, latest is %d",
+				o.homeVer[line], o.lineVer[line]))
+		}
+	}
+	return nil
+}
+
+// violation builds a report with the full per-agent state dump.
+func (o *Oracle) violation(rule string, line cachearray.LineAddr, m *msg.Message, detail string) *core.ProtocolViolation {
+	v := &core.ProtocolViolation{
+		Rule:   rule,
+		Line:   line,
+		Detail: detail,
+	}
+	if o.cfg.Engine != nil {
+		v.Cycle = o.cfg.Engine.Now()
+	}
+	if m != nil {
+		v.Msg = m.String()
+		v.TxnID = m.TxnID
+	}
+	for i, cp := range o.cfg.CPUs {
+		n := cp.NodeID()
+		wb, wbDirty := cp.WBState(line)
+		c := o.copies[n][line]
+		v.States = append(v.States, core.AgentState{
+			Agent: fmt.Sprintf("l2[%d]", i),
+			State: fmt.Sprintf("state=%s wb=%v(dirty=%v) mirror={valid=%v ver=%d}",
+				cp.L2State(line), wb, wbDirty, c.valid, c.ver),
+		})
+	}
+	if o.cfg.GPU != nil {
+		v.States = append(v.States, core.AgentState{
+			Agent: "tcc",
+			State: fmt.Sprintf("present=%v dirty=%v", o.cfg.GPU.TCCHas(line), o.cfg.GPU.TCCDirty(line)),
+		})
+	}
+	if o.cfg.Dir != nil {
+		v.States = append(v.States, core.AgentState{Agent: "dir", State: o.cfg.Dir.LineFingerprint(line)})
+	}
+	v.States = append(v.States, core.AgentState{
+		Agent: "oracle",
+		State: fmt.Sprintf("lineVer=%d homeVer=%d", o.lineVer[line], o.homeVer[line]),
+	})
+	return v
+}
+
+func (o *Oracle) report(rule string, line cachearray.LineAddr, m *msg.Message, detail string) {
+	o.cfg.Report(o.violation(rule, line, m, detail))
+}
