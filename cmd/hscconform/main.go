@@ -1,0 +1,100 @@
+// Command hscconform runs the differential conformance matrix: every
+// CHAI workload under all six paper protocol variants, on monolithic
+// and 4-way-banked directories, with the runtime coherence oracle
+// attached — cross-checking that every cell converges to the identical
+// final memory image. It then differential-checks a batch of random
+// race-free multi-agent cases the same way; a failing case is shrunk
+// by the delta-debugging minimizer and printed as a replayable
+// per-agent program listing (convertible to an internal/verify checker
+// scenario).
+//
+// Usage:
+//
+//	hscconform [-quick] [-seed N] [-run bs,tq,...] [-cases N] [-threads N]
+//
+// -quick shrinks the workload scale and random-case batch for CI
+// per-push runs; the default (nightly) configuration runs the full
+// suite at evaluation scale. Exit status is nonzero on any failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hscsim/internal/chai"
+	"hscsim/internal/conform"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small scale and fewer random cases (per-push CI budget)")
+	seed := flag.Int64("seed", 0, "campaign seed: perturbs CHAI inputs and random cases (0 = paper inputs)")
+	run := flag.String("run", "", "comma-separated benchmark subset (default: the full CHAI suite)")
+	nCases := flag.Int("cases", -1, "random differential cases (-1 = 8 quick, 64 full)")
+	threads := flag.Int("threads", 0, "CPU worker threads per run (0 = 4 quick, 8 full)")
+	flag.Parse()
+
+	scale := 2
+	cases := 64
+	cpus := 8
+	if *quick {
+		scale, cases, cpus = 1, 8, 4
+	}
+	if *nCases >= 0 {
+		cases = *nCases
+	}
+	if *threads > 0 {
+		cpus = *threads
+	}
+	var benches []string
+	if *run != "" {
+		benches = strings.Split(*run, ",")
+	}
+
+	cells := conform.Cells(nil, nil) // all six variants × {monolithic, 4 banks}
+	fmt.Printf("conformance matrix: %d cells per workload (6 variants × {1,4} dir banks), scale=%d, threads=%d, seed=%d\n",
+		len(cells), scale, cpus, *seed)
+
+	failed := 0
+	start := time.Now()
+	_, failures := conform.Campaign(conform.CampaignConfig{
+		Benchmarks: benches,
+		Params:     chai.Params{Scale: scale, CPUThreads: cpus, Seed: *seed},
+		Log: func(format string, args ...interface{}) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	for _, f := range failures {
+		failed++
+		fmt.Fprintf(os.Stderr, "FAIL %v\n", f)
+	}
+	fmt.Printf("CHAI campaign done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("random-case differential: %d cases\n", cases)
+	for i := 0; i < cases; i++ {
+		caseSeed := *seed*1_000_003 + int64(i)
+		c := conform.RandomCase(caseSeed, 3, 24, 8)
+		fail := conform.DiffCase(c, cells, 0)
+		if fail == nil {
+			continue
+		}
+		failed++
+		fmt.Fprintf(os.Stderr, "FAIL %v\n", fail)
+		fails := func(cand conform.Case) bool { return conform.DiffCase(cand, cells, 0) != nil }
+		min := conform.Minimize(c, fails)
+		fmt.Fprintf(os.Stderr, "minimized reproducer (%d ops, %d CPU threads):\n%s",
+			min.Ops(), len(min.CPU), min)
+		if sc, err := min.Scenario(); err == nil {
+			fmt.Fprintf(os.Stderr, "replay exhaustively with internal/verify: scenario %q over lines %v\n",
+				sc.Name, sc.Lines)
+		}
+	}
+
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "hscconform: %d failure(s)\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("all cells agree; done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -23,7 +23,7 @@ func BezierSurface(p Params) system.Workload {
 	var ctrlSum uint64
 	var ctrlRef []uint64
 	setup := func(fm *memdata.Memory) {
-		ctrlRef = fillRandom(fm, ctrl, nCtrl, 1000, 0xbe21e5)
+		ctrlRef = fillRandom(fm, ctrl, nCtrl, 1000, p.seed(0xbe21e5))
 		ctrlSum = 0
 		for _, v := range ctrlRef {
 			ctrlSum += v

@@ -32,7 +32,7 @@ func CannyEdgeDetection(p Params) system.Workload {
 
 	var ref []uint64
 	setup := func(fm *memdata.Memory) {
-		ref = fillRandom(fm, in, frames*px, 256, 0xCEDD)
+		ref = fillRandom(fm, in, frames*px, 256, p.seed(0xCEDD))
 	}
 
 	gpuWaves := 16

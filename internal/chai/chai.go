@@ -29,6 +29,10 @@ type Params struct {
 	// CPUThreads is the number of CPU worker threads (including the
 	// host thread). The paper's system has 8 CPU cores (Table III).
 	CPUThreads int
+	// Seed perturbs every benchmark's input-generation RNG, so the
+	// conformance harness can replay a whole campaign under fresh but
+	// reproducible inputs. Zero is the paper's evaluation input set.
+	Seed int64
 }
 
 // DefaultParams matches the evaluation setup.
@@ -126,6 +130,9 @@ func wa(base memdata.Addr, i int) memdata.Addr { return base + memdata.Addr(i)*8
 // newRNG returns the deterministic generator used for benchmark inputs
 // ("randomization seeds for deterministic execution", §V).
 func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// seed folds the campaign seed into a benchmark's fixed base seed.
+func (p Params) seed(base int64) int64 { return base + p.Seed*1_000_003 }
 
 // fillRandom initializes n input words in functional memory and returns
 // the reference copy.

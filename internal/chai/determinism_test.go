@@ -1,0 +1,64 @@
+package chai
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"hscsim/internal/core"
+	"hscsim/internal/system"
+	"hscsim/internal/verify"
+)
+
+// statsDump renders a run's complete statistics deterministically, so
+// two runs can be compared byte-for-byte.
+func statsDump(res system.Results) string {
+	keys := make([]string, 0, len(res.Stats))
+	for k := range res.Stats { //hsclint:deterministic — sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d\n", res.Cycles)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, res.Stats[k])
+	}
+	return b.String()
+}
+
+// TestDeterminismAllBenchmarks: the same chai.Params (including the
+// campaign seed) must yield a byte-identical stats dump on every rerun,
+// for every benchmark in the full 14-workload suite, across all six
+// paper variants. Every experiment and every differential conformance
+// comparison rests on this property.
+func TestDeterminismAllBenchmarks(t *testing.T) {
+	variants := verify.Variants()
+	if testing.Short() {
+		variants = []core.Options{variants[0], variants[len(variants)-1]}
+	}
+	for _, name := range AllNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for _, opts := range variants {
+				run := func() string {
+					w, err := ByName(name, Params{Scale: 1, CPUThreads: 4, Seed: 3})
+					if err != nil {
+						t.Fatal(err)
+					}
+					s := system.New(testConfig(opts))
+					res, err := s.Run(w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return statsDump(res)
+				}
+				if a, b := run(), run(); a != b {
+					t.Fatalf("%s/%s: stats dumps differ between identical runs:\n--- first\n%s\n--- second\n%s",
+						name, opts.Named(), a, b)
+				}
+			}
+		})
+	}
+}

@@ -21,7 +21,7 @@ func HistogramInput(p Params) system.Workload {
 
 	var ref []uint64
 	setup := func(fm *memdata.Memory) {
-		ref = fillRandom(fm, in, n, histBins, 0x1157)
+		ref = fillRandom(fm, in, n, histBins, p.seed(0x1157))
 	}
 
 	cpuN := n / 2
@@ -80,7 +80,7 @@ func HistogramOutput(p Params) system.Workload {
 
 	var ref []uint64
 	setup := func(fm *memdata.Memory) {
-		ref = fillRandom(fm, in, n, histBins, 0x1157) // same input as hsti
+		ref = fillRandom(fm, in, n, histBins, p.seed(0x1157)) // same input as hsti
 	}
 
 	// CPU threads own bins [0,128), the GPU owns [128,256).

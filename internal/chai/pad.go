@@ -24,7 +24,7 @@ func Padding(p Params) system.Workload {
 
 	var ref []uint64
 	setup := func(fm *memdata.Memory) {
-		ref = fillRandom(fm, mat, rows*w, 1_000_000, 0xDAD)
+		ref = fillRandom(fm, mat, rows*w, 1_000_000, p.seed(0xDAD))
 		fm.Write(counter, uint64(rows))
 	}
 

@@ -35,9 +35,9 @@ func RansacData(p Params) system.Workload {
 
 	var ref []uint64
 	setup := func(fm *memdata.Memory) {
-		ref = fillRandom(fm, data, n, 1_000_000, 0x25CD)
+		ref = fillRandom(fm, data, n, 1_000_000, p.seed(0x25CD))
 	}
-	rng := newRNG(0xD00D)
+	rng := newRNG(p.seed(0xD00D))
 	samples := make([][2]int, iters)
 	for i := range samples {
 		samples[i] = [2]int{rng.Intn(n), rng.Intn(n)}
@@ -134,9 +134,9 @@ func RansacTask(p Params) system.Workload {
 
 	var ref []uint64
 	setup := func(fm *memdata.Memory) {
-		ref = fillRandom(fm, data, n, 1_000_000, 0x25C7)
+		ref = fillRandom(fm, data, n, 1_000_000, p.seed(0x25C7))
 	}
-	rng := newRNG(0xBEEF)
+	rng := newRNG(p.seed(0xBEEF))
 	samples := make([][2]int, iters)
 	for i := range samples {
 		samples[i] = [2]int{rng.Intn(n), rng.Intn(n)}

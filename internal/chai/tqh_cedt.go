@@ -110,7 +110,7 @@ func CannyTaskParallel(p Params) system.Workload {
 
 	var ref []uint64
 	setup := func(fm *memdata.Memory) {
-		ref = fillRandom(fm, in, frames*px, 256, 0xCED7)
+		ref = fillRandom(fm, in, frames*px, 256, p.seed(0xCED7))
 	}
 	fused := func(v uint64) uint64 { return (v*2+1)*3 + 7 } // canny∘gauss
 

@@ -45,7 +45,7 @@ func Transpose(p Params) system.Workload {
 
 	var ref []uint64
 	setup := func(fm *memdata.Memory) {
-		ref = fillRandom(fm, mat, total, 1_000_000, 0x7245)
+		ref = fillRandom(fm, mat, total, 1_000_000, p.seed(0x7245))
 		fm.Write(counter, 1) // positions 0 and total-1 are fixed points
 	}
 

@@ -1,0 +1,270 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"hscsim/internal/cachearray"
+	"hscsim/internal/memdata"
+	"hscsim/internal/prog"
+	"hscsim/internal/system"
+	"hscsim/internal/verify"
+)
+
+// Case is a concrete multi-agent workload for differential checking:
+// straight-line per-agent programs over a small line pool. Unlike the
+// CHAI models (closures), a Case is plain data, so the minimizer can
+// drop threads, remove ops and collapse lines, and a small enough Case
+// converts losslessly into a verify.Scenario for exhaustive replay.
+//
+// Cases are race-free by construction (see RandomCase): every line has
+// at most one storing agent, and cross-agent writes go through
+// commutative atomics — so the final memory image is independent of
+// scheduling, which is what makes image equality across protocol
+// variants a sound oracle.
+type Case struct {
+	Name string
+	// CPU holds one straight-line program per CPU thread.
+	CPU [][]verify.AgentOp
+	// GPU is replayed by a single wavefront (launched from thread 0).
+	GPU []verify.AgentOp
+	// DMA is replayed line-by-line by a dedicated host thread: Load
+	// issues a DMARd stream, Store a DMAWr stream (DMA moves no
+	// functional data, so it never perturbs the image — it only
+	// stresses the probe/invalidation paths).
+	DMA []verify.AgentOp
+}
+
+// lineAddr is the byte address of a line's first word — the word
+// stores target.
+func lineAddr(l cachearray.LineAddr) memdata.Addr { return memdata.Addr(l) << 6 }
+
+// atomicAddr is the byte address of a line's second word — the word
+// atomics target. Atomics and stores contend on the same coherence
+// line but never on the same word: a store and a fetch-add to one word
+// would not commute, making the final value scheduling-dependent and
+// the cross-variant image comparison unsound.
+func atomicAddr(l cachearray.LineAddr) memdata.Addr { return lineAddr(l) + 8 }
+
+// storeVal is the deterministic value agent tid writes at op index i —
+// a function of (tid, i) only, so the single writer of a line leaves
+// the same final value under every interleaving.
+func storeVal(tid, i int) uint64 { return uint64(tid+1)<<32 | uint64(i+1) }
+
+// Lines returns the sorted distinct lines the case touches.
+func (c Case) Lines() []cachearray.LineAddr {
+	seen := make(map[cachearray.LineAddr]bool)
+	for _, p := range c.programs() {
+		for _, op := range p {
+			seen[op.Line] = true
+		}
+	}
+	out := make([]cachearray.LineAddr, 0, len(seen))
+	for l := range seen { //hsclint:deterministic — sorted below
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AtomicTargets returns the sorted distinct addresses touched by Atomic
+// ops — the cells whose final values the differential check reports
+// separately as "per-address atomic outcomes".
+func (c Case) AtomicTargets() []memdata.Addr {
+	seen := make(map[memdata.Addr]bool)
+	for _, p := range c.programs() {
+		for _, op := range p {
+			if op.Kind == verify.Atomic {
+				seen[atomicAddr(op.Line)] = true
+			}
+		}
+	}
+	out := make([]memdata.Addr, 0, len(seen))
+	for a := range seen { //hsclint:deterministic — sorted below
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (c Case) programs() [][]verify.AgentOp {
+	out := append([][]verify.AgentOp{}, c.CPU...)
+	return append(out, c.GPU, c.DMA)
+}
+
+// Ops counts the case's total operations.
+func (c Case) Ops() int {
+	n := 0
+	for _, p := range c.programs() {
+		n += len(p)
+	}
+	return n
+}
+
+func opsString(ops []verify.AgentOp) string {
+	parts := make([]string, len(ops))
+	for i, op := range ops {
+		parts[i] = fmt.Sprintf("%s %#x", op.Kind, uint64(op.Line))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String renders the case as the replayable per-agent program listing
+// the conformance runner prints with a counterexample.
+func (c Case) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "case %q (%d ops over %d lines)\n", c.Name, c.Ops(), len(c.Lines()))
+	for t, ops := range c.CPU {
+		fmt.Fprintf(&b, "  cpu%d: %s\n", t, opsString(ops))
+	}
+	if len(c.GPU) > 0 {
+		fmt.Fprintf(&b, "  gpu:  %s\n", opsString(c.GPU))
+	}
+	if len(c.DMA) > 0 {
+		fmt.Fprintf(&b, "  dma:  %s\n", opsString(c.DMA))
+	}
+	return b.String()
+}
+
+// RandomCase generates a seeded random case: cpuThreads CPU programs, a
+// GPU program and a DMA program of opsPerAgent ops each, over a pool of
+// nLines lines (starting at 0x10, the model checker's line range).
+// Race-freedom invariant: line i may be stored only by its owner,
+// owner(i) = i mod (cpuThreads+1) — the extra slot is the GPU — while
+// loads, fetch-add atomics and DMA transfers range over the whole pool.
+func RandomCase(seed int64, cpuThreads, opsPerAgent, nLines int) Case {
+	if cpuThreads < 1 {
+		cpuThreads = 1
+	}
+	if nLines < 2 {
+		nLines = 2
+	}
+	r := rand.New(rand.NewSource(seed))
+	pool := make([]cachearray.LineAddr, nLines)
+	for i := range pool {
+		pool[i] = cachearray.LineAddr(0x10 + i)
+	}
+	owned := func(agent int) []cachearray.LineAddr {
+		var out []cachearray.LineAddr
+		for i, l := range pool {
+			if i%(cpuThreads+1) == agent {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+	gen := func(agent int) []verify.AgentOp {
+		mine := owned(agent)
+		ops := make([]verify.AgentOp, 0, opsPerAgent)
+		for len(ops) < opsPerAgent {
+			switch r.Intn(4) {
+			case 0, 1:
+				ops = append(ops, verify.AgentOp{Kind: verify.Load, Line: pool[r.Intn(nLines)]})
+			case 2:
+				if len(mine) == 0 {
+					continue // nothing this agent may store; reroll
+				}
+				ops = append(ops, verify.AgentOp{Kind: verify.Store, Line: mine[r.Intn(len(mine))]})
+			default:
+				ops = append(ops, verify.AgentOp{Kind: verify.Atomic, Line: pool[r.Intn(nLines)]})
+			}
+		}
+		return ops
+	}
+
+	c := Case{Name: fmt.Sprintf("random-%d", seed)}
+	for t := 0; t < cpuThreads; t++ {
+		c.CPU = append(c.CPU, gen(t))
+	}
+	c.GPU = gen(cpuThreads)
+	for i := 0; i < opsPerAgent/2; i++ {
+		kind := verify.Load
+		if r.Intn(2) == 1 {
+			kind = verify.Store
+		}
+		c.DMA = append(c.DMA, verify.AgentOp{Kind: kind, Line: pool[r.Intn(nLines)]})
+	}
+	return c
+}
+
+// Workload converts the case into a runnable system workload. The GPU
+// program becomes a one-wave kernel launched from thread 0; the DMA
+// program gets its own host thread (DMA streams block their issuer).
+func (c Case) Workload() system.Workload {
+	threads := make([]func(*prog.CPUThread), 0, len(c.CPU)+2)
+	for t, ops := range c.CPU {
+		t, ops := t, ops
+		threads = append(threads, func(th *prog.CPUThread) {
+			for i, op := range ops {
+				switch op.Kind {
+				case verify.Load:
+					th.Load(lineAddr(op.Line))
+				case verify.Store:
+					th.Store(lineAddr(op.Line), storeVal(t, i))
+				case verify.Atomic:
+					th.AtomicAdd(atomicAddr(op.Line), 1)
+				}
+			}
+		})
+	}
+	if len(threads) == 0 {
+		threads = append(threads, func(*prog.CPUThread) {})
+	}
+	if len(c.DMA) > 0 {
+		ops := c.DMA
+		threads = append(threads, func(th *prog.CPUThread) {
+			for _, op := range ops {
+				if op.Kind == verify.Store {
+					th.DMAIn(lineAddr(op.Line), 64)
+				} else {
+					th.DMAOut(lineAddr(op.Line), 64)
+				}
+			}
+		})
+	}
+	if len(c.GPU) > 0 {
+		gops := c.GPU
+		gpuTID := len(c.CPU)
+		kernel := &prog.Kernel{
+			Name: "conform", Workgroups: 1, WavesPerWG: 1, CodeAddr: 0xFD00_0000,
+			Fn: func(w *prog.Wave) {
+				for i, op := range gops {
+					switch op.Kind {
+					case verify.Load:
+						w.Load(lineAddr(op.Line))
+					case verify.Store:
+						w.Store(lineAddr(op.Line), storeVal(gpuTID, i))
+					case verify.Atomic:
+						w.AtomicSysAdd(atomicAddr(op.Line), 1)
+					}
+				}
+			},
+		}
+		host := threads[0]
+		threads[0] = func(th *prog.CPUThread) {
+			h := th.Launch(kernel)
+			host(th)
+			th.Wait(h)
+		}
+	}
+	return system.Workload{Name: "conform/" + c.Name, Threads: threads}
+}
+
+// Scenario converts a minimized case into a model-checker scenario for
+// exhaustive replay in internal/verify. Only cases with at most two CPU
+// threads fit the checker's harness.
+func (c Case) Scenario() (verify.Scenario, error) {
+	if len(c.CPU) > 2 {
+		return verify.Scenario{}, fmt.Errorf("conform: %d CPU threads do not fit the 2-CPU checker harness", len(c.CPU))
+	}
+	sc := verify.Scenario{Name: c.Name, Lines: c.Lines(), GPU: c.GPU, DMA: c.DMA}
+	if len(c.CPU) > 0 {
+		sc.CPU0 = c.CPU[0]
+	}
+	if len(c.CPU) > 1 {
+		sc.CPU1 = c.CPU[1]
+	}
+	return sc, nil
+}

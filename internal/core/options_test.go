@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"hscsim/internal/msg"
+)
+
+// TestOptionsNamed pins the figure-name mapping, in particular the
+// precedence rules: tracking beats every LLC option, llcWB+useL3OnWT
+// needs both flags, and useL3OnWT alone does not rename the baseline.
+func TestOptionsNamed(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"baseline", Options{}},
+		{"earlyResp", Options{EarlyDirtyResponse: true}},
+		{"noWBcleanVic", Options{NoWBCleanVicToMem: true}},
+		{"noWBcleanVicLLC", Options{NoWBCleanVicToLLC: true}},
+		{"llcWB", Options{LLCWriteBack: true}},
+		{"llcWB+useL3OnWT", Options{LLCWriteBack: true, UseL3OnWT: true}},
+		{"ownerTracking", Options{Tracking: TrackOwner}},
+		{"sharersTracking", Options{Tracking: TrackOwnerSharers}},
+		// useL3OnWT without the write-back LLC is a plumbing detail of
+		// the baseline protocol, not a named configuration.
+		{"baseline", Options{UseL3OnWT: true}},
+		// The LLC options compose bottom-up: the strongest one names
+		// the configuration.
+		{"noWBcleanVicLLC", Options{NoWBCleanVicToMem: true, NoWBCleanVicToLLC: true}},
+		{"llcWB+useL3OnWT", Options{NoWBCleanVicToMem: true, LLCWriteBack: true, UseL3OnWT: true}},
+		{"noWBcleanVic", Options{EarlyDirtyResponse: true, NoWBCleanVicToMem: true}},
+		// Tracking subsumes the LLC configuration (the paper evaluates
+		// tracking on top of llcWB+useL3OnWT).
+		{"ownerTracking", Options{Tracking: TrackOwner, LLCWriteBack: true, UseL3OnWT: true}},
+		{"sharersTracking", Options{Tracking: TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true, EarlyDirtyResponse: true}},
+	}
+	for _, tc := range cases {
+		if got := tc.opts.Named(); got != tc.name {
+			t.Errorf("%+v: Named() = %q, want %q", tc.opts, got, tc.name)
+		}
+	}
+}
+
+// TestLimitedPointersInvalidation sweeps the pointer-list bound against
+// a fixed two-sharer population (footnote b of Table I): a list wide
+// enough for both sharers keeps invalidations precise (the TCC, which
+// never read the line, is not probed); a narrower list overflows and
+// the write-permission request falls back to broadcast.
+func TestLimitedPointersInvalidation(t *testing.T) {
+	cases := []struct {
+		name          string
+		limit         int // 0 = full-map bitmap
+		wantTCCProbed bool
+	}{
+		{"full-map", 0, false},
+		{"wide-enough", 2, false},
+		{"overflow", 1, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opts := sharersOpts()
+			opts.LimitedPointers = tc.limit
+			r := newRig(t, opts, testGeo())
+			r.l2a.send(msg.RdBlkS, 0x10)
+			r.l2b.send(msg.RdBlkS, 0x10)
+			r.run()
+			r.l2a.send(msg.RdBlkM, 0x10) // upgrade must invalidate l2b
+			r.run()
+			if len(r.l2b.probes) != 1 {
+				t.Fatalf("l2b probes = %d, want 1 (the sharer must always be invalidated)", len(r.l2b.probes))
+			}
+			if probed := len(r.tcc.probes) > 0; probed != tc.wantTCCProbed {
+				t.Fatalf("tcc probed = %v, want %v (limit=%d, 2 sharers)", probed, tc.wantTCCProbed, tc.limit)
+			}
+		})
+	}
+}

@@ -112,6 +112,18 @@ type CorePair struct {
 	wb     map[cachearray.LineAddr]bool     // victim buffer: line → dirty
 	wbWait map[cachearray.LineAddr][]waiter // accesses stalled on an outstanding writeback
 
+	// pendingStores counts store/RMW hits whose completion callback is
+	// still in flight (the L1-latency commit window); probeWait holds
+	// probes deferred until those drain. A probe processed inside the
+	// window would snapshot and downgrade the line before the store it
+	// already hit on commits — the store would then retire into an
+	// Owned/Shared line and the probe's data forward would miss it
+	// (stale data at the requester). Real L2s serialize probes against
+	// the store pipeline the same way; the deferral is bounded by the
+	// fixed L1 latency, so it cannot deadlock.
+	pendingStores map[cachearray.LineAddr]int
+	probeWait     map[cachearray.LineAddr][]*msg.Message
+
 	loads      *stats.Counter
 	stores     *stats.Counter
 	l1Hits     *stats.Counter
@@ -138,21 +150,23 @@ func New(engine *sim.Engine, ic noc.Fabric, id, dirID msg.NodeID, cfg Config, sc
 			SizeBytes: cfg.L2SizeBytes, Assoc: cfg.L2Assoc, BlockSize: cfg.BlockSize}, nil),
 		l1i: cachearray.New[struct{}](cachearray.Config{
 			SizeBytes: cfg.L1ISizeBytes, Assoc: cfg.L1IAssoc, BlockSize: cfg.BlockSize}, nil),
-		mshr:       make(map[cachearray.LineAddr]*mshrEntry),
-		wb:         make(map[cachearray.LineAddr]bool),
-		wbWait:     make(map[cachearray.LineAddr][]waiter),
-		loads:      sc.Counter("loads"),
-		stores:     sc.Counter("stores"),
-		l1Hits:     sc.Counter("l1_hits"),
-		l2Hits:     sc.Counter("l2_hits"),
-		l2Misses:   sc.Counter("l2_misses"),
-		upgrades:   sc.Counter("upgrades"),
-		vicClean:   sc.Counter("vic_clean"),
-		vicDirty:   sc.Counter("vic_dirty"),
-		probesRecv: sc.Counter("probes_received"),
-		probeHits:  sc.Counter("probe_hits"),
-		wbStalls:   sc.Counter("wb_stalls"),
-		missLat:    sc.Histogram("miss_latency"),
+		mshr:          make(map[cachearray.LineAddr]*mshrEntry),
+		wb:            make(map[cachearray.LineAddr]bool),
+		wbWait:        make(map[cachearray.LineAddr][]waiter),
+		pendingStores: make(map[cachearray.LineAddr]int),
+		probeWait:     make(map[cachearray.LineAddr][]*msg.Message),
+		loads:         sc.Counter("loads"),
+		stores:        sc.Counter("stores"),
+		l1Hits:        sc.Counter("l1_hits"),
+		l2Hits:        sc.Counter("l2_hits"),
+		l2Misses:      sc.Counter("l2_misses"),
+		upgrades:      sc.Counter("upgrades"),
+		vicClean:      sc.Counter("vic_clean"),
+		vicDirty:      sc.Counter("vic_dirty"),
+		probesRecv:    sc.Counter("probes_received"),
+		probeHits:     sc.Counter("probe_hits"),
+		wbStalls:      sc.Counter("wb_stalls"),
+		missLat:       sc.Histogram("miss_latency"),
 	}
 	for i := range cp.l1d {
 		cp.l1d[i] = cachearray.New[struct{}](cachearray.Config{
@@ -206,14 +220,14 @@ func (cp *CorePair) access(core int, kind AccessKind, line cachearray.LineAddr, 
 		case Modified:
 			cp.l2Hits.Inc()
 			l1.Insert(line, nil)
-			cp.engine.Schedule(cp.cfg.L1Latency, done)
+			cp.engine.Schedule(cp.cfg.L1Latency, cp.storeCommit(line, done))
 			return
 		case Exclusive:
 			// Silent E→M: the directory is not informed (§II-B).
 			ln.Meta.State = Modified
 			cp.l2Hits.Inc()
 			l1.Insert(line, nil)
-			cp.engine.Schedule(cp.cfg.L1Latency, done)
+			cp.engine.Schedule(cp.cfg.L1Latency, cp.storeCommit(line, done))
 			return
 		default:
 			// Store to S or O: upgrade via RdBlkM.
@@ -337,10 +351,36 @@ func (cp *CorePair) invalidateL1s(line cachearray.LineAddr) {
 	}
 }
 
+// storeCommit opens a line's store-commit window: probes delivered
+// before the scheduled completion runs are deferred, and replayed (in
+// arrival order) once every pending store on the line has committed.
+func (cp *CorePair) storeCommit(line cachearray.LineAddr, done func()) func() {
+	cp.pendingStores[line]++
+	return func() {
+		done()
+		cp.pendingStores[line]--
+		if cp.pendingStores[line] > 0 {
+			return
+		}
+		delete(cp.pendingStores, line)
+		deferred := cp.probeWait[line]
+		delete(cp.probeWait, line)
+		for _, pm := range deferred {
+			cp.probe(pm)
+		}
+	}
+}
+
 // probe services a directory probe: acknowledge with data when the line
 // is held (or sits in the victim buffer awaiting its WBAck), downgrading
 // or invalidating as requested.
 func (cp *CorePair) probe(m *msg.Message) {
+	if cp.pendingStores[m.Addr] > 0 {
+		// A store hit on this line is inside its commit window; answer
+		// after it retires so the acknowledgment carries its data.
+		cp.probeWait[m.Addr] = append(cp.probeWait[m.Addr], m)
+		return
+	}
 	cp.probesRecv.Inc()
 	ack := &msg.Message{Type: msg.PrbAck, Addr: m.Addr, Src: cp.id, Dst: m.Src, TxnID: m.TxnID}
 

@@ -126,3 +126,12 @@ func (e *Engine) pop(w map[cachearray.LineAddr][]func(), m *msg.Message) {
 
 // Outstanding reports in-flight DMA requests (quiesce checks).
 func (e *Engine) Outstanding() int { return len(e.rdWaiters) + len(e.wrWaiters) }
+
+// Pending reports the in-flight read and write requests for one line
+// (the model checker folds them into its state fingerprint).
+func (e *Engine) Pending(line cachearray.LineAddr) (rd, wr int) {
+	return len(e.rdWaiters[line]), len(e.wrWaiters[line])
+}
+
+// NodeID returns the engine's interconnect node.
+func (e *Engine) NodeID() msg.NodeID { return e.id }

@@ -101,3 +101,19 @@ func (m *Memory) RMW(a Addr, op AtomicOp, operand, compare uint64) (old uint64) 
 
 // Len reports how many distinct words have been written.
 func (m *Memory) Len() int { return len(m.words) }
+
+// Snapshot returns the final memory image: every written word with a
+// non-zero value. Zero-valued words are dropped so that "written zero"
+// and "never written" compare equal — both read as zero, and which of
+// the two a run leaves behind can legitimately differ with timing. The
+// differential conformance harness compares these images across
+// protocol variants.
+func (m *Memory) Snapshot() map[Addr]uint64 {
+	out := make(map[Addr]uint64, len(m.words))
+	for a, v := range m.words { //hsclint:deterministic — consumers sort
+		if v != 0 {
+			out[a] = v
+		}
+	}
+	return out
+}

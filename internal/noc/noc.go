@@ -57,6 +57,13 @@ func DefaultConfig() Config { return Config{Latency: 4, WidthBytes: 32} }
 // Tracer observes every message at send time.
 type Tracer func(t sim.Tick, m *msg.Message)
 
+// Mutator rewrites (or drops, by returning nil) a message at delivery
+// time. It exists purely for fault injection: the conformance harness
+// (internal/conform) seeds protocol weakenings to prove the oracle and
+// differential checks catch them. It must be a pure function of the
+// message.
+type Mutator func(m *msg.Message) *msg.Message
+
 // Interconnect is a crossbar connecting registered nodes.
 type Interconnect struct {
 	engine     *sim.Engine
@@ -64,6 +71,7 @@ type Interconnect struct {
 	handlers   map[msg.NodeID]Handler
 	portFree   map[msg.NodeID]sim.Tick
 	tracer     Tracer
+	mutate     Mutator
 	onDelivery DeliveryHook
 
 	msgs      *stats.Counter
@@ -101,6 +109,11 @@ func (ic *Interconnect) Register(id msg.NodeID, h Handler) {
 
 // SetTracer installs (or, with nil, removes) a message tracer.
 func (ic *Interconnect) SetTracer(t Tracer) { ic.tracer = t }
+
+// SetMutator installs (or, with nil, removes) a delivery-time fault
+// injector. Dropped messages still pay their port occupancy — the fault
+// model is "the receiver never saw it", not "it was never sent".
+func (ic *Interconnect) SetMutator(mu Mutator) { ic.mutate = mu }
 
 // SetDeliveryHook installs (or, with nil, removes) a post-delivery
 // observer. The hook runs after the destination handler returns, so it
@@ -141,6 +154,12 @@ func (ic *Interconnect) Send(m *msg.Message) {
 		ic.portFree[m.Src] = depart + occupancy
 	}
 	ic.engine.At(depart+ic.cfg.Latency, func() {
+		if ic.mutate != nil {
+			if m = ic.mutate(m); m == nil {
+				return // dropped in flight
+			}
+			h = ic.handlers[m.Dst] // the mutation may have redirected it
+		}
 		h.Receive(m)
 		if ic.onDelivery != nil {
 			ic.onDelivery(ic.engine.Now(), m)

@@ -41,16 +41,29 @@ func TestOracleTransparent(t *testing.T) {
 	t.Logf("oracle performed %d checks", n)
 }
 
-// TestOracleOnBankedDirectoryRejected: the oracle's directory
-// cross-checks assume the monolithic directory.
-func TestOracleOnBankedDirectoryRejected(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for Oracle with DirBanks > 1")
-		}
-	}()
-	cfg := smallConfig(core.Options{})
-	cfg.DirBanks = 4
-	cfg.Oracle = true
-	system.New(cfg)
+// TestOracleOnBankedDirectory: the oracle's directory cross-checks
+// route through BankFor, so the sharded configuration runs under full
+// oracle coverage (this used to panic).
+func TestOracleOnBankedDirectory(t *testing.T) {
+	for _, opts := range []core.Options{
+		{},
+		{Tracking: core.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true},
+	} {
+		opts := opts
+		t.Run(opts.Named(), func(t *testing.T) {
+			cfg := smallConfig(opts)
+			cfg.DirBanks = 4
+			cfg.Oracle = true
+			s := system.New(cfg)
+			if _, err := s.Run(randomWorkload(11, 6)); err != nil {
+				t.Fatal(err)
+			}
+			if s.OracleChecks() == 0 {
+				t.Fatal("banked run performed no oracle checks")
+			}
+			if err := s.CheckCoherence(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
 }

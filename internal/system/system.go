@@ -53,10 +53,18 @@ type Config struct {
 	// Oracle attaches the runtime coherence oracle (internal/verify):
 	// every message delivery is cross-checked against a golden version
 	// mirror, and Run fails with a *core.ProtocolViolation error on the
-	// first SWMR, data-value or directory-consistency breach. Requires
-	// the monolithic directory (DirBanks ≤ 1). Simulation results are
-	// unchanged; expect a constant-factor slowdown.
+	// first SWMR, data-value or directory-consistency breach. Directory
+	// cross-checks follow BankFor, so banked directories are covered
+	// too. Simulation results are unchanged; expect a constant-factor
+	// slowdown.
 	Oracle bool
+
+	// Mutate, when non-nil, rewrites (or drops, by returning nil) every
+	// interconnect message at delivery time. Fault injection for the
+	// conformance harness (internal/conform): seeding a protocol
+	// weakening here must make the oracle or the differential check
+	// fail. Never set in measurement runs.
+	Mutate func(*msg.Message) *msg.Message
 
 	// MaxTicks aborts deadlocked/runaway runs.
 	MaxTicks sim.Tick
@@ -99,6 +107,13 @@ type Workload struct {
 	// during the run. With Protocol.ReadOnlyElision the directory
 	// serves them probe- and tracking-free (§IX future work).
 	ReadOnly [][2]memdata.Addr
+	// UnstableImage declares that the final memory image legally depends
+	// on scheduling: the workload claims output slots dynamically (e.g.
+	// a fetch-add compaction cursor or a work frontier), so differently
+	// timed runs place the same results at different addresses. Verify
+	// still decides semantic correctness; the differential conformance
+	// harness skips only the cross-variant image comparison.
+	UnstableImage bool
 }
 
 // System is the assembled APU.
@@ -230,15 +245,16 @@ func New(cfg Config) *System {
 			reg.Scope(fmt.Sprintf("cp%d", p)))
 		s.CorePairs = append(s.CorePairs, pair)
 	}
+	if cfg.Mutate != nil {
+		ic.SetMutator(cfg.Mutate)
+	}
 	if cfg.Oracle {
-		if banks > 1 {
-			panic("system: Oracle requires the monolithic directory (DirBanks <= 1)")
-		}
 		s.oracle = verify.NewOracle(verify.OracleConfig{
 			Engine: engine,
 			CPUs:   s.CorePairs,
 			GPU:    s.GPUCaches,
 			Dir:    s.Dir,
+			DirFor: s.BankFor,
 			Opts:   cfg.Protocol,
 			Report: func(v *core.ProtocolViolation) {
 				if s.oracleViol == nil {

@@ -9,10 +9,35 @@ import (
 	"hscsim/internal/msg"
 )
 
+// Ordering selects the network delivery model the checker explores.
+type Ordering uint8
+
+// Delivery orderings.
+const (
+	// OrderUnordered explores every delivery order of every in-flight
+	// message — an adversarial fabric with no ordering guarantees at
+	// all, strictly weaker than what any real interconnect provides.
+	OrderUnordered Ordering = iota
+	// OrderPerLinkFIFO restricts delivery to the oldest in-flight
+	// message per (src, dst) pair: point-to-point ordering, the
+	// guarantee the paper's gem5 network (and this repo's noc, which
+	// has a single fixed latency) actually gives.
+	OrderPerLinkFIFO
+)
+
+func (o Ordering) String() string {
+	if o == OrderPerLinkFIFO {
+		return "fifo"
+	}
+	return "unordered"
+}
+
 // Config selects what the model checker explores.
 type Config struct {
 	Opts     core.Options
 	Scenario Scenario
+	// Order is the delivery model (default: fully unordered).
+	Order Ordering
 	// Mutate, when non-nil, rewrites (or drops, by returning nil) every
 	// message at delivery time. Used by negative tests to seed protocol
 	// bugs the checker must catch. It MUST be a pure function of the
@@ -86,7 +111,7 @@ type checker struct {
 // replay builds a fresh harness and re-executes the action path.
 // Returns nil if a violation fired mid-path (already recorded).
 func (c *checker) replay(path []int) *harness {
-	h := newHarness(c.cfg.Opts, c.cfg.Scenario, c.cfg.Mutate)
+	h := newHarness(c.cfg.Opts, c.cfg.Scenario, c.cfg.Order, c.cfg.Mutate)
 	h.drain(c.cfg.DrainBudget)
 	for _, ai := range path {
 		acts := h.enabled()
@@ -113,7 +138,7 @@ func (c *checker) fail(h *harness, path []int, extra *core.ProtocolViolation) {
 
 // trace re-executes the path once more purely to render each action.
 func (c *checker) trace(path []int) []string {
-	h := newHarness(c.cfg.Opts, c.cfg.Scenario, c.cfg.Mutate)
+	h := newHarness(c.cfg.Opts, c.cfg.Scenario, c.cfg.Order, c.cfg.Mutate)
 	h.drain(c.cfg.DrainBudget)
 	out := make([]string, 0, len(path))
 	for _, ai := range path {
@@ -249,6 +274,41 @@ func Scenarios() []Scenario {
 			CPU1:       ops(Store, 0x12, Load, 0x10),
 			GPU:        ops(Load, 0x10),
 			DirEntries: 2,
+		},
+	}
+}
+
+// DMAScenarios returns the DMA-agent sweeps: DMARd/DMAWr interleaved
+// with CPU stores (the ROADMAP open item). The oracle models DMA-write
+// commits at WBAck delivery, so every interleaving of probe traffic
+// against the uncached DMA stream is checked.
+func DMAScenarios() []Scenario {
+	return []Scenario{
+		{
+			// A DMA read racing CPU stores must observe probe-cleaned
+			// data and leave the dirty owner's state intact.
+			Name:  "dma-read-vs-stores",
+			Lines: lines(0x10),
+			CPU0:  ops(Store, 0x10, Store, 0x10),
+			CPU1:  ops(Load, 0x10),
+			DMA:   ops(Load, 0x10),
+		},
+		{
+			// A DMA write must invalidate every cached copy before it
+			// commits; the trailing CPU load must see a fresh fill.
+			Name:  "dma-write-vs-stores",
+			Lines: lines(0x10),
+			CPU0:  ops(Store, 0x10, Load, 0x10),
+			CPU1:  ops(Store, 0x10),
+			DMA:   ops(Store, 0x10),
+		},
+		{
+			// Back-to-back DMA write then read across two conflicting
+			// lines, racing a CPU victim (0x10 and 0x12 share a set).
+			Name:  "dma-stream-victim-race",
+			Lines: lines(0x10, 0x12),
+			CPU0:  ops(Store, 0x10, Store, 0x12),
+			DMA:   ops(Store, 0x10, Load, 0x12),
 		},
 	}
 }

@@ -31,6 +31,56 @@ func TestExhaustiveSweep(t *testing.T) {
 	}
 }
 
+// TestDMAScenariosSweep model-checks DMARd/DMAWr interleaved with CPU
+// stores under every variant: the uncached DMA stream must never expose
+// stale data or strand a directory transaction.
+func TestDMAScenariosSweep(t *testing.T) {
+	for _, opts := range Variants() {
+		for _, sc := range DMAScenarios() {
+			opts, sc := opts, sc
+			t.Run(opts.Named()+"/"+sc.Name, func(t *testing.T) {
+				t.Parallel()
+				res := Run(Config{Opts: opts, Scenario: sc})
+				if res.Violation != nil {
+					t.Fatalf("violation:\n%s", res.Violation)
+				}
+				if res.Truncated {
+					t.Fatalf("exploration truncated at %d states", res.States)
+				}
+				if res.Paths == 0 {
+					t.Fatalf("no complete path explored (states=%d)", res.States)
+				}
+				t.Logf("states=%d paths=%d", res.States, res.Paths)
+			})
+		}
+	}
+}
+
+// TestPerLinkFIFOSweep repeats the standard sweep under point-to-point
+// ordered delivery. Both orderings must be clean; FIFO explores a
+// subset of the unordered interleavings, so this also bounds runtime.
+func TestPerLinkFIFOSweep(t *testing.T) {
+	for _, opts := range Variants() {
+		for _, sc := range Scenarios() {
+			opts, sc := opts, sc
+			t.Run(opts.Named()+"/"+sc.Name, func(t *testing.T) {
+				t.Parallel()
+				res := Run(Config{Opts: opts, Scenario: sc, Order: OrderPerLinkFIFO})
+				if res.Violation != nil {
+					t.Fatalf("violation under per-link FIFO:\n%s", res.Violation)
+				}
+				if res.Truncated {
+					t.Fatalf("exploration truncated at %d states", res.States)
+				}
+				if res.Paths == 0 {
+					t.Fatalf("no complete path explored (states=%d)", res.States)
+				}
+				t.Logf("states=%d paths=%d", res.States, res.Paths)
+			})
+		}
+	}
+}
+
 // TestSeededDroppedAck drops every probe acknowledgment sent by CPU
 // L2 node 1. The directory then waits forever for its probe count; the
 // checker must report the resulting deadlock, not hang or pass.

@@ -8,6 +8,7 @@ import (
 	"hscsim/internal/cachearray"
 	"hscsim/internal/core"
 	"hscsim/internal/corepair"
+	"hscsim/internal/dma"
 	"hscsim/internal/gpucache"
 	"hscsim/internal/memdata"
 	"hscsim/internal/msg"
@@ -124,6 +125,10 @@ type Scenario struct {
 	CPU0  []AgentOp
 	CPU1  []AgentOp
 	GPU   []AgentOp
+	// DMA is the DMA engine's program: Load issues a DMARd, Store a
+	// DMAWr (Atomic is not a DMA operation and panics). DMA agents are
+	// uncached, so the oracle only tracks their write serialization.
+	DMA []AgentOp
 	// DirEntries overrides the tracking-directory capacity (default 16,
 	// conflict-free for the standard lines; set 2 to force backward
 	// invalidations).
@@ -150,10 +155,12 @@ type harness struct {
 	fm     *memdata.Memory
 	cpus   []*corepair.CorePair
 	gpu    *gpucache.GPUCaches
+	dma    *dma.Engine
 	dir    *core.Directory
 	oracle *Oracle
 	agents []*agent
 	lines  []cachearray.LineAddr
+	order  Ordering
 
 	violation *core.ProtocolViolation
 }
@@ -163,9 +170,10 @@ const (
 	nodeL2B = msg.NodeID(1)
 	nodeTCC = msg.NodeID(2)
 	nodeDir = msg.NodeID(3)
+	nodeDMA = msg.NodeID(4)
 )
 
-func newHarness(opts core.Options, sc Scenario, mutate func(*msg.Message) *msg.Message) *harness {
+func newHarness(opts core.Options, sc Scenario, order Ordering, mutate func(*msg.Message) *msg.Message) *harness {
 	engine := sim.NewEngine()
 	reg := stats.NewRegistry()
 	fab := &chaosFabric{handlers: make(map[msg.NodeID]noc.Handler), mutate: mutate, engine: engine}
@@ -178,7 +186,7 @@ func newHarness(opts core.Options, sc Scenario, mutate func(*msg.Message) *msg.M
 		L2SizeBytes: 128, L2Assoc: 1, // 2 sets: lines 0x10/0x12 conflict
 		BlockSize: 64, L1Latency: 1, L2Latency: 1,
 	}
-	h := &harness{engine: engine, fab: fab, mem: cmem, fm: fm, lines: sc.Lines}
+	h := &harness{engine: engine, fab: fab, mem: cmem, fm: fm, lines: sc.Lines, order: order}
 	h.cpus = append(h.cpus,
 		corepair.New(engine, fab, nodeL2A, nodeDir, cpCfg, reg.Scope("l2a")),
 		corepair.New(engine, fab, nodeL2B, nodeDir, cpCfg, reg.Scope("l2b")),
@@ -204,6 +212,7 @@ func newHarness(opts core.Options, sc Scenario, mutate func(*msg.Message) *msg.M
 		},
 	}, reg.Scope("dir"), reg.Scope("llc"))
 	fab.Register(nodeDir, h.dir)
+	h.dma = dma.New(engine, fab, nodeDMA, nodeDir, reg.Scope("dma"))
 
 	h.oracle = NewOracle(OracleConfig{
 		Engine: engine,
@@ -223,6 +232,7 @@ func newHarness(opts core.Options, sc Scenario, mutate func(*msg.Message) *msg.M
 		{name: "cpu0", ops: sc.CPU0},
 		{name: "cpu1", ops: sc.CPU1},
 		{name: "gpu", ops: sc.GPU},
+		{name: "dma", ops: sc.DMA},
 	}
 	return h
 }
@@ -233,11 +243,25 @@ type action struct {
 	idx  int
 }
 
-// enabled lists the schedulable actions in a deterministic order.
+// enabled lists the schedulable actions in a deterministic order. Under
+// OrderPerLinkFIFO only the oldest pending message of each (src, dst)
+// link is deliverable — the point-to-point ordering real networks
+// provide; OrderUnordered exposes every pending message.
 func (h *harness) enabled() []action {
 	var out []action
-	for i := range h.fab.pending {
-		out = append(out, action{'m', i})
+	if h.order == OrderPerLinkFIFO {
+		heads := make(map[[2]msg.NodeID]bool, len(h.fab.pending))
+		for i, m := range h.fab.pending {
+			link := [2]msg.NodeID{m.Src, m.Dst}
+			if !heads[link] {
+				heads[link] = true
+				out = append(out, action{'m', i})
+			}
+		}
+	} else {
+		for i := range h.fab.pending {
+			out = append(out, action{'m', i})
+		}
 	}
 	for i := range h.mem.pending {
 		out = append(out, action{'r', i})
@@ -340,14 +364,25 @@ func (h *harness) issue(ai int) {
 		}
 		return
 	}
-	switch op.Kind { // GPU agent: VIPER semantics, loads unchecked
+	if ai == 2 {
+		switch op.Kind { // GPU agent: VIPER semantics, loads unchecked
+		case Load:
+			h.gpu.ReadLine(0, op.Line, fin)
+		case Store:
+			h.gpu.WriteLine(0, op.Line, fin)
+		case Atomic:
+			h.gpu.AtomicSystem(0, op.Line, memdata.Addr(op.Line)<<6, memdata.AtomicAdd, 1, 0,
+				func(uint64) { fin() })
+		}
+		return
+	}
+	switch op.Kind { // DMA agent: uncached line-granular transfers
 	case Load:
-		h.gpu.ReadLine(0, op.Line, fin)
+		h.dma.ReadBlock(op.Line, fin)
 	case Store:
-		h.gpu.WriteLine(0, op.Line, fin)
-	case Atomic:
-		h.gpu.AtomicSystem(0, op.Line, memdata.Addr(op.Line)<<6, memdata.AtomicAdd, 1, 0,
-			func(uint64) { fin() })
+		h.dma.WriteBlock(op.Line, fin)
+	default:
+		panic("verify: DMA agents have no atomic operation")
 	}
 }
 
@@ -375,6 +410,8 @@ func (h *harness) fingerprint() string {
 		}
 		mw, wt, at := h.gpu.PendingLine(line)
 		fmt.Fprintf(&b, "g%t%t%d%d%d,", h.gpu.TCCHas(line), h.gpu.TCCDirty(line), mw, wt, at)
+		dr, dw := h.dma.Pending(line)
+		fmt.Fprintf(&b, "d%d%d,", dr, dw)
 		b.WriteString(h.dir.LineFingerprint(line))
 		b.WriteByte(';')
 	}
@@ -386,6 +423,21 @@ func (h *harness) fingerprint() string {
 		msgs[i] = fmt.Sprintf("%d:%x:%d>%d:%d:%t%t%t:%d",
 			m.Type, uint64(m.Addr), m.Src, m.Dst, m.Grant, m.HasData, m.Dirty, m.Retain, m.TxnID)
 	}
+	if h.order == OrderPerLinkFIFO {
+		// Per-link queue order is part of the state (the pending slice
+		// preserves send order); the interleaving between links is not.
+		// Canonical form: per-link sequences, links sorted.
+		seq := make(map[[2]msg.NodeID][]string)
+		for i, m := range h.fab.pending {
+			link := [2]msg.NodeID{m.Src, m.Dst}
+			seq[link] = append(seq[link], msgs[i])
+		}
+		msgs = msgs[:0]
+		for _, q := range seq { //hsclint:deterministic — sorted below
+			msgs = append(msgs, strings.Join(q, ">"))
+		}
+	}
+	// Unordered delivery: the multiset is the state, order is free.
 	sort.Strings(msgs)
 	b.WriteString(strings.Join(msgs, "|"))
 	b.WriteByte(';')

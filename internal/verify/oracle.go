@@ -31,9 +31,14 @@ type OracleConfig struct {
 	// CPUs lists the CorePair L2s in probe-target order.
 	CPUs []*corepair.CorePair
 	// GPU is the TCC complex; may be nil in CPU-only systems.
-	GPU  *gpucache.GPUCaches
-	Dir  *core.Directory
-	Opts core.Options
+	GPU *gpucache.GPUCaches
+	// Dir is the monolithic directory (or bank 0 of a banked one).
+	Dir *core.Directory
+	// DirFor, when non-nil, routes a line to its directory bank so the
+	// directory cross-checks work on address-interleaved banked
+	// directories (system.BankFor). Nil means every line lives in Dir.
+	DirFor func(cachearray.LineAddr) *core.Directory
+	Opts   core.Options
 	// Report receives violations; the default panics with the violation,
 	// matching the controllers' own defensive checks. The model checker
 	// substitutes a recorder.
@@ -70,19 +75,35 @@ type Oracle struct {
 	homeVer map[cachearray.LineAddr]uint64
 	copies  map[msg.NodeID]map[cachearray.LineAddr]copyState
 
+	// pendingPrb records a probe delivered to a CPU whose acknowledgment
+	// is still outstanding. The mirror effect (surrendering the copy's
+	// version to home, dropping the copy on an invalidation) applies at
+	// PrbAck delivery, not probe delivery: the L2 may defer probe
+	// processing while a store hit sits in its commit window, and the
+	// data that flows home is whatever the cache holds when it finally
+	// acknowledges.
+	pendingPrb map[prbKey]msg.Type
+
 	checks uint64
+}
+
+// prbKey identifies an outstanding probe at a CPU cache.
+type prbKey struct {
+	node msg.NodeID
+	line cachearray.LineAddr
 }
 
 // NewOracle creates an oracle. Attach it with
 // ic.SetDeliveryHook(o.OnDeliver) and cpu.Config{Observer: o}.
 func NewOracle(cfg OracleConfig) *Oracle {
 	o := &Oracle{
-		cfg:       cfg,
-		cpuByNode: make(map[msg.NodeID]*corepair.CorePair),
-		cpuIndex:  make(map[msg.NodeID]int),
-		lineVer:   make(map[cachearray.LineAddr]uint64),
-		homeVer:   make(map[cachearray.LineAddr]uint64),
-		copies:    make(map[msg.NodeID]map[cachearray.LineAddr]copyState),
+		cfg:        cfg,
+		cpuByNode:  make(map[msg.NodeID]*corepair.CorePair),
+		cpuIndex:   make(map[msg.NodeID]int),
+		lineVer:    make(map[cachearray.LineAddr]uint64),
+		homeVer:    make(map[cachearray.LineAddr]uint64),
+		copies:     make(map[msg.NodeID]map[cachearray.LineAddr]copyState),
+		pendingPrb: make(map[prbKey]msg.Type),
 	}
 	for i, cp := range cfg.CPUs {
 		o.cpuByNode[cp.NodeID()] = cp
@@ -99,6 +120,14 @@ func NewOracle(cfg OracleConfig) *Oracle {
 func (o *Oracle) Checks() uint64 { return o.checks }
 
 func (o *Oracle) isCPU(n msg.NodeID) bool { _, ok := o.cpuByNode[n]; return ok }
+
+// dirFor resolves the directory bank owning a line.
+func (o *Oracle) dirFor(line cachearray.LineAddr) *core.Directory {
+	if o.cfg.DirFor != nil {
+		return o.cfg.DirFor(line)
+	}
+	return o.cfg.Dir
+}
 
 // mergeHome folds a surrendered CPU copy's version into the home
 // (LLC/memory) version. Clean copies never exceed homeVer, so the max
@@ -127,14 +156,23 @@ func (o *Oracle) OnDeliver(_ sim.Tick, m *msg.Message) {
 		if o.isCPU(m.Dst) {
 			o.copies[m.Dst][m.Addr] = copyState{valid: true, ver: o.homeVer[m.Addr]}
 		}
-	case msg.PrbInv:
+	case msg.PrbInv, msg.PrbDowngrade:
+		// The mirror effect waits for the acknowledgment: the probed L2
+		// may be holding the probe behind a store-commit window, and the
+		// version that flows home is the one it holds when it acks.
 		if o.isCPU(m.Dst) {
-			o.mergeHome(m.Dst, m.Addr)
-			delete(o.copies[m.Dst], m.Addr)
+			o.pendingPrb[prbKey{m.Dst, m.Addr}] = m.Type
 		}
-	case msg.PrbDowngrade:
-		if o.isCPU(m.Dst) {
-			o.mergeHome(m.Dst, m.Addr)
+	case msg.PrbAck:
+		if o.isCPU(m.Src) {
+			k := prbKey{m.Src, m.Addr}
+			if t, ok := o.pendingPrb[k]; ok {
+				delete(o.pendingPrb, k)
+				o.mergeHome(m.Src, m.Addr)
+				if t == msg.PrbInv {
+					delete(o.copies[m.Src], m.Addr)
+				}
+			}
 		}
 	case msg.VicDirty, msg.VicClean:
 		if o.isCPU(m.Src) {
@@ -205,9 +243,15 @@ func (o *Oracle) checkLine(line cachearray.LineAddr, m *msg.Message) {
 			"%d exclusive holder(s) among %d valid CPU copies", exclusive, valid))
 	}
 
-	// Mirror consistency.
+	// Mirror consistency. A pending probe opens a legal window in both
+	// directions: the cache may have invalidated already (the mirror
+	// surrenders the copy only at the acknowledgment), or may still be
+	// deferring the probe behind a store-commit window.
 	for _, cp := range o.cfg.CPUs {
 		n := cp.NodeID()
+		if _, probing := o.pendingPrb[prbKey{n, line}]; probing {
+			continue
+		}
 		real := cp.L2State(line) != corepair.Invalid
 		wb, _ := cp.WBState(line)
 		mirror := o.copies[n][line].valid
@@ -224,8 +268,8 @@ func (o *Oracle) checkLine(line cachearray.LineAddr, m *msg.Message) {
 	// Directory inclusivity (tracking modes, quiescent lines only:
 	// in-flight transactions legitimately pass through inconsistent
 	// transient states).
-	if o.cfg.Opts.Tracking != core.TrackNone && !o.cfg.Dir.LineBusy(line) {
-		st, owner, sharers := o.cfg.Dir.EntryState(line)
+	if dir := o.dirFor(line); o.cfg.Opts.Tracking != core.TrackNone && !dir.LineBusy(line) {
+		st, owner, sharers := dir.EntryState(line)
 		for _, cp := range o.cfg.CPUs {
 			n := cp.NodeID()
 			idx := o.cpuIndex[n]
@@ -339,8 +383,8 @@ func (o *Oracle) violation(rule string, line cachearray.LineAddr, m *msg.Message
 			State: fmt.Sprintf("present=%v dirty=%v", o.cfg.GPU.TCCHas(line), o.cfg.GPU.TCCDirty(line)),
 		})
 	}
-	if o.cfg.Dir != nil {
-		v.States = append(v.States, core.AgentState{Agent: "dir", State: o.cfg.Dir.LineFingerprint(line)})
+	if dir := o.dirFor(line); dir != nil {
+		v.States = append(v.States, core.AgentState{Agent: "dir", State: dir.LineFingerprint(line)})
 	}
 	v.States = append(v.States, core.AgentState{
 		Agent: "oracle",
