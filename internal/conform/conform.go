@@ -15,11 +15,14 @@ package conform
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"hscsim/internal/chai"
 	"hscsim/internal/core"
+	"hscsim/internal/fsm"
 	"hscsim/internal/memdata"
 	"hscsim/internal/noc"
 	"hscsim/internal/sim"
@@ -50,6 +53,9 @@ func EvalConfig(opts core.Options) system.Config {
 type Cell struct {
 	Opts  core.Options
 	Banks int // 0/1 = monolithic
+	// GPUWB runs the cell with write-back GPU L2s (gem5 WB_L2), the
+	// TCC configuration the paper contrasts with write-through.
+	GPUWB bool
 	// Mutate seeds a protocol weakening into this cell's interconnect.
 	// Only negative tests set it; the oracle and the differential
 	// comparison must then catch the cell.
@@ -60,6 +66,9 @@ func (cl Cell) String() string {
 	s := cl.Opts.Named()
 	if cl.Banks > 1 {
 		s = fmt.Sprintf("%s/banks=%d", s, cl.Banks)
+	}
+	if cl.GPUWB {
+		s += "/gpuwb"
 	}
 	if cl.Mutate != nil {
 		s += "/mutated"
@@ -92,14 +101,22 @@ type Outcome struct {
 	Cycles uint64
 	// OracleChecks counts the oracle's per-delivery sweeps.
 	OracleChecks uint64
+	// Transitions holds the protocol transitions the run fired, when
+	// the caller asked for recording (nil otherwise). Used by
+	// cmd/hscproto's static-vs-dynamic coverage cross-check.
+	Transitions *fsm.Recorder
 }
 
 // runSystem executes one workload on one cell with the oracle on.
-func runSystem(w system.Workload, cl Cell, maxTicks sim.Tick) (Outcome, error) {
+func runSystem(w system.Workload, cl Cell, maxTicks sim.Tick, record bool) (Outcome, error) {
 	cfg := EvalConfig(cl.Opts)
 	cfg.DirBanks = cl.Banks
 	cfg.Oracle = true
 	cfg.Mutate = cl.Mutate
+	cfg.GPU.WriteBackL2 = cl.GPUWB
+	if record {
+		cfg.Protocol.Recorder = fsm.NewRecorder()
+	}
 	if maxTicks > 0 {
 		cfg.MaxTicks = maxTicks
 	}
@@ -111,7 +128,10 @@ func runSystem(w system.Workload, cl Cell, maxTicks sim.Tick) (Outcome, error) {
 	if err := s.CheckCoherence(); err != nil {
 		return Outcome{}, err
 	}
-	return Outcome{Image: s.FuncMem.Snapshot(), Cycles: res.Cycles, OracleChecks: s.OracleChecks()}, nil
+	return Outcome{
+		Image: s.FuncMem.Snapshot(), Cycles: res.Cycles,
+		OracleChecks: s.OracleChecks(), Transitions: cfg.Protocol.Recorder,
+	}, nil
 }
 
 // Delta is one word on which two cells disagree.
@@ -188,27 +208,69 @@ const maxDeltasReported = 8
 // declare UnstableImage still run every cell under the oracle and
 // their own Verify, but skip the cross-cell image comparison — their
 // output placement is legally scheduling-dependent.
+//
+// Cells run concurrently on a worker pool (each simulation is
+// single-threaded and deterministic; only distinct cells run in
+// parallel). The comparison happens in cell order after the pool
+// drains, so the reported failure and the returned outcome prefix are
+// identical to a sequential sweep.
 func DiffWorkload(name string, build func() (system.Workload, error), cells []Cell, maxTicks sim.Tick) (*Failure, []Outcome) {
+	return diffWorkload(name, build, cells, maxTicks, 0, false)
+}
+
+// cellResult is one cell's run, indexed for deterministic comparison.
+type cellResult struct {
+	out      Outcome
+	err      error
+	unstable bool
+}
+
+func diffWorkload(name string, build func() (system.Workload, error), cells []Cell,
+	maxTicks sim.Tick, workers int, record bool) (*Failure, []Outcome) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	results := make([]cellResult, len(cells))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r := &results[i]
+				w, err := build()
+				if err != nil {
+					r.err = err
+					continue
+				}
+				r.unstable = w.UnstableImage
+				r.out, r.err = runSystem(w, cells[i], maxTicks, record)
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Sequential-order comparison over the completed grid.
 	var outcomes []Outcome
-	var ref Outcome
 	for i, cl := range cells {
-		w, err := build()
-		if err != nil {
-			return &Failure{Workload: name, Cell: cl, RefCell: cells[0], Err: err}, outcomes
+		r := results[i]
+		if r.err != nil {
+			return &Failure{Workload: name, Cell: cl, RefCell: cells[0], Err: r.err}, outcomes
 		}
-		out, err := runSystem(w, cl, maxTicks)
-		if err != nil {
-			return &Failure{Workload: name, Cell: cl, RefCell: cells[0], Err: err}, outcomes
-		}
-		outcomes = append(outcomes, out)
-		if i == 0 {
-			ref = out
+		outcomes = append(outcomes, r.out)
+		if i == 0 || r.unstable {
 			continue
 		}
-		if w.UnstableImage {
-			continue
-		}
-		if deltas := diffImages(ref.Image, out.Image, maxDeltasReported); len(deltas) > 0 {
+		if deltas := diffImages(results[0].out.Image, r.out.Image, maxDeltasReported); len(deltas) > 0 {
 			return &Failure{Workload: name, Cell: cl, RefCell: cells[0], Deltas: deltas}, outcomes
 		}
 	}
@@ -239,7 +301,17 @@ type CampaignConfig struct {
 	Params     chai.Params
 	Variants   []core.Options // default verify.Variants()
 	Banks      []int          // default {1, 4}
-	MaxTicks   sim.Tick
+	// Cells, when non-empty, overrides the Variants × Banks matrix with
+	// an explicit cell list (hscproto -cover adds GPU write-back and
+	// read-only-elision cells this way). Cells[0] is the reference.
+	Cells    []Cell
+	MaxTicks sim.Tick
+	// Workers caps the cell worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Record, when non-nil, accumulates every protocol transition the
+	// campaign fires, merged across cells in deterministic cell order
+	// after each benchmark's pool drains. Feeds hscproto -cover.
+	Record *fsm.Recorder
 	// Log, when non-nil, receives one line per completed benchmark.
 	Log func(format string, args ...interface{})
 }
@@ -259,16 +331,20 @@ func Campaign(cfg CampaignConfig) ([]CampaignResult, []*Failure) {
 	if len(benches) == 0 {
 		benches = chai.AllNames()
 	}
-	cells := Cells(cfg.Variants, cfg.Banks)
+	cells := cfg.Cells
+	if len(cells) == 0 {
+		cells = Cells(cfg.Variants, cfg.Banks)
+	}
 	var results []CampaignResult
 	var failures []*Failure
 	for _, bench := range benches {
 		bench := bench
 		build := func() (system.Workload, error) { return chai.ByName(bench, cfg.Params) }
-		fail, outcomes := DiffWorkload(bench, build, cells, cfg.MaxTicks)
+		fail, outcomes := diffWorkload(bench, build, cells, cfg.MaxTicks, cfg.Workers, cfg.Record != nil)
 		res := CampaignResult{Bench: bench, Cells: len(outcomes)}
 		for _, o := range outcomes {
 			res.OracleChecks += o.OracleChecks
+			cfg.Record.Merge(o.Transitions)
 		}
 		results = append(results, res)
 		if fail != nil {

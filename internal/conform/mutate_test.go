@@ -1,0 +1,97 @@
+package conform
+
+import (
+	"testing"
+
+	"hscsim/internal/cachearray"
+	"hscsim/internal/noc"
+	"hscsim/internal/verify"
+)
+
+// Each weakening gets a minimal scenario that provokes it: the model
+// checker explores every interleaving, so a violation on any path
+// convicts the mutator. Every paper variant must catch every mutator —
+// the fault-injection library is only trustworthy if no configuration
+// masks a seeded bug.
+
+func mutatorScenario(name string) verify.Scenario {
+	const a, b = cachearray.LineAddr(0x10), cachearray.LineAddr(0x12) // same L2 set
+	ld := func(l cachearray.LineAddr) verify.AgentOp { return verify.AgentOp{Kind: verify.Load, Line: l} }
+	st := func(l cachearray.LineAddr) verify.AgentOp { return verify.AgentOp{Kind: verify.Store, Line: l} }
+	switch name {
+	case "drop-dirty-ack":
+		// CPU0's store dirties the line; CPU1's load probes the owner,
+		// whose dirty acknowledgment is dropped — the transaction wedges.
+		return verify.Scenario{
+			Name:  "mut-drop-dirty-ack",
+			Lines: []cachearray.LineAddr{a},
+			CPU0:  []verify.AgentOp{st(a)},
+			CPU1:  []verify.AgentOp{ld(a)},
+		}
+	case "reorder-victims":
+		// CPU0 dirties a, conflict-evicts it (the victim never arrives),
+		// then touches a again — wedging on the WBAck that cannot come.
+		return verify.Scenario{
+			Name:  "mut-reorder-victims",
+			Lines: []cachearray.LineAddr{a, b},
+			CPU0:  []verify.AgentOp{st(a), st(b), ld(a)},
+			CPU1:  []verify.AgentOp{ld(a)},
+		}
+	case "stale-sharer-mask":
+		// CPU1 becomes a sharer the mask forgets: CPU0's write leaves
+		// CPU1's Shared copy alive — SWMR violated at the store.
+		return verify.Scenario{
+			Name:  "mut-stale-sharer-mask",
+			Lines: []cachearray.LineAddr{a},
+			CPU0:  []verify.AgentOp{st(a)},
+			CPU1:  []verify.AgentOp{ld(a), ld(a)},
+		}
+	}
+	panic("unknown mutator scenario " + name)
+}
+
+// TestEveryVariantCatchesEveryWeakening: 3 new mutators × 6 paper
+// variants, each must produce a checker violation (oracle value/SWMR
+// check or livelock from the wedged transaction).
+func TestEveryVariantCatchesEveryWeakening(t *testing.T) {
+	for _, name := range []string{"drop-dirty-ack", "reorder-victims", "stale-sharer-mask"} {
+		mu := Weakenings()[name]
+		if mu == nil {
+			t.Fatalf("weakening %s missing from the registry", name)
+		}
+		sc := mutatorScenario(name)
+		for _, opts := range verify.Variants() {
+			opts := opts
+			t.Run(name+"/"+opts.Named(), func(t *testing.T) {
+				res := verify.Run(verify.Config{Opts: opts, Scenario: sc, Mutate: mu})
+				if res.Violation == nil {
+					t.Fatalf("weakening %s not caught under %s (states=%d paths=%d truncated=%v)",
+						name, opts.Named(), res.States, res.Paths, res.Truncated)
+				}
+				t.Logf("caught: %v", res.Violation.Err)
+			})
+		}
+	}
+}
+
+// TestWeakeningsAreIdentityOnHealthyTraffic guards against mutators
+// that break the protocol by rewriting messages they should pass
+// through: with no store in flight there is no dirty ack, no dirty
+// victim, and no invalidation, so a read-sharing scenario must stay
+// clean under every mutator.
+func TestWeakeningsAreIdentityOnHealthyTraffic(t *testing.T) {
+	const a = cachearray.LineAddr(0x10)
+	sc := verify.Scenario{
+		Name:  "mut-healthy",
+		Lines: []cachearray.LineAddr{a},
+		CPU0:  []verify.AgentOp{{Kind: verify.Load, Line: a}},
+		CPU1:  []verify.AgentOp{{Kind: verify.Load, Line: a}},
+	}
+	for name, mu := range Weakenings() { //hsclint:deterministic — each entry checked independently
+		var mu2 noc.Mutator = mu
+		res := verify.Run(verify.Config{Opts: verify.Variants()[0], Scenario: sc, Mutate: mu2})
+		if res.Violation != nil {
+			t.Errorf("mutator %s corrupts healthy read-sharing traffic: %v", name, res.Violation)
+		}
+	}
+}

@@ -256,6 +256,7 @@ func (d *Directory) beginStateless(t *txn) {
 	m := t.req
 	switch m.Type {
 	case msg.RdBlk, msg.RdBlkS, msg.RdBlkM:
+		d.opts.Recorder.Record(machStateless, "-", m.Type.String(), "-") //proto:events RdBlk,RdBlkS,RdBlkM //proto:actions broadcast probes, read LLC/mem, grant
 		t.needData = true
 		t.needUnblock = !d.isTCC(m.Src)
 		inv := m.Type == msg.RdBlkM
@@ -265,16 +266,19 @@ func (d *Directory) beginStateless(t *txn) {
 		d.maybeProgress(t)
 
 	case msg.VicDirty, msg.VicClean:
+		d.opts.Recorder.Record(machStateless, "-", m.Type.String(), "-") //proto:events VicDirty,VicClean //proto:actions commit victim (dir.llc), WBAck
 		d.commitVictim(t, m.Type == msg.VicDirty)
 		d.respondAndFinish(t, msg.WBAck)
 
 	case msg.WT:
+		d.opts.Recorder.Record(machStateless, "-", "WT", "-") //proto:actions broadcast inv probes, commit WT (dir.llc), WBAck
 		d.wts.Inc()
 		d.sendProbes(t, true, d.probeSet(true, m.Src))
 		t.onData = func() { t.extraLatency += d.commitWT(t.addr) }
 		d.maybeProgress(t)
 
 	case msg.Atomic:
+		d.opts.Recorder.Record(machStateless, "-", "Atomic", "-") //proto:actions broadcast inv probes, RMW at directory, AtomicResp
 		d.atomics.Inc()
 		t.needData = true
 		d.sendProbes(t, true, d.probeSet(true, m.Src))
@@ -283,10 +287,12 @@ func (d *Directory) beginStateless(t *txn) {
 		d.maybeProgress(t)
 
 	case msg.Flush:
+		d.opts.Recorder.Record(machStateless, "-", "Flush", "-") //proto:actions FlushAck
 		d.flushes.Inc()
 		d.respondAndFinish(t, msg.FlushAck)
 
 	case msg.DMARd:
+		d.opts.Recorder.Record(machStateless, "-", "DMARd", "-") //proto:actions broadcast downgrade probes, read LLC/mem
 		t.needData = true
 		t.downgrade = true
 		d.sendProbes(t, false, d.probeSet(false, m.Src))
@@ -294,9 +300,11 @@ func (d *Directory) beginStateless(t *txn) {
 		d.maybeProgress(t)
 
 	case msg.DMAWr:
+		d.opts.Recorder.Record(machStateless, "-", "DMAWr", "-") //proto:actions broadcast inv probes, write memory (dir.llc)
 		d.sendProbes(t, true, d.probeSet(true, m.Src))
 		t.onData = func() {
 			// DMA writes do not update the L3 (§III-C); drop the stale copy.
+			d.opts.Recorder.Record(machLLC, "-", "DMAWr", "mem") //proto:actions invalidate stale LLC copy, write memory
 			d.llc.invalidate(t.addr)
 			d.mem.Write(t.addr, nil)
 		}
@@ -536,11 +544,13 @@ func (d *Directory) commitVictim(t *txn, dirty bool) {
 	t.extraLatency += d.timing.LLCLatency
 	if dirty {
 		if d.opts.LLCWriteBack {
+			d.opts.Recorder.Record(machLLC, "-", "VicDirty", "llc-dirty") //proto:when LLCWriteBack //proto:actions insert dirty LLC line, defer memory write
 			if d.llc.insert(t.addr, true) {
 				t.extraLatency += 8 // conflicting dirty LLC line on the critical path
 			}
 			return
 		}
+		d.opts.Recorder.Record(machLLC, "-", "VicDirty", "llc+mem") //proto:unless LLCWriteBack //proto:actions write-through LLC insert plus memory write
 		d.llc.insert(t.addr, false)
 		d.mem.Write(t.addr, nil)
 		return
@@ -549,13 +559,17 @@ func (d *Directory) commitVictim(t *txn, dirty bool) {
 	switch {
 	case d.opts.NoWBCleanVicToLLC:
 		// Dropped entirely (§III-B1): "lost in the air".
+		d.opts.Recorder.Record(machLLC, "-", "VicClean", "drop") //proto:when NoWBCleanVicToLLC //proto:actions drop clean victim
 	case d.opts.LLCWriteBack:
+		d.opts.Recorder.Record(machLLC, "-", "VicClean", "llc") //proto:when LLCWriteBack //proto:unless NoWBCleanVicToLLC //proto:actions insert clean LLC line, no memory write
 		if d.llc.insert(t.addr, false) {
 			t.extraLatency += 8
 		}
 	case d.opts.NoWBCleanVicToMem:
+		d.opts.Recorder.Record(machLLC, "-", "VicClean", "llc") //proto:when NoWBCleanVicToMem //proto:unless NoWBCleanVicToLLC,LLCWriteBack //proto:actions insert clean LLC line, no memory write
 		d.llc.insert(t.addr, false)
 	default:
+		d.opts.Recorder.Record(machLLC, "-", "VicClean", "llc+mem") //proto:unless NoWBCleanVicToLLC,LLCWriteBack,NoWBCleanVicToMem //proto:actions write-through LLC insert plus memory write
 		d.llc.insert(t.addr, false)
 		d.mem.Write(t.addr, nil)
 	}
@@ -566,17 +580,20 @@ func (d *Directory) commitVictim(t *txn, dirty bool) {
 func (d *Directory) commitWT(addr cachearray.LineAddr) sim.Tick {
 	if d.opts.UseL3OnWT {
 		if d.opts.LLCWriteBack {
+			d.opts.Recorder.Record(machLLC, "-", "WT", "llc-dirty") //proto:when UseL3OnWT,LLCWriteBack //proto:actions insert dirty LLC line, defer memory write
 			if d.llc.insert(addr, true) {
 				return 8
 			}
 			return 0
 		}
 		// Write-through LLC: the LLC write also writes memory.
+		d.opts.Recorder.Record(machLLC, "-", "WT", "llc+mem") //proto:when UseL3OnWT //proto:unless LLCWriteBack //proto:actions write-through LLC insert plus memory write
 		d.llc.insert(addr, false)
 		d.mem.Write(addr, nil)
 		return 0
 	}
 	// Bypass: write memory directly; the LLC copy (if any) is stale.
+	d.opts.Recorder.Record(machLLC, "-", "WT", "mem") //proto:unless UseL3OnWT //proto:actions invalidate stale LLC copy, write memory
 	d.llc.invalidate(addr)
 	d.mem.Write(addr, nil)
 	return 0

@@ -16,7 +16,17 @@
 package core
 
 import (
+	"hscsim/internal/fsm"
 	"hscsim/internal/sim"
+)
+
+// Transition-table machine names used by the directory's recording
+// sites (see internal/proto for the extraction pass that reads them).
+const (
+	machStateless = "dir.stateless"
+	machTracked   = "dir.tracked"
+	machLLC       = "dir.llc"
+	machRO        = "dir.ro"
 )
 
 // TrackingMode selects the directory organization of §IV.
@@ -105,6 +115,13 @@ type Options struct {
 	// directory-entry deallocation triggered by a dirty victim does not
 	// invalidate dirty sharers.
 	KeepDirtySharersOnEvict bool
+
+	// Recorder, when non-nil, receives every fired protocol transition
+	// for the static-vs-dynamic cross-check (cmd/hscproto). The system
+	// wires the same recorder into every controller; recording is
+	// zero-cost when nil. The recorder is infrastructure, not a protocol
+	// variant: Named() and the conformance matrix ignore it.
+	Recorder *fsm.Recorder
 }
 
 // Named returns the configuration name used in the paper's figures.

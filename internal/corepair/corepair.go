@@ -9,11 +9,17 @@ import (
 	"fmt"
 
 	"hscsim/internal/cachearray"
+	"hscsim/internal/fsm"
 	"hscsim/internal/msg"
 	"hscsim/internal/noc"
 	"hscsim/internal/sim"
 	"hscsim/internal/stats"
 )
+
+// machine names the L2's coherence state machine in the transition
+// tables extracted by internal/proto; the "WB" pseudo-state is the
+// victim buffer (line evicted, WBAck outstanding).
+const machine = "cpu.l2"
 
 // MOESI is the CPU cache-line state.
 type MOESI uint8
@@ -55,6 +61,15 @@ const (
 )
 
 func (k AccessKind) needsWrite() bool { return k == Store || k == RMW }
+
+// event maps the access kind onto the two transition-table events: an
+// IFetch is a Load for coherence purposes, an RMW a Store.
+func (k AccessKind) event() string {
+	if k.needsWrite() {
+		return "Store"
+	}
+	return "Load"
+}
 
 // Config sizes the CorePair caches (Table II).
 type Config struct {
@@ -124,6 +139,10 @@ type CorePair struct {
 	pendingStores map[cachearray.LineAddr]int
 	probeWait     map[cachearray.LineAddr][]*msg.Message
 
+	// rec records fired protocol transitions for the static-vs-dynamic
+	// cross-check (cmd/hscproto); nil (the default) disables recording.
+	rec *fsm.Recorder
+
 	loads      *stats.Counter
 	stores     *stats.Counter
 	l1Hits     *stats.Counter
@@ -179,6 +198,9 @@ func New(engine *sim.Engine, ic noc.Fabric, id, dirID msg.NodeID, cfg Config, sc
 // NodeID returns the CorePair's interconnect node.
 func (cp *CorePair) NodeID() msg.NodeID { return cp.id }
 
+// SetRecorder attaches (or, with nil, detaches) a transition recorder.
+func (cp *CorePair) SetRecorder(r *fsm.Recorder) { cp.rec = r }
+
 func (cp *CorePair) l1For(core int, kind AccessKind) *cachearray.Array[struct{}] {
 	if kind == IFetch {
 		return cp.l1i
@@ -206,6 +228,7 @@ func (cp *CorePair) access(core int, kind AccessKind, line cachearray.LineAddr, 
 	if ln != nil {
 		st := ln.Meta.State
 		if !kind.needsWrite() {
+			cp.rec.Record(machine, st.String(), "Load", st.String()) //proto:states S,E,O,M //proto:next S,E,O,M //proto:actions serve from L1/L2
 			if l1.Lookup(line) != nil {
 				cp.l1Hits.Inc()
 				cp.engine.Schedule(cp.cfg.L1Latency, done)
@@ -218,12 +241,14 @@ func (cp *CorePair) access(core int, kind AccessKind, line cachearray.LineAddr, 
 		}
 		switch st {
 		case Modified:
+			cp.rec.Record(machine, "M", "Store", "M") //proto:actions commit in place
 			cp.l2Hits.Inc()
 			l1.Insert(line, nil)
 			cp.engine.Schedule(cp.cfg.L1Latency, cp.storeCommit(line, done))
 			return
 		case Exclusive:
 			// Silent E→M: the directory is not informed (§II-B).
+			cp.rec.Record(machine, "E", "Store", "M") //proto:actions silent upgrade
 			ln.Meta.State = Modified
 			cp.l2Hits.Inc()
 			l1.Insert(line, nil)
@@ -231,6 +256,7 @@ func (cp *CorePair) access(core int, kind AccessKind, line cachearray.LineAddr, 
 			return
 		default:
 			// Store to S or O: upgrade via RdBlkM.
+			cp.rec.Record(machine, st.String(), "Store", st.String()) //proto:states S,O //proto:next S,O //proto:actions issue RdBlkM upgrade
 			cp.upgrades.Inc()
 			cp.miss(line, msg.RdBlkM, waiter{core, kind, done})
 			return
@@ -242,10 +268,12 @@ func (cp *CorePair) access(core int, kind AccessKind, line cachearray.LineAddr, 
 		// crossing the window would be answered from the stale victim
 		// while the refetched L2 copy kept its grant, breaking SWMR.
 		// Stall until the writeback acknowledgment retires the victim.
+		cp.rec.Record(machine, "WB", kind.event(), "WB") //proto:events Load,Store //proto:actions stall until WBAck
 		cp.wbStalls.Inc()
 		cp.wbWait[line] = append(cp.wbWait[line], waiter{core, kind, done})
 		return
 	}
+	cp.rec.Record(machine, "I", kind.event(), "I") //proto:events Load,Store //proto:actions issue RdBlk/RdBlkS/RdBlkM
 	cp.l2Misses.Inc()
 	var t msg.Type
 	switch {
@@ -277,6 +305,7 @@ func (cp *CorePair) Receive(m *msg.Message) {
 	case msg.Resp:
 		cp.fill(m)
 	case msg.WBAck:
+		cp.rec.Record(machine, "WB", "WBAck", "I") //proto:actions retire victim, replay stalled accesses
 		delete(cp.wb, m.Addr)
 		if ws := cp.wbWait[m.Addr]; len(ws) > 0 {
 			delete(cp.wbWait, m.Addr)
@@ -311,8 +340,10 @@ func (cp *CorePair) fill(m *msg.Message) {
 	}
 	if existing := cp.l2.Lookup(m.Addr); existing != nil {
 		// Upgrade response for a line already resident (S/O → M).
+		cp.rec.Record(machine, existing.Meta.State.String(), "Fill", st.String()) //proto:states S,O //proto:next M //proto:actions install upgrade grant
 		existing.Meta.State = st
 	} else {
+		cp.rec.Record(machine, "I", "Fill", st.String()) //proto:next S,E,M //proto:actions install grant, send Unblock
 		ln, evTag, evMeta, evicted := cp.l2.Insert(m.Addr, nil)
 		ln.Meta.State = st
 		if evicted {
@@ -332,6 +363,7 @@ func (cp *CorePair) fill(m *msg.Message) {
 // victimize writes back an evicted L2 line (noisy evictions: clean
 // victims are sent too, §II-D) and drops the L1 copies (inclusion).
 func (cp *CorePair) victimize(line cachearray.LineAddr, st MOESI) {
+	cp.rec.Record(machine, st.String(), "Evict", "WB") //proto:states S,E,O,M //proto:actions send VicClean/VicDirty
 	cp.invalidateL1s(line)
 	t := msg.VicClean
 	if st.dirty() {
@@ -387,6 +419,7 @@ func (cp *CorePair) probe(m *msg.Message) {
 	if dirty, inWB := cp.wb[m.Addr]; inWB {
 		// The victim crossed this probe in flight: supply from the
 		// victim buffer.
+		cp.rec.Record(machine, "WB", m.Type.String(), "WB") //proto:events PrbInv,PrbDowngrade //proto:actions answer from victim buffer
 		ack.HasData = true
 		ack.Dirty = dirty
 		cp.probeHits.Inc()
@@ -395,16 +428,26 @@ func (cp *CorePair) probe(m *msg.Message) {
 		ack.HasData = true
 		ack.Dirty = ln.Meta.State.dirty()
 		if m.Type == msg.PrbInv {
+			cp.rec.Record(machine, ln.Meta.State.String(), "PrbInv", "I") //proto:states S,E,O,M //proto:actions ack with data, invalidate
 			cp.l2.Invalidate(m.Addr)
 			cp.invalidateL1s(m.Addr)
 		} else {
 			switch ln.Meta.State {
 			case Modified:
+				cp.rec.Record(machine, "M", "PrbDowngrade", "O")
 				ln.Meta.State = Owned
 			case Exclusive:
+				cp.rec.Record(machine, "E", "PrbDowngrade", "S")
 				ln.Meta.State = Shared
+			default:
+				// S and O already lack write permission: ack, keep state.
+				cp.rec.Record(machine, ln.Meta.State.String(), "PrbDowngrade", ln.Meta.State.String()) //proto:states S,O //proto:next S,O
 			}
 		}
+	} else {
+		// Probe miss: the directory over-approximated the sharer set (or
+		// the copy was silently clean-invalidated); ack without data.
+		cp.rec.Record(machine, "I", m.Type.String(), "I") //proto:events PrbInv,PrbDowngrade //proto:actions ack without data
 	}
 	cp.ic.Send(ack)
 }

@@ -10,11 +10,17 @@ import (
 	"fmt"
 
 	"hscsim/internal/cachearray"
+	"hscsim/internal/fsm"
 	"hscsim/internal/msg"
 	"hscsim/internal/noc"
 	"hscsim/internal/sim"
 	"hscsim/internal/stats"
 )
+
+// machine names the DMA engine's request state machine in the
+// transition tables extracted by internal/proto. The engine caches
+// nothing, so every event is state-independent ("-").
+const machine = "dma.engine"
 
 // Engine is the DMA engine.
 type Engine struct {
@@ -25,6 +31,10 @@ type Engine struct {
 
 	rdWaiters map[cachearray.LineAddr][]func()
 	wrWaiters map[cachearray.LineAddr][]func()
+
+	// rec records fired protocol transitions for the static-vs-dynamic
+	// cross-check (cmd/hscproto); nil (the default) disables recording.
+	rec *fsm.Recorder
 
 	reads  *stats.Counter
 	writes *stats.Counter
@@ -43,8 +53,12 @@ func New(engine *sim.Engine, ic noc.Fabric, id, dirID msg.NodeID, sc *stats.Scop
 	return e
 }
 
+// SetRecorder attaches (or, with nil, detaches) a transition recorder.
+func (e *Engine) SetRecorder(r *fsm.Recorder) { e.rec = r }
+
 // ReadBlock issues a DMARd for one line.
 func (e *Engine) ReadBlock(line cachearray.LineAddr, done func()) {
+	e.rec.Record(machine, "-", "Rd", "-") //proto:actions issue DMARd
 	e.reads.Inc()
 	e.rdWaiters[line] = append(e.rdWaiters[line], done)
 	e.ic.Send(&msg.Message{Type: msg.DMARd, Addr: line, Src: e.id, Dst: e.dirID})
@@ -52,6 +66,7 @@ func (e *Engine) ReadBlock(line cachearray.LineAddr, done func()) {
 
 // WriteBlock issues a DMAWr for one line.
 func (e *Engine) WriteBlock(line cachearray.LineAddr, done func()) {
+	e.rec.Record(machine, "-", "Wr", "-") //proto:actions issue DMAWr
 	e.writes.Inc()
 	e.wrWaiters[line] = append(e.wrWaiters[line], done)
 	e.ic.Send(&msg.Message{Type: msg.DMAWr, Addr: line, Src: e.id, Dst: e.dirID})
@@ -102,8 +117,10 @@ func (e *Engine) Stream(base uint64, length int, write bool, maxOutstanding int,
 func (e *Engine) Receive(m *msg.Message) {
 	switch m.Type {
 	case msg.Resp:
+		e.rec.Record(machine, "-", "Resp", "-") //proto:actions complete oldest read on the line
 		e.pop(e.rdWaiters, m)
 	case msg.WBAck:
+		e.rec.Record(machine, "-", "WBAck", "-") //proto:actions complete oldest write on the line
 		e.pop(e.wrWaiters, m)
 	default:
 		panic(fmt.Sprintf("dma: unexpected %s", m))

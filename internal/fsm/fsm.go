@@ -1,0 +1,105 @@
+// Package fsm is the dynamic half of the protocol transition-table
+// toolkit (internal/proto is the static half). Controllers call
+// (*Recorder).Record at every coherence state-machine arm; a nil
+// recorder makes the call a no-op, so recording costs nothing unless a
+// harness switches it on (core.Options.Recorder). The static extractor
+// in internal/proto finds exactly these Record call sites and rebuilds
+// the declared (state, event) → next table from their arguments and
+// //proto: annotations; cmd/hscproto then cross-checks the statically
+// declared transitions against the ones a full conformance matrix
+// actually fired.
+package fsm
+
+import "sort"
+
+// Transition is one fired (or declared) state-machine arc. State and
+// Next use "-" for machines (or events) that are state-independent.
+type Transition struct {
+	Machine string // e.g. "cpu.l2", "dir.tracked"
+	State   string // e.g. "M", "-"
+	Event   string // e.g. "PrbInv", "VicClean"
+	Next    string // e.g. "O", "drop"
+}
+
+// Recorder accumulates fired-transition counts. It is not safe for
+// concurrent use: attach one Recorder per simulated system and Merge
+// the results afterwards. The zero value of *Recorder (nil) is a valid
+// always-off recorder.
+type Recorder struct {
+	counts map[Transition]uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{counts: make(map[Transition]uint64)}
+}
+
+// Record notes one firing of (machine, state, event) → next. Calling
+// Record on a nil receiver is a no-op; controllers call it
+// unconditionally and pay only a nil check when recording is off.
+func (r *Recorder) Record(machine, state, event, next string) {
+	if r == nil {
+		return
+	}
+	r.counts[Transition{Machine: machine, State: state, Event: event, Next: next}]++
+}
+
+// Merge folds other's counts into r. A nil other is a no-op.
+func (r *Recorder) Merge(other *Recorder) {
+	if r == nil || other == nil {
+		return
+	}
+	for t, n := range other.counts { //hsclint:deterministic — count merge is order-independent
+		r.counts[t] += n
+	}
+}
+
+// Count returns how many times t fired.
+func (r *Recorder) Count(t Transition) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.counts[t]
+}
+
+// Len returns the number of distinct transitions fired.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.counts)
+}
+
+// Transitions returns the distinct fired transitions sorted by
+// (machine, state, event, next).
+func (r *Recorder) Transitions() []Transition {
+	if r == nil {
+		return nil
+	}
+	out := make([]Transition, 0, len(r.counts))
+	for t := range r.counts { //hsclint:deterministic — sorted below
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Less orders transitions lexicographically by (Machine, State, Event,
+// Next).
+func (t Transition) Less(o Transition) bool {
+	if t.Machine != o.Machine {
+		return t.Machine < o.Machine
+	}
+	if t.State != o.State {
+		return t.State < o.State
+	}
+	if t.Event != o.Event {
+		return t.Event < o.Event
+	}
+	return t.Next < o.Next
+}
+
+// String renders the transition as "machine: (state, event) -> next".
+func (t Transition) String() string {
+	return t.Machine + ": (" + t.State + ", " + t.Event + ") -> " + t.Next
+}

@@ -1,0 +1,59 @@
+package fsm
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Record("m", "I", "Rd", "S") // must not panic
+	r.Merge(NewRecorder())
+	if r.Len() != 0 || r.Transitions() != nil || r.Count(Transition{}) != 0 {
+		t.Fatal("nil recorder should report nothing")
+	}
+}
+
+func TestRecordAndSortedTransitions(t *testing.T) {
+	r := NewRecorder()
+	r.Record("b", "I", "Rd", "S")
+	r.Record("a", "M", "PrbInv", "I")
+	r.Record("a", "M", "PrbDowngrade", "O")
+	r.Record("b", "I", "Rd", "S")
+	if got := r.Count(Transition{"b", "I", "Rd", "S"}); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	want := []Transition{
+		{"a", "M", "PrbDowngrade", "O"},
+		{"a", "M", "PrbInv", "I"},
+		{"b", "I", "Rd", "S"},
+	}
+	if got := r.Transitions(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	a.Record("m", "I", "Rd", "S")
+	b.Record("m", "I", "Rd", "S")
+	b.Record("m", "S", "PrbInv", "I")
+	a.Merge(b)
+	a.Merge(nil)
+	if got := a.Count(Transition{"m", "I", "Rd", "S"}); got != 2 {
+		t.Fatalf("merged count = %d, want 2", got)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("merged len = %d, want 2", a.Len())
+	}
+}
+
+func TestTransitionString(t *testing.T) {
+	tr := Transition{"cpu.l2", "M", "PrbDowngrade", "O"}
+	if got, want := tr.String(), "cpu.l2: (M, PrbDowngrade) -> O"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -8,12 +8,19 @@ import (
 	"sort"
 
 	"hscsim/internal/cachearray"
+	"hscsim/internal/fsm"
 	"hscsim/internal/gpucache"
 	"hscsim/internal/memdata"
 	"hscsim/internal/prog"
 	"hscsim/internal/sim"
 	"hscsim/internal/stats"
 )
+
+// machine names the wavefront dispatcher's memory-operation dispatch
+// machine in the transition tables extracted by internal/proto: which
+// cache-complex action each wave op kind triggers. Dispatch is
+// stateless, so every event uses the "-" state.
+const machine = "gpu.wave"
 
 // Config sets GPU dispatch parameters.
 type Config struct {
@@ -44,6 +51,10 @@ type Dispatcher struct {
 
 	queue  []*launch
 	active *launch
+
+	// rec records fired dispatch transitions for the static-vs-dynamic
+	// cross-check (cmd/hscproto); nil (the default) disables recording.
+	rec *fsm.Recorder
 
 	kernels   *stats.Counter
 	waveOps   *stats.Counter
@@ -84,6 +95,9 @@ func New(engine *sim.Engine, caches *gpucache.GPUCaches, fm *memdata.Memory,
 		wavesDone: sc.Counter("waves_done"),
 	}
 }
+
+// SetRecorder attaches (or, with nil, detaches) a transition recorder.
+func (d *Dispatcher) SetRecorder(r *fsm.Recorder) { d.rec = r }
 
 // Launch implements cpu.Dispatcher.
 func (d *Dispatcher) Launch(k *prog.Kernel, h *prog.KernelHandle) {
@@ -170,6 +184,7 @@ func (wr *waveRun) exec(op prog.WaveOp) {
 	d := wr.d
 	switch op.Kind {
 	case prog.WaveVecLoad:
+		d.rec.Record(machine, "-", "VecLoad", "-") //proto:actions coalesce, TCP/TCC read per line
 		lines := coalesce(op.Addrs)
 		remaining := len(lines)
 		for _, ln := range lines {
@@ -186,6 +201,7 @@ func (wr *waveRun) exec(op prog.WaveOp) {
 		}
 
 	case prog.WaveVecStore:
+		d.rec.Record(machine, "-", "VecStore", "-") //proto:actions coalesce, TCC write per line
 		lines := coalesce(op.Addrs)
 		remaining := len(lines)
 		for _, ln := range lines {
@@ -201,14 +217,17 @@ func (wr *waveRun) exec(op prog.WaveOp) {
 		}
 
 	case prog.WaveAtomicSys:
+		d.rec.Record(machine, "-", "AtomicSys", "-") //proto:actions system-scope atomic at directory
 		d.caches.AtomicSystem(wr.cu, cachearray.LineAddr(op.Addr>>6), op.Addr,
 			op.AOp, op.Operand, op.Compare, func(old uint64) { wr.resume([]uint64{old}) })
 
 	case prog.WaveAtomicDev:
+		d.rec.Record(machine, "-", "AtomicDev", "-") //proto:actions device-scope atomic at TCC
 		d.caches.AtomicDevice(wr.cu, cachearray.LineAddr(op.Addr>>6), op.Addr,
 			op.AOp, op.Operand, op.Compare, func(old uint64) { wr.resume([]uint64{old}) })
 
 	case prog.WaveBarrier:
+		d.rec.Record(machine, "-", "Barrier", "-") //proto:actions join workgroup barrier
 		l := wr.l
 		b := l.barriers[wr.w.WG]
 		if b == nil {
@@ -226,6 +245,7 @@ func (wr *waveRun) exec(op prog.WaveOp) {
 		}
 
 	case prog.WaveCompute:
+		d.rec.Record(machine, "-", "Compute", "-") //proto:actions occupy ALU for op.Cycles
 		d.engine.Schedule(d.gpuTicks(op.Cycles), func() { wr.resume(nil) })
 	}
 }

@@ -14,12 +14,29 @@ import (
 	"fmt"
 
 	"hscsim/internal/cachearray"
+	"hscsim/internal/fsm"
 	"hscsim/internal/memdata"
 	"hscsim/internal/msg"
 	"hscsim/internal/noc"
 	"hscsim/internal/sim"
 	"hscsim/internal/stats"
 )
+
+// machine names the TCC's VIPER state machine in the transition tables
+// extracted by internal/proto. States: I (absent), V (valid clean),
+// D (valid dirty, WB_L2 only); "-" marks state-independent FIFO events.
+const machine = "gpu.tcc"
+
+// tccState renders a TCC line's VIPER state for transition recording.
+func tccState(ln *cachearray.Line[tccMeta]) string {
+	if ln == nil {
+		return "I"
+	}
+	if ln.Meta.Dirty {
+		return "D"
+	}
+	return "V"
+}
 
 // Config sizes the GPU caches (Table II; latencies converted to CPU
 // ticks, the GPU running at 1.1 GHz vs the CPU's 3.5 GHz).
@@ -87,6 +104,10 @@ type GPUCaches struct {
 	wtAcks  map[cachearray.LineAddr][]func()    // WT → WBAck FIFO
 	atomics map[cachearray.LineAddr][]func(old uint64)
 	flushes []func() // Flush → FlushAck FIFO
+
+	// rec records fired protocol transitions for the static-vs-dynamic
+	// cross-check (cmd/hscproto); nil (the default) disables recording.
+	rec *fsm.Recorder
 
 	reads      *stats.Counter
 	writes     *stats.Counter
@@ -167,6 +188,9 @@ func (g *GPUCaches) idOf(line cachearray.LineAddr) msg.NodeID {
 // NodeIDs returns the TCC banks' interconnect nodes.
 func (g *GPUCaches) NodeIDs() []msg.NodeID { return g.ids }
 
+// SetRecorder attaches (or, with nil, detaches) a transition recorder.
+func (g *GPUCaches) SetRecorder(r *fsm.Recorder) { g.rec = r }
+
 // ReadLine services a coalesced vector load for one cache line from a
 // CU's TCP; done fires when the data is available.
 func (g *GPUCaches) ReadLine(cu int, line cachearray.LineAddr, done func()) {
@@ -181,12 +205,14 @@ func (g *GPUCaches) ReadLine(cu int, line cachearray.LineAddr, done func()) {
 }
 
 func (g *GPUCaches) tccRead(cu int, line cachearray.LineAddr, done func()) {
-	if g.tccOf(line).Lookup(line) != nil {
+	if ln := g.tccOf(line).Lookup(line); ln != nil {
+		g.rec.Record(machine, tccState(ln), "Rd", tccState(ln)) //proto:states V,D //proto:next V,D //proto:actions serve from TCC
 		g.tccHits.Inc()
 		g.tcps[cu].Insert(line, nil)
 		g.engine.Schedule(g.cfg.TCCLatency, done)
 		return
 	}
+	g.rec.Record(machine, "I", "Rd", "I") //proto:actions issue RdBlk (or join MSHR)
 	g.tccMisses.Inc()
 	if ws, outstanding := g.mshr[line]; outstanding {
 		g.mshr[line] = append(ws, gpuWaiter{cu, done})
@@ -216,8 +242,10 @@ func (g *GPUCaches) WriteLine(cu int, line cachearray.LineAddr, done func()) {
 func (g *GPUCaches) tccWrite(line cachearray.LineAddr, done func()) {
 	if g.cfg.WriteBackL2 {
 		if ln := g.tccOf(line).Lookup(line); ln != nil {
+			g.rec.Record(machine, tccState(ln), "Wr", "D") //proto:states V,D //proto:actions mark dirty (WB_L2)
 			ln.Meta.Dirty = true
 		} else {
+			g.rec.Record(machine, "I", "Wr", "D") //proto:actions allocate dirty (WB_L2)
 			g.insertTCC(line, true)
 		}
 		g.engine.Schedule(g.cfg.TCCLatency, done)
@@ -226,7 +254,10 @@ func (g *GPUCaches) tccWrite(line cachearray.LineAddr, done func()) {
 	// Write-through: the TCC keeps/updates a valid copy and forwards the
 	// write to the directory.
 	if g.tccOf(line).Peek(line) == nil {
+		g.rec.Record(machine, "I", "Wr", "V") //proto:actions allocate, send WT
 		g.insertTCC(line, false)
+	} else {
+		g.rec.Record(machine, "V", "Wr", "V") //proto:actions update copy, send WT
 	}
 	g.sendWT(line, true, done)
 }
@@ -255,7 +286,10 @@ func (g *GPUCaches) insertTCC(line cachearray.LineAddr, dirty bool) {
 	ln, evTag, evMeta, evicted := arr.Insert(line, nil)
 	ln.Meta.Dirty = dirty
 	if evicted && evMeta.Dirty {
+		g.rec.Record(machine, "D", "Evict", "I") //proto:actions write back victim (WT)
 		g.sendWT(evTag, false, nil)
+	} else if evicted {
+		g.rec.Record(machine, "V", "Evict", "I") //proto:actions drop clean victim silently
 	}
 }
 
@@ -267,7 +301,12 @@ func (g *GPUCaches) AtomicSystem(cu int, line cachearray.LineAddr, word memdata.
 	g.sysAtomics.Inc()
 	g.tcps[cu].Invalidate(line)
 	if meta, ok := g.tccOf(line).Invalidate(line); ok && meta.Dirty {
+		g.rec.Record(machine, "D", "AtomicSys", "I") //proto:actions flush dirty copy (WT), issue Atomic
 		g.sendWT(line, false, nil)
+	} else if ok {
+		g.rec.Record(machine, "V", "AtomicSys", "I") //proto:actions drop copy, issue Atomic
+	} else {
+		g.rec.Record(machine, "I", "AtomicSys", "I") //proto:actions issue Atomic (bypass)
 	}
 	g.atomics[line] = append(g.atomics[line], done)
 	g.engine.Schedule(g.cfg.TCCLatency, func() {
@@ -289,13 +328,18 @@ func (g *GPUCaches) AtomicDevice(cu int, line cachearray.LineAddr, word memdata.
 		old := g.funcMem.RMW(word, op, operand, compare)
 		if g.cfg.WriteBackL2 {
 			if ln := g.tccOf(line).Lookup(line); ln != nil {
+				g.rec.Record(machine, tccState(ln), "AtomicDev", "D") //proto:states V,D //proto:actions RMW at TCC, mark dirty
 				ln.Meta.Dirty = true
 			} else {
+				g.rec.Record(machine, "I", "AtomicDev", "D") //proto:actions RMW at TCC, allocate dirty
 				g.insertTCC(line, true)
 			}
 		} else {
 			if g.tccOf(line).Peek(line) == nil {
+				g.rec.Record(machine, "I", "AtomicDev", "V") //proto:actions RMW at TCC, allocate, send WT
 				g.insertTCC(line, false)
+			} else {
+				g.rec.Record(machine, "V", "AtomicDev", "V") //proto:actions RMW at TCC, send WT
 			}
 			g.sendWT(line, true, nil)
 		}
@@ -336,6 +380,7 @@ func (g *GPUCaches) ReleaseFlush(done func()) {
 			})
 		}
 		for _, a := range dirtyLines {
+			g.rec.Record(machine, "D", "FlushWB", "V") //proto:actions write back dirty line at release
 			if ln := g.tccOf(a).Peek(a); ln != nil {
 				ln.Meta.Dirty = false
 			}
@@ -355,13 +400,18 @@ func (g *GPUCaches) Receive(m *msg.Message) {
 		if ws == nil {
 			panic(fmt.Sprintf("gpucache: fill without MSHR %s", m))
 		}
+		// A copy that landed while the miss was in flight (WT insert or
+		// WB_L2 write) absorbs the fill and keeps its dirty bit.
+		before := tccState(g.tccOf(m.Addr).Peek(m.Addr))
 		g.insertTCC(m.Addr, false)
+		g.rec.Record(machine, before, "Fill", tccState(g.tccOf(m.Addr).Peek(m.Addr))) //proto:states I,V,D //proto:next V,V,D //proto:actions install fill, wake waiters
 		for _, w := range ws {
 			g.tcps[w.cu].Insert(m.Addr, nil)
 			w.done()
 		}
 
 	case msg.WBAck:
+		g.rec.Record(machine, "-", "WBAck", "-") //proto:actions retire oldest WT on the line
 		q := g.wtAcks[m.Addr]
 		if len(q) == 0 {
 			panic(fmt.Sprintf("gpucache: stray WBAck %s", m))
@@ -375,6 +425,7 @@ func (g *GPUCaches) Receive(m *msg.Message) {
 		done()
 
 	case msg.AtomicResp:
+		g.rec.Record(machine, "-", "AtomicResp", "-") //proto:actions deliver old value to waiter
 		q := g.atomics[m.Addr]
 		if len(q) == 0 {
 			panic(fmt.Sprintf("gpucache: stray AtomicResp %s", m))
@@ -388,6 +439,7 @@ func (g *GPUCaches) Receive(m *msg.Message) {
 		done(m.Old)
 
 	case msg.FlushAck:
+		g.rec.Record(machine, "-", "FlushAck", "-") //proto:actions complete release flush
 		done := g.flushes[0]
 		g.flushes = g.flushes[:copy(g.flushes, g.flushes[1:])]
 		done()
@@ -399,11 +451,18 @@ func (g *GPUCaches) Receive(m *msg.Message) {
 			// A dirty WB-mode line is lost to the probe; VIPER relies on
 			// the write-through of its data having system visibility, so
 			// flush it on the way out.
+			g.rec.Record(machine, "D", "PrbInv", "I") //proto:actions flush dirty copy (WT), ack
 			g.sendWT(m.Addr, false, nil)
+		} else if ok {
+			g.rec.Record(machine, "V", "PrbInv", "I") //proto:actions drop copy, ack
+		} else {
+			g.rec.Record(machine, "I", "PrbInv", "I") //proto:actions ack without data
 		}
 		g.ic.Send(&msg.Message{Type: msg.PrbAck, Addr: m.Addr, Src: g.idOf(m.Addr), Dst: m.Src, TxnID: m.TxnID})
 
 	case msg.PrbDowngrade:
+		// The TCC holds no exclusive permission to surrender: ack only.
+		g.rec.Record(machine, "-", "PrbDowngrade", "-") //proto:actions ack, keep state
 		g.probesRecv.Inc()
 		g.ic.Send(&msg.Message{Type: msg.PrbAck, Addr: m.Addr, Src: g.idOf(m.Addr), Dst: m.Src, TxnID: m.TxnID})
 

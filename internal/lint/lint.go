@@ -75,7 +75,7 @@ func (p *Pass) Report(pos token.Pos, format string, args ...interface{}) {
 
 // All returns every registered analyzer.
 func All() []*Analyzer {
-	return []*Analyzer{MsgSwitch, MapLoop, StatsReg}
+	return []*Analyzer{MsgSwitch, MapLoop, StatsReg, Determinism}
 }
 
 // Check runs the analyzers over the packages and returns findings

@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"os"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -79,6 +81,95 @@ func TestStatsRegCatchesUnassignedFields(t *testing.T) {
 	}
 	if strings.Contains(joined, "widget.hits") {
 		t.Fatalf("registered field reported: %v", diags)
+	}
+}
+
+func TestDeterminismCatchesClockAndGlobalRand(t *testing.T) {
+	pkgs := loadBad(t)
+	detPackages[badPkg] = true
+	defer delete(detPackages, badPkg)
+
+	diags := Check(pkgs, []*Analyzer{Determinism})
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{"time.Now", "time.Since", "rand.Seed", "rand.Intn"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing a %s diagnostic in:\n%s", want, joined)
+		}
+	}
+	// False-positive guard: exactly the two clock reads, the two global
+	// draws, and sum's unannotated map range (det-only packages get the
+	// map check from this analyzer) — so rand.New, rand.NewSource, the
+	// *rand.Rand method call and the Duration arithmetic all passed.
+	if len(diags) != 5 {
+		t.Errorf("got %d diagnostics, want 5:\n%s", len(diags), joined)
+	}
+}
+
+func TestDeterminismIgnoresUnreachablePackages(t *testing.T) {
+	if diags := Check(loadBad(t), []*Analyzer{Determinism}); len(diags) != 0 {
+		t.Fatalf("package outside the simulation-reachable set reported: %v", diags)
+	}
+}
+
+// wantRE matches one golden expectation: //want <analyzer> "<substring>"
+var wantRE = regexp.MustCompile(`//want (\w+) "([^"]+)"`)
+
+// TestGoldenExpectations runs every analyzer over the testdata package
+// and matches the diagnostics, line by line, against the //want
+// comments in the source (the analysistest idiom): every diagnostic
+// needs a matching expectation and every expectation a diagnostic.
+func TestGoldenExpectations(t *testing.T) {
+	pkgs := loadBad(t)
+	hotPackages[badPkg] = true
+	detPackages[badPkg] = true
+	defer func() {
+		delete(hotPackages, badPkg)
+		delete(detPackages, badPkg)
+	}()
+
+	type want struct {
+		analyzer, substr string
+		matched          bool
+	}
+	src, err := os.ReadFile("testdata/bad/bad.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[int][]*want)
+	total := 0
+	for i, line := range strings.Split(string(src), "\n") {
+		for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+			wants[i+1] = append(wants[i+1], &want{analyzer: m[1], substr: m[2]})
+			total++
+		}
+	}
+	if total < 7 {
+		t.Fatalf("only %d //want expectations parsed — the testdata lost some", total)
+	}
+
+	for _, d := range Check(pkgs, All()) {
+		matched := false
+		for _, w := range wants[d.Pos.Line] {
+			if !w.matched && w.analyzer == d.Analyzer && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for line, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("line %d: no %s diagnostic matching %q", line, w.analyzer, w.substr)
+			}
+		}
 	}
 }
 

@@ -1,9 +1,15 @@
 // Package bad deliberately violates every hsclint rule; it lives under
 // testdata so wildcard patterns (and therefore builds, vet and the CI
-// lint sweep) skip it, and only internal/lint's tests load it.
+// lint sweep) skip it, and only internal/lint's tests load it. Each
+// `//want <analyzer> "<substring>"` comment is a golden expectation the
+// test harness matches against the diagnostics on that line; lines
+// without one must produce none (the false-positive guards).
 package bad
 
 import (
+	"math/rand"
+	"time"
+
 	"hscsim/internal/msg"
 	"hscsim/internal/stats"
 )
@@ -11,7 +17,7 @@ import (
 // classify switches on msg.Type without a default and without covering
 // every type → msgswitch.
 func classify(t msg.Type) int {
-	switch t {
+	switch t { //want msgswitch "PrbAck"
 	case msg.RdBlk:
 		return 1
 	case msg.WT:
@@ -21,11 +27,11 @@ func classify(t msg.Type) int {
 }
 
 // widget declares stats fields its constructor never registers →
-// statsreg (misses and lat; hits is fine).
+// statsreg (misses and lat; hits is the false-positive guard).
 type widget struct {
 	hits   *stats.Counter
-	misses *stats.Counter
-	lat    *stats.Histogram
+	misses *stats.Counter   //want statsreg "widget.misses"
+	lat    *stats.Histogram //want statsreg "widget.lat"
 }
 
 func newWidget(sc *stats.Scope) *widget {
@@ -37,7 +43,7 @@ func newWidget(sc *stats.Scope) *widget {
 // order-insensitive body, so it must NOT be reported.
 func sum(m map[int]int) int {
 	total := 0
-	for _, v := range m {
+	for _, v := range m { //want maploop "map iteration"
 		total += v
 	}
 	for k := range m { //hsclint:deterministic — max is order-free
@@ -48,6 +54,26 @@ func sum(m map[int]int) int {
 	return total
 }
 
+// stamp reads the wall clock → determinism (Now, Since). The Duration
+// arithmetic and constructors are pure and must NOT be reported.
+func stamp() time.Duration {
+	start := time.Now()    //want determinism "time.Now"
+	d := time.Since(start) //want determinism "time.Since"
+	return d + 3*time.Millisecond
+}
+
+// draw mixes the banned process-global source (rand.Intn, rand.Seed)
+// with the approved seeded-generator idiom; the rand.New/rand.NewSource
+// constructors and the *rand.Rand method calls are the false-positive
+// guards.
+func draw() int {
+	rand.Seed(7) //want determinism "rand.Seed"
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10) + rand.Intn(10) //want determinism "rand.Intn"
+}
+
 var _ = classify
 var _ = newWidget
 var _ = sum
+var _ = stamp
+var _ = draw

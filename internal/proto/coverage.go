@@ -1,0 +1,173 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hscsim/internal/fsm"
+)
+
+// Coverage is the static-vs-dynamic cross-check result for one
+// machine: which statically extracted transitions the recorded runs
+// actually fired.
+type Coverage struct {
+	Machine       string
+	Declared      int    // transitions in the extracted table
+	Fired         int    // declared transitions observed at run time
+	Exempt        int    // declared transitions excused by the spec
+	Unfired       []TKey // declared, not exempt, never fired
+	ExemptUnfired []TKey // declared, exempt, never fired
+	Unknown       []TKey // fired but not declared — an extraction gap
+}
+
+// CrossCheck compares the extracted table with the transitions a
+// recorder observed. Every machine of the table gets a Coverage entry;
+// transitions fired under machine names absent from the table are
+// reported under their own name with only Unknown populated.
+func CrossCheck(t *Table, rec *fsm.Recorder) []Coverage {
+	fired := make(map[string]map[TKey]bool)
+	for _, tr := range rec.Transitions() {
+		byKey := fired[tr.Machine]
+		if byKey == nil {
+			byKey = make(map[TKey]bool)
+			fired[tr.Machine] = byKey
+		}
+		byKey[TKey{State: tr.State, Event: tr.Event, Next: tr.Next}] = true
+	}
+
+	var out []Coverage
+	for _, m := range t.Machines {
+		cov := Coverage{Machine: m.Name, Declared: len(m.Entries)}
+		spec := SpecFor(m.Name)
+		declared := make(map[TKey]bool, len(m.Entries))
+		for _, e := range m.Entries {
+			declared[e.TKey] = true
+			exempt := false
+			if spec != nil {
+				_, exempt = spec.CoverageExempt[e.TKey]
+			}
+			if exempt {
+				cov.Exempt++
+			}
+			if fired[m.Name][e.TKey] {
+				cov.Fired++
+			} else if exempt {
+				cov.ExemptUnfired = append(cov.ExemptUnfired, e.TKey)
+			} else {
+				cov.Unfired = append(cov.Unfired, e.TKey)
+			}
+		}
+		for k := range fired[m.Name] {
+			if !declared[k] {
+				cov.Unknown = append(cov.Unknown, k)
+			}
+		}
+		sortKeys(cov.Unfired)
+		sortKeys(cov.ExemptUnfired)
+		sortKeys(cov.Unknown)
+		out = append(out, cov)
+	}
+
+	// Machines the recorder saw but the table does not know at all.
+	names := make([]string, 0, len(fired))
+	for name := range fired {
+		if t.Machine(name) == nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cov := Coverage{Machine: name}
+		for k := range fired[name] {
+			cov.Unknown = append(cov.Unknown, k)
+		}
+		sortKeys(cov.Unknown)
+		out = append(out, cov)
+	}
+	return out
+}
+
+func sortKeys(ks []TKey) {
+	sort.Slice(ks, func(i, j int) bool {
+		a, b := ks[i], ks[j]
+		if a.State != b.State {
+			return a.State < b.State
+		}
+		if a.Event != b.Event {
+			return a.Event < b.Event
+		}
+		return a.Next < b.Next
+	})
+}
+
+// Summarize reduces a cross-check to the CI verdict: the fired
+// percentage over non-exempt declared transitions, and the failure
+// reasons. Unknown-fired transitions (extraction gaps) always fail;
+// unfired ones fail only when coverage drops below minPercent, in
+// which case each is listed by name.
+func Summarize(cov []Coverage, minPercent float64) (percent float64, problems []string) {
+	declared, fired := 0, 0
+	var unfired []string
+	for _, c := range cov {
+		declared += c.Declared - c.Exempt
+		// Exempt transitions that fired anyway do not count either way.
+		fired += c.Fired - (c.Exempt - len(c.ExemptUnfired))
+		for _, k := range c.Unfired {
+			unfired = append(unfired, fmt.Sprintf("%s: declared but never fired: %s", c.Machine, k))
+		}
+		for _, k := range c.Unknown {
+			problems = append(problems, fmt.Sprintf("%s: fired but not in the static table (extraction gap): %s", c.Machine, k))
+		}
+	}
+	if declared == 0 {
+		return 0, append(problems, "no transitions declared")
+	}
+	percent = 100 * float64(fired) / float64(declared)
+	if percent < minPercent {
+		problems = append(problems, unfired...)
+		problems = append(problems, fmt.Sprintf("coverage %.1f%% (%d/%d non-exempt transitions fired) below the %.0f%% bar",
+			percent, fired, declared, minPercent))
+	}
+	return percent, problems
+}
+
+// Report renders a cross-check as text: one line per machine, then the
+// unfired and unknown transitions by name.
+func Report(cov []Coverage) string {
+	var b strings.Builder
+	for _, c := range cov {
+		if c.Declared == 0 {
+			fmt.Fprintf(&b, "%-14s not in static table, %d unknown transitions fired\n", c.Machine, len(c.Unknown))
+			continue
+		}
+		nonExempt := c.Declared - c.Exempt
+		firedNonExempt := c.Fired - (c.Exempt - len(c.ExemptUnfired))
+		fmt.Fprintf(&b, "%-14s %3d/%3d fired (%5.1f%%)", c.Machine, firedNonExempt, nonExempt,
+			100*float64(firedNonExempt)/float64(max(nonExempt, 1)))
+		if c.Exempt > 0 {
+			fmt.Fprintf(&b, ", %d exempt", c.Exempt)
+		}
+		if len(c.Unknown) > 0 {
+			fmt.Fprintf(&b, ", %d UNKNOWN", len(c.Unknown))
+		}
+		b.WriteString("\n")
+		for _, k := range c.Unfired {
+			fmt.Fprintf(&b, "    unfired: %s\n", k)
+		}
+		for _, k := range c.ExemptUnfired {
+			fmt.Fprintf(&b, "    unfired (exempt): %s\n", k)
+		}
+		for _, k := range c.Unknown {
+			fmt.Fprintf(&b, "    unknown: %s\n", k)
+		}
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

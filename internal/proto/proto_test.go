@@ -1,0 +1,268 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+
+	"hscsim/internal/fsm"
+	"hscsim/internal/verify"
+)
+
+// extractRepo loads and extracts the real controller sources once per
+// test binary.
+var repoTable *Table
+
+func repoExtract(t *testing.T) *Table {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("loads and type-checks the controller packages")
+	}
+	if repoTable == nil {
+		tbl, err := Extract(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		repoTable = tbl
+	}
+	return repoTable
+}
+
+// TestRepoTablePassesStaticCheck is the enforcement test: the
+// transition table extracted from the real controllers must satisfy
+// the spec — every reachable (state, event) cell handled, no
+// unreachable arms, paper-exact variant deltas.
+func TestRepoTablePassesStaticCheck(t *testing.T) {
+	tbl := repoExtract(t)
+	for _, p := range CheckStatic(tbl) {
+		t.Errorf("%s", p)
+	}
+}
+
+// TestRepoTableShape pins the headline numbers: all eight machines
+// extracted, with the expected transition counts per machine.
+func TestRepoTableShape(t *testing.T) {
+	tbl := repoExtract(t)
+	want := map[string]int{
+		"cpu.l2":        34,
+		"dir.llc":       11,
+		"dir.ro":        4,
+		"dir.stateless": 10,
+		"dir.tracked":   39,
+		"dma.engine":    4,
+		"gpu.tcc":       29,
+		"gpu.wave":      6,
+	}
+	if len(tbl.Machines) != len(want) {
+		t.Errorf("extracted %d machines, want %d", len(tbl.Machines), len(want))
+	}
+	for name, n := range want {
+		m := tbl.Machine(name)
+		if m == nil {
+			t.Errorf("machine %s not extracted", name)
+			continue
+		}
+		if len(m.Entries) != n {
+			t.Errorf("%s: %d transitions extracted, want %d", name, len(m.Entries), n)
+			for _, e := range m.Entries {
+				t.Logf("  %s (%s)", e.TKey, siteList(e))
+			}
+		}
+	}
+}
+
+// TestVariantTablesMatchVerify pins the spec's variant list to
+// verify.Variants so the two cannot drift.
+func TestVariantTablesMatchVerify(t *testing.T) {
+	vs := verify.Variants()
+	tables := LLCVariantTables()
+	if len(vs) != len(tables) {
+		t.Fatalf("spec has %d variants, verify.Variants has %d", len(tables), len(vs))
+	}
+	for i, v := range vs {
+		if tables[i].Opts != v {
+			t.Errorf("variant %d: spec opts %+v != verify.Variants opts %+v", i, tables[i].Opts, v)
+		}
+	}
+}
+
+func TestExpand(t *testing.T) {
+	cases := []struct {
+		site Site
+		want []TKey
+		err  string
+	}{
+		{ // zip
+			site: Site{States: []string{"S", "O"}, Events: []string{"Load"}, Nexts: []string{"S", "O"}},
+			want: []TKey{{"S", "Load", "S"}, {"O", "Load", "O"}},
+		},
+		{ // singleton next fans states
+			site: Site{States: []string{"S", "E"}, Events: []string{"Evict"}, Nexts: []string{"WB"}},
+			want: []TKey{{"S", "Evict", "WB"}, {"E", "Evict", "WB"}},
+		},
+		{ // singleton state fans nexts
+			site: Site{States: []string{"I"}, Events: []string{"Fill"}, Nexts: []string{"S", "E", "M"}},
+			want: []TKey{{"I", "Fill", "S"}, {"I", "Fill", "E"}, {"I", "Fill", "M"}},
+		},
+		{ // multiple events multiply
+			site: Site{States: []string{"WB"}, Events: []string{"Load", "Store"}, Nexts: []string{"WB"}},
+			want: []TKey{{"WB", "Load", "WB"}, {"WB", "Store", "WB"}},
+		},
+		{ // ambiguous
+			site: Site{States: []string{"A", "B", "C"}, Events: []string{"E"}, Nexts: []string{"X", "Y"}, Pos: "f.go:1"},
+			err:  "ambiguous",
+		},
+	}
+	for i, c := range cases {
+		got, err := expand(c.site)
+		if c.err != "" {
+			if err == nil || !strings.Contains(err.Error(), c.err) {
+				t.Errorf("case %d: err = %v, want %q", i, err, c.err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+			continue
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Errorf("case %d key %d: got %v, want %v", i, j, got[j], c.want[j])
+			}
+		}
+	}
+}
+
+func TestParseAttrs(t *testing.T) {
+	attrs, err := parseAttrs("// x //proto:states S,E //proto:next M //proto:actions install upgrade grant //proto:when LLCWriteBack //proto:unless UseL3OnWT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]string{
+		"states":  "S,E",
+		"next":    "M",
+		"actions": "install upgrade grant",
+		"when":    "LLCWriteBack",
+		"unless":  "UseL3OnWT",
+	} {
+		if attrs[key] != want {
+			t.Errorf("attrs[%q] = %q, want %q", key, attrs[key], want)
+		}
+	}
+	if _, err := parseAttrs("//proto:states A //proto:states B"); err == nil {
+		t.Error("duplicate key not rejected")
+	}
+	if _, err := parseAttrs("//proto:bogus x"); err == nil {
+		t.Error("unknown key not rejected")
+	}
+	if _, err := parseAttrs("//proto:states"); err == nil {
+		t.Error("empty value not rejected")
+	}
+}
+
+func TestGuardEvaluation(t *testing.T) {
+	e := &Entry{Guards: []Guard{
+		{Require: []string{"LLCWriteBack"}},
+		{Require: []string{"NoWBCleanVicToMem"}, Forbid: []string{"NoWBCleanVicToLLC", "LLCWriteBack"}},
+	}}
+	if e.ActiveUnder(map[string]bool{}) {
+		t.Error("active with no options set")
+	}
+	if !e.ActiveUnder(map[string]bool{"LLCWriteBack": true}) {
+		t.Error("inactive under LLCWriteBack")
+	}
+	if !e.ActiveUnder(map[string]bool{"NoWBCleanVicToMem": true}) {
+		t.Error("inactive under NoWBCleanVicToMem")
+	}
+	if e.ActiveUnder(map[string]bool{"NoWBCleanVicToMem": true, "NoWBCleanVicToLLC": true}) {
+		t.Error("active although the earlier switch arm wins")
+	}
+	if !e.EnabledBy("LLCWriteBack") || !e.EnabledBy("NoWBCleanVicToMem") {
+		t.Error("EnabledBy misses a required option")
+	}
+	if e.EnabledBy("NoWBCleanVicToLLC") {
+		t.Error("EnabledBy counts a forbidden option")
+	}
+}
+
+// TestCrossCheck exercises the static-vs-dynamic comparison on a
+// synthetic table and recorder.
+func TestCrossCheck(t *testing.T) {
+	tbl := &Table{Machines: []*Machine{{
+		Name: "dma.engine",
+		Entries: []*Entry{
+			{TKey: TKey{State: "-", Event: "Rd", Next: "-"}},
+			{TKey: TKey{State: "-", Event: "Wr", Next: "-"}},
+		},
+	}}}
+	rec := fsm.NewRecorder()
+	rec.Record("dma.engine", "-", "Rd", "-")
+	rec.Record("dma.engine", "-", "Flush", "-") // not declared
+	rec.Record("dir.bogus", "-", "X", "-")      // unknown machine
+
+	cov := CrossCheck(tbl, rec)
+	if len(cov) != 2 {
+		t.Fatalf("got %d coverage entries, want 2", len(cov))
+	}
+	dma := cov[0]
+	if dma.Machine != "dma.engine" || dma.Fired != 1 || dma.Declared != 2 {
+		t.Errorf("dma coverage = %+v", dma)
+	}
+	if len(dma.Unfired) != 1 || dma.Unfired[0].Event != "Wr" {
+		t.Errorf("unfired = %v, want the Wr transition", dma.Unfired)
+	}
+	if len(dma.Unknown) != 1 || dma.Unknown[0].Event != "Flush" {
+		t.Errorf("unknown = %v, want the Flush transition", dma.Unknown)
+	}
+	if cov[1].Machine != "dir.bogus" || len(cov[1].Unknown) != 1 {
+		t.Errorf("bogus machine coverage = %+v", cov[1])
+	}
+
+	percent, problems := Summarize(cov, 95)
+	if percent != 50 {
+		t.Errorf("percent = %v, want 50", percent)
+	}
+	if len(problems) != 4 {
+		t.Errorf("problems = %v, want unfired + 2 unknown + below-bar", problems)
+	}
+	if _, problems := Summarize(cov, 40); len(problems) != 2 {
+		t.Errorf("above the bar, problems = %v, want only the 2 extraction gaps", problems)
+	}
+}
+
+// TestStaticCheckCatchesDefects mutates a healthy synthetic table and
+// spec interaction to prove each checker direction fires.
+func TestStaticCheckCatchesDefects(t *testing.T) {
+	tbl := repoExtract(t)
+
+	// Removing a handled transition must trip exhaustiveness.
+	m := tbl.Machine("dma.engine")
+	saved := m.Entries
+	m.Entries = m.Entries[1:]
+	found := false
+	for _, p := range CheckStatic(tbl) {
+		if strings.Contains(p, "no handler") && strings.Contains(p, "dma.engine") {
+			found = true
+		}
+	}
+	m.Entries = saved
+	if !found {
+		t.Error("removing a dma.engine transition not reported as a hole")
+	}
+
+	// An out-of-domain transition must be flagged as unreachable.
+	m.Entries = append(m.Entries, &Entry{TKey: TKey{State: "-", Event: "Bogus", Next: "-"}, Sites: []string{"x.go:1"}})
+	found = false
+	for _, p := range CheckStatic(tbl) {
+		if strings.Contains(p, "Bogus") {
+			found = true
+		}
+	}
+	m.Entries = m.Entries[:len(m.Entries)-1]
+	if !found {
+		t.Error("out-of-domain transition not reported")
+	}
+}

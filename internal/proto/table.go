@@ -1,0 +1,93 @@
+package proto
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// JSON renders the table as indented JSON, machines and entries in
+// deterministic order.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// Markdown renders the table as one GitHub-flavored Markdown section
+// per machine, deterministic and diff-friendly (TABLES.md is generated
+// from this and checked in).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# Protocol transition tables\n\n")
+	b.WriteString("Extracted from the controller sources by `go run ./cmd/hscproto -table`.\n")
+	b.WriteString("Regenerate with `go run ./cmd/hscproto -write` after changing any\n")
+	b.WriteString("`fsm.Recorder.Record` site; `hscproto -check` fails CI when this file\n")
+	b.WriteString("is stale. The Guard column lists the `core.Options` gates under which\n")
+	b.WriteString("a transition can fire (`always` = unconditional, `!X` = X unset).\n")
+	for _, m := range t.Machines {
+		fmt.Fprintf(&b, "\n## %s\n\n", m.Name)
+		if s := SpecFor(m.Name); s != nil {
+			fmt.Fprintf(&b, "%d transitions over %d (state, event) cells; %d cells impossible by construction.\n\n",
+				len(m.Entries), len(s.Reachable), len(s.Impossible))
+		}
+		b.WriteString("| State | Event | Next | Guard | Actions |\n")
+		b.WriteString("|---|---|---|---|---|\n")
+		for _, e := range m.Entries {
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+				e.State, e.Event, e.Next, guardColumn(e), strings.Join(e.Actions, "; "))
+		}
+		if s := SpecFor(m.Name); s != nil && len(s.Impossible) > 0 {
+			b.WriteString("\nImpossible cells:\n\n")
+			for _, line := range impossibleLines(s) {
+				fmt.Fprintf(&b, "- %s\n", line)
+			}
+		}
+	}
+	return b.String()
+}
+
+// guardColumn summarizes an entry's guards: "always" as soon as any
+// contributing site is unconditional, the distinct guard strings
+// otherwise.
+func guardColumn(e *Entry) string {
+	var parts []string
+	for _, g := range e.Guards {
+		if len(g.Require) == 0 && len(g.Forbid) == 0 {
+			return "always"
+		}
+		if s := g.String(); !contains(parts, s) {
+			parts = append(parts, s)
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " / ")
+}
+
+// impossibleLines groups a spec's impossible cells by justification.
+func impossibleLines(s *MachineSpec) []string {
+	byReason := make(map[string][]Pair)
+	for p, reason := range s.Impossible {
+		byReason[reason] = append(byReason[reason], p)
+	}
+	reasons := make([]string, 0, len(byReason))
+	for r := range byReason {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	var out []string
+	for _, r := range reasons {
+		ps := byReason[r]
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].State != ps[j].State {
+				return ps[i].State < ps[j].State
+			}
+			return ps[i].Event < ps[j].Event
+		})
+		strs := make([]string, len(ps))
+		for i, p := range ps {
+			strs[i] = p.String()
+		}
+		out = append(out, fmt.Sprintf("%s — %s", strings.Join(strs, ", "), r))
+	}
+	return out
+}

@@ -116,7 +116,7 @@ func (r *Registry) Histograms() map[string]*Histogram {
 func (r *Registry) DumpHistograms() string {
 	hs := r.Histograms()
 	names := make([]string, 0, len(hs))
-	for n := range hs {
+	for n := range hs { //hsclint:deterministic — keys are sorted before rendering
 		names = append(names, n)
 	}
 	// Sorted for deterministic output.

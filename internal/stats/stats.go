@@ -92,7 +92,7 @@ func (r *Registry) Get(fullName string) uint64 {
 // begins with scopePrefix.
 func (r *Registry) Sum(scopePrefix, name string) uint64 {
 	var total uint64
-	for p, s := range r.scopes {
+	for p, s := range r.scopes { //hsclint:deterministic — commutative sum
 		if !strings.HasPrefix(p, scopePrefix) {
 			continue
 		}
@@ -116,7 +116,7 @@ func (r *Registry) Snapshot() map[string]uint64 {
 func (r *Registry) Dump() string {
 	snap := r.Snapshot()
 	names := make([]string, 0, len(snap))
-	for n := range snap {
+	for n := range snap { //hsclint:deterministic — keys are sorted before rendering
 		names = append(names, n)
 	}
 	sort.Strings(names)

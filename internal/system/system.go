@@ -13,6 +13,7 @@ import (
 	"hscsim/internal/corepair"
 	"hscsim/internal/cpu"
 	"hscsim/internal/dma"
+	"hscsim/internal/fsm"
 	"hscsim/internal/gpu"
 	"hscsim/internal/gpucache"
 	"hscsim/internal/memctrl"
@@ -245,6 +246,16 @@ func New(cfg Config) *System {
 			reg.Scope(fmt.Sprintf("cp%d", p)))
 		s.CorePairs = append(s.CorePairs, pair)
 	}
+	if r := cfg.Protocol.Recorder; r != nil {
+		// One recorder for the whole system: the directory banks read it
+		// from their Options copy; the other controllers are wired here.
+		s.GPUCaches.SetRecorder(r)
+		s.GPU.SetRecorder(r)
+		s.DMA.SetRecorder(r)
+		for _, pair := range s.CorePairs {
+			pair.SetRecorder(r)
+		}
+	}
 	if cfg.Mutate != nil {
 		ic.SetMutator(cfg.Mutate)
 	}
@@ -256,6 +267,9 @@ func New(cfg Config) *System {
 			Dir:    s.Dir,
 			DirFor: s.BankFor,
 			Opts:   cfg.Protocol,
+			// Bound late: Run installs the workload's read-only ranges
+			// after New, and s.lineIsReadOnly reads them through s.
+			ReadOnly: s.lineIsReadOnly,
 			Report: func(v *core.ProtocolViolation) {
 				if s.oracleViol == nil {
 					s.oracleViol = v
@@ -276,6 +290,10 @@ func New(cfg Config) *System {
 	}
 	return s
 }
+
+// Transitions returns the transition recorder configured via
+// Config.Protocol.Recorder (nil when recording is off).
+func (s *System) Transitions() *fsm.Recorder { return s.Cfg.Protocol.Recorder }
 
 // OracleChecks reports how many line-state checks the coherence oracle
 // has performed (0 when Config.Oracle is off).

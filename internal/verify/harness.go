@@ -98,6 +98,9 @@ const (
 	Load OpKind = iota
 	Store
 	Atomic
+	// IFetch is a CPU instruction fetch (L1I fill, RdBlkS). Only CPU
+	// agents may issue it; the GPU and DMA agents panic.
+	IFetch
 )
 
 func (k OpKind) String() string {
@@ -106,6 +109,8 @@ func (k OpKind) String() string {
 		return "st"
 	case Atomic:
 		return "at"
+	case IFetch:
+		return "if"
 	}
 	return "ld"
 }
@@ -227,6 +232,19 @@ func newHarness(opts core.Options, sc Scenario, order Ordering, mutate func(*msg
 		},
 	})
 	fab.onDeliver = h.oracle.OnDeliver
+
+	// The directory reads the recorder from its Options copy; the other
+	// controllers are wired explicitly, as in system.New. The checker's
+	// replay-based search re-fires transitions on every replay, which
+	// inflates counts but leaves the fired set — all coverage needs —
+	// exact.
+	if r := opts.Recorder; r != nil {
+		for _, cpu := range h.cpus {
+			cpu.SetRecorder(r)
+		}
+		h.gpu.SetRecorder(r)
+		h.dma.SetRecorder(r)
+	}
 
 	h.agents = []*agent{
 		{name: "cpu0", ops: sc.CPU0},
@@ -361,6 +379,10 @@ func (h *harness) issue(ai int) {
 				h.oracle.StoreRetired(node, op.Line)
 				fin()
 			})
+		case IFetch:
+			// An instruction fetch is a data-free shared read (RdBlkS);
+			// the oracle's value check has nothing to verify.
+			cp.Access(0, corepair.IFetch, op.Line, fin)
 		}
 		return
 	}
@@ -373,6 +395,8 @@ func (h *harness) issue(ai int) {
 		case Atomic:
 			h.gpu.AtomicSystem(0, op.Line, memdata.Addr(op.Line)<<6, memdata.AtomicAdd, 1, 0,
 				func(uint64) { fin() })
+		default:
+			panic("verify: GPU agents have no instruction-fetch operation")
 		}
 		return
 	}

@@ -39,6 +39,10 @@ type OracleConfig struct {
 	// directories (system.BankFor). Nil means every line lives in Dir.
 	DirFor func(cachearray.LineAddr) *core.Directory
 	Opts   core.Options
+	// ReadOnly, when non-nil under Opts.ReadOnlyElision, reports lines
+	// the workload declared read-only: the directory intentionally
+	// leaves them untracked (§IX), so the inclusivity check skips them.
+	ReadOnly func(cachearray.LineAddr) bool
 	// Report receives violations; the default panics with the violation,
 	// matching the controllers' own defensive checks. The model checker
 	// substitutes a recorder.
@@ -268,6 +272,11 @@ func (o *Oracle) checkLine(line cachearray.LineAddr, m *msg.Message) {
 	// Directory inclusivity (tracking modes, quiescent lines only:
 	// in-flight transactions legitimately pass through inconsistent
 	// transient states).
+	if o.cfg.Opts.ReadOnlyElision && o.cfg.ReadOnly != nil && o.cfg.ReadOnly(line) {
+		// Read-only lines are intentionally untracked (§IX); they can
+		// only ever be Shared, which the SWMR check already covers.
+		return
+	}
 	if dir := o.dirFor(line); o.cfg.Opts.Tracking != core.TrackNone && !dir.LineBusy(line) {
 		st, owner, sharers := dir.EntryState(line)
 		for _, cp := range o.cfg.CPUs {
