@@ -9,6 +9,7 @@
 package hscsim_test
 
 import (
+	"context"
 	"testing"
 
 	"hscsim"
@@ -139,6 +140,70 @@ func BenchmarkTable3Ablations(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEngineColdVsWarm measures what the result cache buys: the
+// same Fig. 6 sweep slice run cold (every cell simulated) and warm
+// (every cell a cache hit). The warm/cold ratio is the speedup a
+// repeated sweep sees; warm iterations are typically 3–5 orders of
+// magnitude faster.
+func BenchmarkEngineColdVsWarm(b *testing.B) {
+	specs := func() []hscsim.JobSpec {
+		var out []hscsim.JobSpec
+		for _, bench := range hscsim.CollaborativeBenchmarks() {
+			out = append(out,
+				hscsim.EvalJobSpec(bench, hscsim.ProtocolOptions{}),
+				hscsim.EvalJobSpec(bench, hscsim.ProtocolOptions{
+					Tracking: hscsim.TrackOwnerSharers, LLCWriteBack: true, UseL3OnWT: true}))
+		}
+		return out
+	}()
+	ctx := context.Background()
+	runAll := func(b *testing.B, e *hscsim.JobEngine) {
+		b.Helper()
+		for _, sp := range specs {
+			if _, err := e.Submit(sp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, sp := range specs {
+			if _, err := e.Run(ctx, sp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache, err := hscsim.NewJobCache(0, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := hscsim.NewJobEngine(hscsim.JobEngineConfig{Cache: cache})
+			runAll(b, e)
+			e.Close()
+		}
+		b.ReportMetric(float64(len(specs)), "sims/op")
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		cache, err := hscsim.NewJobCache(0, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm := hscsim.NewJobEngine(hscsim.JobEngineConfig{Cache: cache})
+		runAll(b, warm) // populate
+		warm.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh engine per iteration: every hit is a real cache
+			// lookup, not a dedup against a completed job.
+			e := hscsim.NewJobEngine(hscsim.JobEngineConfig{Cache: cache})
+			runAll(b, e)
+			e.Close()
+		}
+		b.ReportMetric(float64(len(specs)), "cache-hits/op")
+	})
 }
 
 // BenchmarkSimulatorThroughput is a plain performance benchmark of the

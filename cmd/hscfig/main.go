@@ -8,13 +8,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"hscsim/internal/chai"
 	"hscsim/internal/core"
+	"hscsim/internal/engine"
 	"hscsim/internal/figures"
+	"hscsim/internal/system"
 )
 
 func main() {
@@ -30,10 +33,34 @@ func main() {
 	hsFlag := flag.Bool("heterosync", false, "run the HeteroSync/Lulesh comparison (§V)")
 	extFlag := flag.Bool("extended", false, "run the 4 CHAI benchmarks gem5 could not (§V)")
 	csvPath := flag.String("csv", "", "also export the Fig. 4/5 sweep as CSV to this file")
+	cacheDir := flag.String("cache", "", "persist sweep results in this directory (re-runs become cache hits)")
+	jobs := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	all := !(*fig4 || *fig5 || *fig6 || *fig7 || *table1 || *table2 || *table3 || *ablations || *energyFig || *hsFlag || *extFlag)
 	out := os.Stdout
+
+	// The figure sweeps run through the job engine: cells execute in
+	// parallel on the worker pool, and with -cache every cell is
+	// memoized across invocations.
+	cache, err := engine.NewCache(0, *cacheDir)
+	check(err)
+	eng := engine.New(engine.Config{Workers: *jobs, Cache: cache})
+	defer eng.Close()
+	runSweep := func(benches []string, variants []core.Options) (*figures.Sweep, error) {
+		// Pre-submit every cell so the pool works on them concurrently;
+		// the sequential waits below then dedup against the live jobs.
+		for _, b := range benches {
+			for _, v := range variants {
+				if _, err := eng.Submit(engine.EvalSpec(b, v)); err != nil {
+					break // queue full: the Runner below resubmits
+				}
+			}
+		}
+		return figures.RunSweepVia(func(bench string, opts core.Options) (system.Results, error) {
+			return eng.RunResults(context.Background(), engine.EvalSpec(bench, opts))
+		}, benches, variants)
+	}
 
 	if all || *table1 {
 		core.WriteTableI(out)
@@ -55,7 +82,7 @@ func main() {
 			{LLCWriteBack: true},
 			{LLCWriteBack: true, UseL3OnWT: true},
 		}
-		sw, err := figures.RunSweep(chai.Names(), variants)
+		sw, err := runSweep(chai.Names(), variants)
 		check(err)
 		if all || *fig4 {
 			figures.WriteFig4(out, sw)
@@ -73,7 +100,7 @@ func main() {
 	}
 
 	if all || *fig6 || *fig7 || *energyFig {
-		sw, err := figures.RunSweep(chai.CollaborativeFive(), figures.Fig6Variants())
+		sw, err := runSweep(chai.CollaborativeFive(), figures.Fig6Variants())
 		check(err)
 		if all || *fig6 {
 			figures.WriteFig6(out, sw)
@@ -96,6 +123,11 @@ func main() {
 
 	if all || *ablations {
 		runAblations(out)
+	}
+
+	if st := eng.Stats(); st.Submitted+st.CacheHits > 0 {
+		fmt.Fprintf(os.Stderr, "hscfig: engine ran %d simulations, %d served from cache\n",
+			st.Done, st.CacheHits)
 	}
 }
 

@@ -15,6 +15,16 @@
 //	hscproto -write               # regenerate TABLES.md under -dir
 //	hscproto -check               # static checks + TABLES.md freshness (CI, per push)
 //	hscproto -cover [-quick] [-min 95]   # dynamic coverage cross-check (CI, nightly)
+//	hscproto -diff <baseline>     # per-arm deltas vs a committed baseline
+//
+// -diff compares the extracted tables against a baseline file — either
+// a TABLES.md rendering or `hscproto -json` output; "-" reads stdin, so
+//
+//	git show main:TABLES.md | go run ./cmd/hscproto -diff -
+//
+// prints exactly which transition arms a branch adds, removes or
+// reguards. Exits 1 when the tables differ (so it can gate a review),
+// 2 on usage errors.
 //
 // -check exits nonzero when a reachable (state, event) cell has no
 // handler and no waiver, when an arm handles a cell the spec declares
@@ -29,6 +39,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -53,6 +64,7 @@ func main() {
 	write := flag.Bool("write", false, "regenerate TABLES.md under -dir")
 	check := flag.Bool("check", false, "static checks plus TABLES.md freshness; nonzero exit on failure")
 	cover := flag.Bool("cover", false, "dynamic coverage cross-check; nonzero exit on gaps")
+	diffBase := flag.String("diff", "", "baseline file (TABLES.md or -json output; \"-\" = stdin) to diff the tables against")
 	quick := flag.Bool("quick", false, "with -cover: reduced matrix (per-push CI budget)")
 	minPct := flag.Float64("min", 95, "with -cover: minimum percentage of non-exempt transitions fired")
 	flag.Parse()
@@ -84,6 +96,8 @@ func main() {
 		os.Exit(runCheck(tbl, tablesPath))
 	case *cover:
 		os.Exit(runCover(tbl, *quick, *minPct))
+	case *diffBase != "":
+		os.Exit(runDiff(tbl, *diffBase))
 	default:
 		summarize(tbl)
 	}
@@ -127,6 +141,35 @@ func runCheck(tbl *proto.Table, tablesPath string) int {
 		return 1
 	}
 	fmt.Println("static check ok; TABLES.md up to date")
+	return 0
+}
+
+// runDiff compares the extracted tables against a committed baseline
+// and prints the per-arm deltas.
+func runDiff(tbl *proto.Table, path string) int {
+	var (
+		raw []byte
+		err error
+	)
+	if path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hscproto: baseline: %v\n", err)
+		return 2
+	}
+	baseline, err := proto.ParseBaseline(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hscproto: %v\n", err)
+		return 2
+	}
+	deltas := proto.DiffArms(baseline, tbl.Arms())
+	fmt.Print(proto.FormatDiff(deltas))
+	if len(deltas) > 0 {
+		return 1
+	}
 	return 0
 }
 

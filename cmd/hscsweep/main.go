@@ -4,20 +4,25 @@
 // This is the "characterization" companion to hscfig's fixed-shape
 // figures (§V's benchmark characterization).
 //
+// Every point of the sweep runs as a job on the simulation engine
+// (internal/engine): points execute in parallel on the worker pool, and
+// with -cache the results persist, so re-running a sweep — or sharing a
+// cache directory with hscfig/hscserve — is served from the
+// content-addressed store instead of re-simulating.
+//
 // Usage:
 //
-//	hscsweep [-bench tq] [-protocol sharersTracking] [-scale 1]
+//	hscsweep [-bench tq] [-protocol sharersTracking] [-scale 1] [-cache dir] [-j N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"hscsim/internal/chai"
 	"hscsim/internal/core"
-	"hscsim/internal/figures"
-	"hscsim/internal/heterosync"
+	"hscsim/internal/engine"
 	"hscsim/internal/system"
 )
 
@@ -37,6 +42,8 @@ func main() {
 	bench := flag.String("bench", "tq", "benchmark (CHAI or HeteroSync)")
 	protocol := flag.String("protocol", "sharersTracking", "protocol variant")
 	scale := flag.Int("scale", 1, "workload scale")
+	cacheDir := flag.String("cache", "", "persist results in this directory (re-runs become cache hits)")
+	jobs := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	opts, err := protoByName(*protocol)
@@ -45,65 +52,79 @@ func main() {
 		os.Exit(2)
 	}
 
-	run := func(mutate func(*system.Config), threads int) system.Results {
-		cfg := figures.EvalSystemConfig(opts)
-		mutate(&cfg)
-		w, err := chai.ByName(*bench, chai.Params{Scale: *scale, CPUThreads: threads})
-		if err != nil {
-			w, err = heterosync.ByName(*bench, heterosync.Params{Scale: *scale})
+	cache, err := engine.NewCache(0, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hscsweep:", err)
+		os.Exit(1)
+	}
+	eng := engine.New(engine.Config{Workers: *jobs, Cache: cache})
+	defer eng.Close()
+
+	spec := func(topo engine.TopologySpec, threads int) engine.Spec {
+		return engine.Spec{
+			Bench:    *bench,
+			Scale:    *scale,
+			Threads:  threads,
+			Protocol: engine.ProtocolFromOptions(opts),
+			Topology: topo,
+			Config:   engine.ConfigEval,
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hscsweep:", err)
-			os.Exit(2)
+	}
+	if err := spec(engine.TopologySpec{}, 8).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "hscsweep:", err)
+		os.Exit(2)
+	}
+
+	type section struct {
+		title  string
+		column string
+		points []int
+		spec   func(v int) engine.Spec
+	}
+	sections := []section{
+		{"CPU scaling (CorePairs × 2 threads)", "pairs", []int{1, 2, 4},
+			func(v int) engine.Spec { return spec(engine.TopologySpec{NumCorePairs: v}, v*2) }},
+		{"GPU scaling (CUs)", "CUs", []int{2, 4, 8},
+			func(v int) engine.Spec { return spec(engine.TopologySpec{NumCUs: v}, 8) }},
+		{"Directory banking (§VII)", "banks", []int{1, 2, 4},
+			func(v int) engine.Spec { return spec(engine.TopologySpec{DirBanks: v}, 8) }},
+		{"TCC banking", "TCCs", []int{1, 2},
+			func(v int) engine.Spec { return spec(engine.TopologySpec{NumTCCs: v}, 8) }},
+		{"Store-buffer depth (CPU MLP)", "slots", []int{0, 4, 16},
+			func(v int) engine.Spec {
+				return spec(engine.TopologySpec{StoreBufferSize: v, StoreBufferZero: v == 0}, 8)
+			}},
+	}
+
+	// Submit every point up front so the pool simulates them in
+	// parallel; the prints below wait on the deduplicated jobs in order.
+	for _, sec := range sections {
+		for _, v := range sec.points {
+			if _, err := eng.Submit(sec.spec(v)); err != nil {
+				break // queue full: RunResults below resubmits
+			}
 		}
-		s := system.New(cfg)
-		res, rerr := s.Run(w)
-		if rerr != nil {
-			fmt.Fprintln(os.Stderr, "hscsweep:", rerr)
-			os.Exit(1)
+	}
+
+	fmt.Printf("benchmark %s, protocol %s, scale %d\n", *bench, *protocol, *scale)
+
+	for _, sec := range sections {
+		fmt.Printf("\n%s\n", sec.title)
+		fmt.Printf("%8s %12s %10s %10s\n", sec.column, "cycles", "probes", "mem")
+		for _, v := range sec.points {
+			res, err := eng.RunResults(context.Background(), sec.spec(v))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hscsweep:", err)
+				os.Exit(1)
+			}
+			printRow(v, res)
 		}
-		return res
 	}
 
-	fmt.Printf("benchmark %s, protocol %s, scale %d\n\n", *bench, *protocol, *scale)
+	st := eng.Stats()
+	fmt.Printf("\nengine: %d simulated, %d served from cache\n", st.Done, st.CacheHits)
+}
 
-	fmt.Printf("CPU scaling (CorePairs × 2 threads)\n")
-	fmt.Printf("%8s %12s %10s %10s\n", "pairs", "cycles", "probes", "mem")
-	for _, pairs := range []int{1, 2, 4} {
-		p := pairs
-		res := run(func(c *system.Config) { c.NumCorePairs = p }, p*2)
-		fmt.Printf("%8d %12d %10d %10d\n", p, res.Cycles, res.ProbesSent, res.MemAccesses())
-	}
-
-	fmt.Printf("\nGPU scaling (CUs)\n")
-	fmt.Printf("%8s %12s %10s %10s\n", "CUs", "cycles", "probes", "mem")
-	for _, cus := range []int{2, 4, 8} {
-		n := cus
-		res := run(func(c *system.Config) { c.GPUDisp.NumCUs = n }, 8)
-		fmt.Printf("%8d %12d %10d %10d\n", n, res.Cycles, res.ProbesSent, res.MemAccesses())
-	}
-
-	fmt.Printf("\nDirectory banking (§VII)\n")
-	fmt.Printf("%8s %12s %10s %10s\n", "banks", "cycles", "probes", "mem")
-	for _, banks := range []int{1, 2, 4} {
-		b := banks
-		res := run(func(c *system.Config) { c.DirBanks = b }, 8)
-		fmt.Printf("%8d %12d %10d %10d\n", b, res.Cycles, res.ProbesSent, res.MemAccesses())
-	}
-
-	fmt.Printf("\nTCC banking\n")
-	fmt.Printf("%8s %12s %10s %10s\n", "TCCs", "cycles", "probes", "mem")
-	for _, tccs := range []int{1, 2} {
-		n := tccs
-		res := run(func(c *system.Config) { c.GPU.NumTCCs = n }, 8)
-		fmt.Printf("%8d %12d %10d %10d\n", n, res.Cycles, res.ProbesSent, res.MemAccesses())
-	}
-
-	fmt.Printf("\nStore-buffer depth (CPU MLP)\n")
-	fmt.Printf("%8s %12s %10s %10s\n", "slots", "cycles", "probes", "mem")
-	for _, sb := range []int{0, 4, 16} {
-		n := sb
-		res := run(func(c *system.Config) { c.CPU.StoreBufferSize = n }, 8)
-		fmt.Printf("%8d %12d %10d %10d\n", n, res.Cycles, res.ProbesSent, res.MemAccesses())
-	}
+func printRow(v int, res system.Results) {
+	fmt.Printf("%8d %12d %10d %10d\n", v, res.Cycles, res.ProbesSent, res.MemAccesses())
 }

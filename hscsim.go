@@ -24,9 +24,12 @@
 package hscsim
 
 import (
+	"net/http"
+
 	"hscsim/internal/chai"
 	"hscsim/internal/core"
 	"hscsim/internal/energy"
+	"hscsim/internal/engine"
 	"hscsim/internal/figures"
 	"hscsim/internal/heterosync"
 	"hscsim/internal/memdata"
@@ -163,3 +166,45 @@ func DefaultEnergyCosts() EnergyCosts { return energy.DefaultCosts() }
 func EstimateEnergy(res Results, c EnergyCosts) EnergyBreakdown {
 	return energy.Estimate(res.Stats, c)
 }
+
+// Job-engine re-exports: the concurrent simulation engine with its
+// content-addressed result cache (see DESIGN.md, "Job engine & result
+// cache"). Simulations are deterministic functions of their JobSpec, so
+// results are memoized by spec hash and re-runs are cache hits.
+type (
+	// JobEngine is a bounded worker pool executing JobSpecs with
+	// singleflight dedup in front of a JobCache.
+	JobEngine = engine.Engine
+	// JobEngineConfig sizes a JobEngine.
+	JobEngineConfig = engine.Config
+	// JobSpec is a canonical simulation job (workload × protocol ×
+	// topology × seed); its SHA-256 hash is the result's cache key.
+	JobSpec = engine.Spec
+	// JobCache is the content-addressed result store (in-memory LRU
+	// plus optional on-disk directory).
+	JobCache = engine.Cache
+	// SimJob is one submitted job: wait on it, cancel it, read its
+	// canonical result bytes.
+	SimJob = engine.Job
+)
+
+// NewJobEngine starts a job engine and its worker pool.
+func NewJobEngine(cfg JobEngineConfig) *JobEngine { return engine.New(cfg) }
+
+// NewJobCache returns a result cache holding maxEntries in memory
+// (≤0 = default), persisted under dir when non-empty.
+func NewJobCache(maxEntries int, dir string) (*JobCache, error) {
+	return engine.NewCache(maxEntries, dir)
+}
+
+// EvalJobSpec is the job for one cell of the paper's evaluation sweep
+// (the figures configuration at the figures workload sizes).
+func EvalJobSpec(bench string, opts ProtocolOptions) JobSpec {
+	return engine.EvalSpec(bench, opts)
+}
+
+// NewJobServer wraps a job engine in the hscserve HTTP/JSON API.
+func NewJobServer(e *JobEngine) http.Handler { return engine.NewServer(e) }
+
+// DecodeJobResult parses the canonical result bytes a job returns.
+func DecodeJobResult(b []byte) (Results, error) { return engine.DecodeResult(b) }

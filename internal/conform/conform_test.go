@@ -3,6 +3,7 @@ package conform
 import (
 	"testing"
 
+	"hscsim/internal/cachearray"
 	"hscsim/internal/chai"
 	"hscsim/internal/core"
 	"hscsim/internal/sim"
@@ -141,4 +142,35 @@ func TestSeededBugCaughtAndMinimized(t *testing.T) {
 			res.States, res.Paths, res.Truncated)
 	}
 	t.Logf("model checker reproduces the violation: %v", res.Violation.Err)
+}
+
+// TestMinimizeJointCrossAgent pins the cross-agent ddmin pass: the
+// synthetic failure fires only while CPU0 and CPU1 have the same
+// length (≥ 2), so every single-agent deletion makes the candidate
+// pass and the per-agent passes are stuck at 8+8. Only correlated
+// deletions — chunks of the round-robin interleaved (agent, op) list —
+// can shrink it, down to the 2+2 minimum.
+func TestMinimizeJointCrossAgent(t *testing.T) {
+	fails := func(c Case) bool {
+		return len(c.CPU) == 2 && len(c.CPU[0]) == len(c.CPU[1]) && len(c.CPU[0]) >= 2
+	}
+	c := Case{Name: "lockstep"}
+	for tid := 0; tid < 2; tid++ {
+		var ops []verify.AgentOp
+		for i := 0; i < 8; i++ {
+			ops = append(ops, verify.AgentOp{Kind: verify.Load, Line: 0x10 + cachearray.LineAddr(i)})
+		}
+		c.CPU = append(c.CPU, ops)
+	}
+
+	min := Minimize(c, fails)
+	if !fails(min) {
+		t.Fatal("minimized case no longer fails")
+	}
+	if got := min.Ops(); got != 4 {
+		t.Fatalf("minimized to %d ops, want 4 (2+2):\n%s", got, min)
+	}
+	if len(min.CPU[0]) != 2 || len(min.CPU[1]) != 2 {
+		t.Fatalf("minimized shape %d+%d, want 2+2:\n%s", len(min.CPU[0]), len(min.CPU[1]), min)
+	}
 }

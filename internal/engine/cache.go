@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the content-addressed result store: an in-memory LRU over
+// canonical result encodings, optionally backed by an on-disk store.
+// Keys are job hashes (see Spec.Hash), which already fold in the code
+// version, so entries never go stale — a key either maps to the one
+// result its spec can produce, or is absent.
+//
+// The disk store is one file per key, written to a temporary file and
+// renamed into place, so a writer killed or cancelled mid-write can
+// never leave a corrupt entry behind — the key simply stays absent
+// until a complete write lands.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	byKey   map[string]*list.Element
+	dir     string
+	hits    uint64 // in-memory hits
+	disk    uint64 // disk hits (promoted into memory)
+	misses  uint64
+	puts    uint64
+	evicted uint64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// CacheStats is a point-in-time view of the cache's effectiveness.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	DiskHits  uint64 `json:"diskHits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// NewCache returns a cache holding up to maxEntries results in memory
+// (≤0 means 4096). A non-empty dir enables the on-disk store; the
+// directory is created if needed.
+func NewCache(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("engine: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		max:   maxEntries,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+		dir:   dir,
+	}, nil
+}
+
+// Get returns a copy of the cached result for key. A memory miss falls
+// through to the disk store; a disk hit is promoted into memory.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		v := cloneBytes(el.Value.(*cacheEntry).val)
+		c.hits++
+		c.mu.Unlock()
+		return v, true
+	}
+	dir := c.dir
+	c.mu.Unlock()
+
+	if dir == "" {
+		c.count(&c.misses)
+		return nil, false
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.count(&c.misses)
+		return nil, false
+	}
+	c.mu.Lock()
+	c.disk++
+	c.insertLocked(key, b)
+	c.mu.Unlock()
+	return cloneBytes(b), true
+}
+
+// Put stores a result under key in memory and, when configured, on
+// disk. The disk write is atomic (temp file + rename).
+func (c *Cache) Put(key string, val []byte) error {
+	val = cloneBytes(val)
+	c.mu.Lock()
+	c.puts++
+	c.insertLocked(key, val)
+	dir := c.dir
+	c.mu.Unlock()
+
+	if dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("engine: cache write: %w", err)
+	}
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: cache write: %w", err)
+	}
+	return nil
+}
+
+// Len reports the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns hit/miss counts since construction.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Hits:      c.hits,
+		DiskHits:  c.disk,
+		Misses:    c.misses,
+		Puts:      c.puts,
+		Evictions: c.evicted,
+	}
+}
+
+// insertLocked adds or refreshes an entry and evicts from the LRU tail
+// past capacity. Caller holds c.mu.
+func (c *Cache) insertLocked(key string, val []byte) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.byKey, tail.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+}
+
+func (c *Cache) count(field *uint64) {
+	c.mu.Lock()
+	*field++
+	c.mu.Unlock()
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheLRU(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("a", []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("b", []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("a"); !ok { // refresh a → b is now LRU
+		t.Fatal("a missing")
+	}
+	if err := c.Put("c", []byte("C")); err != nil { // evicts b
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing after eviction", k)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheReturnsCopies(t *testing.T) {
+	c, _ := NewCache(0, "")
+	val := []byte("value")
+	c.Put("k", val)
+	val[0] = 'X' // caller mutates its slice after Put
+	got, ok := c.Get("k")
+	if !ok || string(got) != "value" {
+		t.Fatalf("got %q, want %q", got, "value")
+	}
+	got[0] = 'Y' // caller mutates the returned slice
+	again, _ := c.Get("k")
+	if string(again) != "value" {
+		t.Fatalf("cache entry mutated through Get: %q", again)
+	}
+}
+
+func TestCacheDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put("deadbeef", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache over the same directory serves the entry from disk
+	// and promotes it into memory.
+	c2, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("deadbeef")
+	if !ok || !bytes.Equal(got, []byte(`{"x":1}`)) {
+		t.Fatalf("disk get = %q, %v", got, ok)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Second Get is a memory hit.
+	if _, ok := c2.Get("deadbeef"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := c2.Stats(); st.Hits != 1 {
+		t.Fatalf("stats after promotion = %+v", st)
+	}
+}
+
+// TestCacheIgnoresPartialWrites: an abandoned temporary file — what a
+// killed writer leaves behind — must never surface as a cache entry.
+func TestCacheIgnoresPartialWrites(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ".put-123456"), []byte("garb"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("123456"); ok {
+		t.Fatal("partial write visible as a cache entry")
+	}
+	if _, ok := c.Get("put-123456"); ok {
+		t.Fatal("partial write visible as a cache entry")
+	}
+}
+
+func TestCacheMissCounts(t *testing.T) {
+	c, _ := NewCache(0, "")
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

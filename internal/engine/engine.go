@@ -1,0 +1,480 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hscsim/internal/stats"
+	"hscsim/internal/system"
+)
+
+// Typed job-lifecycle errors.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity — the HTTP service maps it to 429.
+	ErrQueueFull = errors.New("engine: job queue full")
+	// ErrDraining is returned by Submit after Drain or Close began.
+	ErrDraining = errors.New("engine: draining, not accepting jobs")
+	// ErrCanceled marks a job that was cancelled before or during
+	// execution (drain discards the queue with this error).
+	ErrCanceled = errors.New("engine: job canceled")
+)
+
+// JobState is a job's lifecycle position.
+type JobState int32
+
+// Job lifecycle states.
+const (
+	Queued JobState = iota
+	Running
+	Done
+	Failed
+	Canceled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Canceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("JobState(%d)", int32(s))
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Job is one submitted simulation. Its identity is the spec hash;
+// submitting the same spec twice returns the same Job (singleflight).
+type Job struct {
+	Spec Spec
+	Hash string
+
+	mu     sync.Mutex
+	state  JobState
+	cached bool
+	result []byte
+	err    error
+	cancel context.CancelFunc // non-nil while running
+	done   chan struct{}
+}
+
+func newJob(sp Spec, hash string) *Job {
+	return &Job{Spec: sp, Hash: hash, done: make(chan struct{})}
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Cached reports whether the result was served from the cache rather
+// than computed by this job.
+func (j *Job) Cached() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cached
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the canonical result bytes or the job's error. It
+// must be called after Done is closed (Wait does both).
+func (j *Job) Result() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, fmt.Errorf("engine: job %s still %s", j.Hash[:12], j.state)
+	}
+	return cloneBytes(j.result), j.err
+}
+
+// Wait blocks until the job completes or ctx expires.
+func (j *Job) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Cancel aborts the job: a queued job completes immediately with
+// ErrCanceled; a running job's context is cancelled and the simulation
+// stops at its next interrupt poll. Terminal jobs are unaffected.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	if j.state == Queued {
+		j.finishLocked(nil, ErrCanceled, Canceled)
+		j.mu.Unlock()
+		return
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// finishLocked transitions to a terminal state. Caller holds j.mu.
+func (j *Job) finishLocked(result []byte, err error, st JobState) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = st
+	j.result = result
+	j.err = err
+	j.cancel = nil
+	close(j.done)
+}
+
+// tryStart transitions Queued→Running and installs the cancel func;
+// it fails when the job was cancelled while queued.
+func (j *Job) tryStart(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Queued {
+		return false
+	}
+	j.state = Running
+	j.cancel = cancel
+	return true
+}
+
+// Config sizes the engine.
+type Config struct {
+	// Workers is the pool size (≤0 = GOMAXPROCS). Each simulation is
+	// single-threaded, so Workers is the run-level parallelism.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (≤0 = 256). A full queue rejects Submit with ErrQueueFull.
+	QueueDepth int
+	// Cache memoizes results (nil = a private in-memory cache).
+	Cache *Cache
+	// JobTimeout bounds each job's execution (0 = none).
+	JobTimeout time.Duration
+	// Registry receives the engine's counters under the "engine" scope
+	// (nil = a private registry). Safe for concurrent snapshots.
+	Registry *stats.Registry
+	// Exec executes one spec (nil = Execute, the real simulator).
+	// Tests substitute stubs to exercise scheduling and shutdown.
+	Exec func(context.Context, Spec) ([]byte, error)
+}
+
+// Engine is the concurrent simulation-job engine: a bounded worker
+// pool with singleflight dedup in front of a content-addressed result
+// cache.
+type Engine struct {
+	exec     func(context.Context, Spec) ([]byte, error)
+	cache    *Cache
+	timeout  time.Duration
+	registry *stats.Registry
+
+	cSubmitted, cDedup, cCacheHits       *stats.Counter
+	cDone, cFailed, cCanceled, cTimeouts *stats.Counter
+	cRejected                            *stats.Counter
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	draining bool
+	running  int
+}
+
+// New starts an engine and its worker pool.
+func New(cfg Config) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 256
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache, _ = NewCache(0, "")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	exec := cfg.Exec
+	if exec == nil {
+		exec = Execute
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sc := reg.Scope("engine")
+	e := &Engine{
+		exec:       exec,
+		cache:      cache,
+		timeout:    cfg.JobTimeout,
+		registry:   reg,
+		cSubmitted: sc.Counter("jobs_submitted"),
+		cDedup:     sc.Counter("dedup_hits"),
+		cCacheHits: sc.Counter("cache_hits"),
+		cDone:      sc.Counter("jobs_done"),
+		cFailed:    sc.Counter("jobs_failed"),
+		cCanceled:  sc.Counter("jobs_canceled"),
+		cTimeouts:  sc.Counter("jobs_timed_out"),
+		cRejected:  sc.Counter("queue_rejects"),
+		queue:      make(chan *Job, depth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+	}
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Registry exposes the engine's stats registry (the "engine" scope
+// plus whatever the caller shares it with).
+func (e *Engine) Registry() *stats.Registry { return e.registry }
+
+// Cache exposes the engine's result cache.
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Submit enqueues a spec and returns its job. Submitting a spec whose
+// hash is already live returns the existing job (singleflight); a spec
+// whose result is cached returns an already-completed job. ErrQueueFull
+// and ErrDraining report backpressure and shutdown.
+func (e *Engine) Submit(sp Spec) (*Job, error) {
+	sp = sp.Normalized()
+	hash := sp.Hash()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.draining {
+		return nil, ErrDraining
+	}
+	if j, ok := e.jobs[hash]; ok && j.State() != Failed && j.State() != Canceled {
+		e.cDedup.Inc()
+		return j, nil
+	}
+	if v, ok := e.cache.Get(hash); ok {
+		j := newJob(sp, hash)
+		j.mu.Lock()
+		j.cached = true
+		j.finishLocked(v, nil, Done)
+		j.mu.Unlock()
+		e.jobs[hash] = j
+		e.cCacheHits.Inc()
+		return j, nil
+	}
+	j := newJob(sp, hash)
+	select {
+	case e.queue <- j:
+	default:
+		e.cRejected.Inc()
+		return nil, ErrQueueFull
+	}
+	e.jobs[hash] = j
+	e.cSubmitted.Inc()
+	return j, nil
+}
+
+// Job returns the job for a hash, live or completed.
+func (e *Engine) Job(hash string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[hash]
+	return j, ok
+}
+
+// Run is Submit plus Wait: the synchronous client call. Library
+// clients (cmd/hscsweep, cmd/hscfig, the benchmark harness) use this —
+// with a warm cache it returns in microseconds.
+func (e *Engine) Run(ctx context.Context, sp Spec) ([]byte, error) {
+	j, err := e.Submit(sp)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// RunResults is Run with the canonical encoding decoded back into
+// system.Results.
+func (e *Engine) RunResults(ctx context.Context, sp Spec) (system.Results, error) {
+	b, err := e.Run(ctx, sp)
+	if err != nil {
+		return system.Results{}, err
+	}
+	return DecodeResult(b)
+}
+
+// Drain performs a graceful shutdown: Submit starts failing with
+// ErrDraining, queued jobs complete immediately with ErrCanceled, and
+// Drain returns once every in-flight job has finished naturally (or
+// ctx expires — the pool keeps draining in the background either way).
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.draining {
+		e.draining = true
+		close(e.queue)
+		// Cancel everything still queued; workers skip cancelled jobs.
+		for {
+			select {
+			case j, ok := <-e.queue:
+				if !ok || j == nil {
+					goto drained
+				}
+				j.Cancel()
+				e.cCanceled.Inc()
+			default:
+				goto drained
+			}
+		}
+	}
+drained:
+	e.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close shuts down immediately: like Drain but in-flight jobs are
+// cancelled too. It blocks until the pool exits.
+func (e *Engine) Close() {
+	e.baseCancel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // Drain should not block beyond the wg wait below.
+	_ = e.Drain(ctx)
+	e.wg.Wait()
+}
+
+// EngineStats is a point-in-time view for /metrics and CLI summaries.
+type EngineStats struct {
+	Submitted  uint64     `json:"submitted"`
+	DedupHits  uint64     `json:"dedupHits"`
+	CacheHits  uint64     `json:"cacheHits"`
+	Done       uint64     `json:"done"`
+	Failed     uint64     `json:"failed"`
+	Canceled   uint64     `json:"canceled"`
+	TimedOut   uint64     `json:"timedOut"`
+	Rejected   uint64     `json:"rejected"`
+	QueueDepth int        `json:"queueDepth"`
+	Running    int        `json:"running"`
+	Jobs       int        `json:"jobs"`
+	Cache      CacheStats `json:"cache"`
+}
+
+// Stats snapshots the engine.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	running, jobs := e.running, len(e.jobs)
+	e.mu.Unlock()
+	return EngineStats{
+		Submitted:  e.cSubmitted.Value(),
+		DedupHits:  e.cDedup.Value(),
+		CacheHits:  e.cCacheHits.Value(),
+		Done:       e.cDone.Value(),
+		Failed:     e.cFailed.Value(),
+		Canceled:   e.cCanceled.Value(),
+		TimedOut:   e.cTimeouts.Value(),
+		Rejected:   e.cRejected.Value(),
+		QueueDepth: len(e.queue),
+		Running:    running,
+		Jobs:       jobs,
+		Cache:      e.cache.Stats(),
+	}
+}
+
+// worker executes jobs until the queue closes.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.runJob(j)
+	}
+}
+
+// runJob executes one job with timeout and cancellation, classifies
+// the outcome, and memoizes successes.
+func (e *Engine) runJob(j *Job) {
+	e.mu.Lock()
+	draining := e.draining
+	e.mu.Unlock()
+	if draining {
+		// Queued when the drain began: cancel, don't execute.
+		j.mu.Lock()
+		j.finishLocked(nil, ErrCanceled, Canceled)
+		j.mu.Unlock()
+		e.cCanceled.Inc()
+		return
+	}
+
+	ctx, cancel := context.WithCancel(e.baseCtx)
+	if e.timeout > 0 {
+		ctx, cancel = context.WithTimeout(e.baseCtx, e.timeout)
+	}
+	defer cancel()
+	if !j.tryStart(cancel) {
+		// Cancelled while queued.
+		e.cCanceled.Inc()
+		return
+	}
+	e.mu.Lock()
+	e.running++
+	e.mu.Unlock()
+
+	result, err := e.exec(ctx, j.Spec)
+
+	e.mu.Lock()
+	e.running--
+	e.mu.Unlock()
+
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.finishLocked(result, nil, Done)
+		j.mu.Unlock()
+		// Memoize outside the job lock. Only a fully successful run
+		// ever reaches Put, and Put's disk write is atomic, so a
+		// cancelled or failed writer cannot corrupt the cache. A failed
+		// memoization write loses only future speedups.
+		_ = e.cache.Put(j.Hash, result)
+		e.cDone.Inc()
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		j.finishLocked(nil, fmt.Errorf("engine: job %s timed out after %v: %w", j.Spec, e.timeout, err), Failed)
+		e.cTimeouts.Inc()
+		e.cFailed.Inc()
+	case errors.Is(err, context.Canceled):
+		j.finishLocked(nil, fmt.Errorf("%w: %v", ErrCanceled, err), Canceled)
+		e.cCanceled.Inc()
+	default:
+		j.finishLocked(nil, err, Failed)
+		e.cFailed.Inc()
+	}
+	j.mu.Unlock()
+}

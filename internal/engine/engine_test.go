@@ -1,0 +1,397 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// smallSpec is a cheap real-simulator job used by end-to-end tests.
+func smallSpec() Spec {
+	return Spec{Bench: "bs", Scale: 1, Threads: 2, Config: ConfigEval}
+}
+
+// blockingExec is a stub executor whose jobs park until released,
+// giving shutdown tests deterministic control over job lifetimes.
+type blockingExec struct {
+	started chan string   // receives a spec's Bench when its job starts
+	release chan struct{} // close to let parked jobs finish
+}
+
+func newBlockingExec() *blockingExec {
+	return &blockingExec{started: make(chan string, 64), release: make(chan struct{})}
+}
+
+func (b *blockingExec) exec(ctx context.Context, sp Spec) ([]byte, error) {
+	b.started <- sp.Bench
+	select {
+	case <-b.release:
+		return []byte(`{"bench":"` + sp.Bench + `"}`), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TestCachedResultByteIdentical is the subsystem's core guarantee: a
+// spec re-run through a warm cache returns bytes identical to the cold
+// run, and an independent cold run on a fresh engine produces the same
+// bytes (determinism, which is what makes memoization sound).
+func TestCachedResultByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := smallSpec()
+	ctx := context.Background()
+
+	e1 := New(Config{Workers: 2, Cache: cache})
+	cold, err := e1.Run(ctx, sp)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	e1.Close()
+
+	// Same cache, new engine: served from memory/disk without running.
+	e2 := New(Config{Workers: 2, Cache: cache})
+	j, err := e2.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if !j.Cached() {
+		t.Fatal("warm run was not served from cache")
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cached result differs from cold run:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	e2.Close()
+
+	// Fresh engine, fresh cache: an independent simulation of the same
+	// spec must reproduce the exact bytes.
+	e3 := New(Config{Workers: 2})
+	fresh, err := e3.Run(ctx, sp)
+	if err != nil {
+		t.Fatalf("fresh run: %v", err)
+	}
+	if !bytes.Equal(cold, fresh) {
+		t.Fatal("independent run of the same spec produced different bytes; simulator is not deterministic")
+	}
+	e3.Close()
+
+	res, err := DecodeResult(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("decoded result has zero cycles")
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	bx := newBlockingExec()
+	e := New(Config{Workers: 2, Exec: bx.exec})
+	defer e.Close()
+
+	sp := Spec{Bench: "stub"}
+	j1, err := e.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := e.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j2 {
+		t.Fatal("second submit of a live spec returned a different job")
+	}
+	if st := e.Stats(); st.DedupHits != 1 || st.Submitted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	close(bx.release)
+	if _, err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompletedJobServedFromCacheOnResubmit(t *testing.T) {
+	bx := newBlockingExec()
+	close(bx.release) // jobs complete immediately
+	e := New(Config{Workers: 1, Exec: bx.exec})
+	defer e.Close()
+
+	sp := Spec{Bench: "stub"}
+	ctx := context.Background()
+	first, err := e.Run(ctx, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A done job stays in the jobs map, so resubmit is a dedup hit; a
+	// second engine sharing the cache gets a cache hit instead.
+	if _, err := e.Run(ctx, sp); err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(Config{Workers: 1, Cache: e.Cache(), Exec: bx.exec})
+	defer e2.Close()
+	j, err := e2.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Cached() || !bytes.Equal(first, warm) {
+		t.Fatalf("cached=%v, bytes equal=%v", j.Cached(), bytes.Equal(first, warm))
+	}
+	if st := e2.Stats(); st.CacheHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	bx := newBlockingExec()
+	e := New(Config{Workers: 1, QueueDepth: 1, Exec: bx.exec})
+	defer e.Close()
+
+	if _, err := e.Submit(Spec{Bench: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	<-bx.started // worker is now parked inside job a; queue is empty
+	if _, err := e.Submit(Spec{Bench: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Submit(Spec{Bench: "c"})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if st := e.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	close(bx.release)
+}
+
+// TestDrainGraceful covers the shutdown contract: in-flight jobs run to
+// completion (and are memoized), queued jobs complete immediately with
+// the typed ErrCanceled, and new submits are refused.
+func TestDrainGraceful(t *testing.T) {
+	bx := newBlockingExec()
+	e := New(Config{Workers: 1, Exec: bx.exec})
+
+	inflight, err := e.Submit(Spec{Bench: "inflight"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-bx.started // the one worker is parked inside "inflight"
+	queued, err := e.Submit(Spec{Bench: "queued"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- e.Drain(context.Background()) }()
+
+	// The queued job is cancelled promptly, while "inflight" still runs.
+	if _, err := queued.Wait(context.Background()); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("queued job err = %v, want ErrCanceled", err)
+	}
+	if st := queued.State(); st != Canceled {
+		t.Fatalf("queued job state = %v, want Canceled", st)
+	}
+	if st := inflight.State(); st != Running {
+		t.Fatalf("in-flight job state = %v, want Running", st)
+	}
+	if _, err := e.Submit(Spec{Bench: "late"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining err = %v, want ErrDraining", err)
+	}
+
+	close(bx.release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	b, err := inflight.Result()
+	if err != nil || len(b) == 0 {
+		t.Fatalf("in-flight job after drain: %q, %v", b, err)
+	}
+
+	// The cache holds exactly the completed job — the cancelled one
+	// never touched it.
+	if _, ok := e.Cache().Get(inflight.Hash); !ok {
+		t.Fatal("completed job missing from cache")
+	}
+	if _, ok := e.Cache().Get(queued.Hash); ok {
+		t.Fatal("cancelled job leaked into the cache")
+	}
+	if st := e.Stats(); st.Done != 1 || st.Canceled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	bx := newBlockingExec() // never released: jobs end only via ctx
+	e := New(Config{Workers: 1, JobTimeout: 20 * time.Millisecond, Exec: bx.exec})
+	defer e.Close()
+
+	j, err := e.Submit(Spec{Bench: "slow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = j.Wait(context.Background())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if st := j.State(); st != Failed {
+		t.Fatalf("state = %v, want Failed", st)
+	}
+	if st := e.Stats(); st.TimedOut != 1 || st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCancelRunning also checks the cache-corruption guard: a job
+// cancelled mid-run must leave no cache entry behind.
+func TestCancelRunning(t *testing.T) {
+	bx := newBlockingExec()
+	e := New(Config{Workers: 1, Exec: bx.exec})
+	defer e.Close()
+
+	j, err := e.Submit(Spec{Bench: "victim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-bx.started
+	j.Cancel()
+	if _, err := j.Wait(context.Background()); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if st := j.State(); st != Canceled {
+		t.Fatalf("state = %v, want Canceled", st)
+	}
+	if _, ok := e.Cache().Get(j.Hash); ok {
+		t.Fatal("cancelled job wrote to the cache")
+	}
+	if n := e.Cache().Len(); n != 0 {
+		t.Fatalf("cache has %d entries after cancelled run", n)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	bx := newBlockingExec()
+	e := New(Config{Workers: 1, Exec: bx.exec})
+
+	if _, err := e.Submit(Spec{Bench: "blocker"}); err != nil {
+		t.Fatal(err)
+	}
+	<-bx.started
+	j, err := e.Submit(Spec{Bench: "queued"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Cancel()
+	// Cancelling a queued job completes it immediately, before any
+	// worker touches it.
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("cancelled queued job not immediately terminal")
+	}
+	if _, err := j.Result(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	close(bx.release)
+	e.Close()
+	if _, ok := e.Cache().Get(j.Hash); ok {
+		t.Fatal("cancelled job wrote to the cache")
+	}
+}
+
+// TestFailedJobIsRetried: failure is not memoized — not in the cache,
+// and not in the singleflight map — so a resubmit runs again.
+func TestFailedJobIsRetried(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	exec := func(ctx context.Context, sp Spec) ([]byte, error) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n == 1 {
+			return nil, fmt.Errorf("transient fault")
+		}
+		return []byte(`{"ok":true}`), nil
+	}
+	e := New(Config{Workers: 1, Exec: exec})
+	defer e.Close()
+
+	ctx := context.Background()
+	sp := Spec{Bench: "flaky"}
+	if _, err := e.Run(ctx, sp); err == nil {
+		t.Fatal("first run should fail")
+	}
+	b, err := e.Run(ctx, sp)
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if string(b) != `{"ok":true}` {
+		t.Fatalf("retry result = %s", b)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 2 {
+		t.Fatalf("exec called %d times, want 2", calls)
+	}
+}
+
+// TestExecuteInterruptedByCancel drives the real simulator with an
+// already-cancelled context: the interrupt wiring must stop the run and
+// surface the context's error.
+func TestExecuteInterruptedByCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Execute(ctx, smallSpec())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	bx := newBlockingExec()
+	close(bx.release)
+	e := New(Config{Workers: 4, QueueDepth: 256, Exec: bx.exec})
+	defer e.Close()
+
+	const goroutines, specs = 8, 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < specs; i++ {
+				j, err := e.Submit(Spec{Bench: fmt.Sprintf("s%d", i)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := j.Wait(context.Background()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Done != specs {
+		t.Fatalf("done = %d, want %d", st.Done, specs)
+	}
+	if st.Submitted+st.DedupHits+st.CacheHits != goroutines*specs {
+		t.Fatalf("submit paths don't add up: %+v", st)
+	}
+}

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"hscsim/internal/sim"
+	"hscsim/internal/system"
+)
+
+// EncodeResult renders a run's results in the engine's canonical form:
+// compact JSON with deterministic key order (encoding/json sorts map
+// keys, and Results.Stats is the only map). These are the bytes the
+// cache stores and the HTTP service returns; byte-for-byte equality of
+// two encodings means the runs agreed on every metric and every
+// counter.
+func EncodeResult(res system.Results) ([]byte, error) {
+	return json.Marshal(res)
+}
+
+// DecodeResult parses a canonical result encoding.
+func DecodeResult(b []byte) (system.Results, error) {
+	var res system.Results
+	if err := json.Unmarshal(b, &res); err != nil {
+		return system.Results{}, fmt.Errorf("engine: corrupt result encoding: %w", err)
+	}
+	return res, nil
+}
+
+// Execute runs one spec to completion on a fresh simulated system and
+// returns the canonical result encoding. It is the engine's default
+// executor. The context's Done channel is wired into the simulator's
+// event loop, so cancellation and timeouts take effect mid-run within
+// a few thousand simulated events.
+func Execute(ctx context.Context, sp Spec) ([]byte, error) {
+	sp = sp.Normalized()
+	cfg, err := buildConfig(sp)
+	if err != nil {
+		return nil, err
+	}
+	w, err := buildWorkload(sp)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Interrupt = ctx.Done()
+	s := system.New(cfg)
+	res, err := s.Run(w)
+	if err != nil {
+		if errors.Is(err, sim.ErrInterrupted) && ctx.Err() != nil {
+			// Surface the context's verdict (Canceled vs
+			// DeadlineExceeded) so the engine can classify the job.
+			return nil, fmt.Errorf("engine: %s interrupted: %w", sp, ctx.Err())
+		}
+		return nil, err
+	}
+	if err := s.CheckCoherence(); err != nil {
+		return nil, fmt.Errorf("engine: %s: %w", sp, err)
+	}
+	return EncodeResult(res)
+}

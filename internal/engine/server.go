@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// JobStatus is the service's JSON view of a job.
+type JobStatus struct {
+	Hash   string `json:"hash"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	Spec   Spec   `json:"spec"`
+	Error  string `json:"error,omitempty"`
+}
+
+func statusOf(j *Job) JobStatus {
+	st := JobStatus{
+		Hash:   j.Hash,
+		State:  j.State().String(),
+		Cached: j.Cached(),
+		Spec:   j.Spec,
+	}
+	if j.State().Terminal() {
+		if _, err := j.Result(); err != nil {
+			st.Error = err.Error()
+		}
+	}
+	return st
+}
+
+// NewServer returns the hscserve HTTP API over an engine:
+//
+//	POST /jobs              submit a Spec; 202 queued, 200 done (cache
+//	                        hit), 429 queue full, 503 draining
+//	GET  /jobs/{hash}       job status
+//	GET  /jobs/{hash}/result  canonical result JSON; 202 while running
+//	GET  /metrics           engine + cache counters (text)
+//	GET  /healthz           liveness
+//
+// POST /jobs?wait=1 blocks until the job completes (bounded by the
+// request context), then behaves like GET .../result.
+func NewServer(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var sp Spec
+		if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+			return
+		}
+		if err := sp.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		j, err := e.Submit(sp)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err)
+			return
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if r.URL.Query().Get("wait") != "" {
+			if _, err := j.Wait(r.Context()); err != nil && r.Context().Err() != nil {
+				httpError(w, http.StatusGatewayTimeout, err)
+				return
+			}
+			writeResult(w, j)
+			return
+		}
+		code := http.StatusAccepted
+		if j.State() == Done {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, statusOf(j))
+	})
+
+	mux.HandleFunc("GET /jobs/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := e.Job(r.PathValue("hash"))
+		if !ok {
+			httpError(w, http.StatusNotFound, errors.New("unknown job"))
+			return
+		}
+		writeJSON(w, http.StatusOK, statusOf(j))
+	})
+
+	mux.HandleFunc("GET /jobs/{hash}/result", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := e.Job(r.PathValue("hash"))
+		if !ok {
+			httpError(w, http.StatusNotFound, errors.New("unknown job"))
+			return
+		}
+		writeResult(w, j)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		st := e.Stats()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, e.Registry().Dump())
+		fmt.Fprintf(w, "%-48s %12d\n", "engine.queue_depth", st.QueueDepth)
+		fmt.Fprintf(w, "%-48s %12d\n", "engine.running", st.Running)
+		fmt.Fprintf(w, "%-48s %12d\n", "engine.jobs_known", st.Jobs)
+		fmt.Fprintf(w, "%-48s %12d\n", "engine.cache.entries", st.Cache.Entries)
+		fmt.Fprintf(w, "%-48s %12d\n", "engine.cache.hits", st.Cache.Hits)
+		fmt.Fprintf(w, "%-48s %12d\n", "engine.cache.disk_hits", st.Cache.DiskHits)
+		fmt.Fprintf(w, "%-48s %12d\n", "engine.cache.misses", st.Cache.Misses)
+		fmt.Fprintf(w, "%-48s %12d\n", "engine.cache.puts", st.Cache.Puts)
+		fmt.Fprintf(w, "%-48s %12d\n", "engine.cache.evictions", st.Cache.Evictions)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	return mux
+}
+
+// writeResult renders a terminal job's result bytes, a 202 status for
+// a job still in flight, or the job's error.
+func writeResult(w http.ResponseWriter, j *Job) {
+	switch j.State() {
+	case Queued, Running:
+		writeJSON(w, http.StatusAccepted, statusOf(j))
+	case Done:
+		b, _ := j.Result()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Engine-Cached", fmt.Sprintf("%t", j.Cached()))
+		w.WriteHeader(http.StatusOK)
+		w.Write(b)
+	case Canceled:
+		_, err := j.Result()
+		httpError(w, http.StatusConflict, err)
+	default: // Failed
+		_, err := j.Result()
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, srv *httptest.Server, sp Spec, query string) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+"/jobs"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestServerSubmitPollResult is the service smoke test: submit a real
+// (small) simulation, poll status until done, fetch the result, and
+// verify a resubmit is served from the cache with identical bytes.
+func TestServerSubmitPollResult(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+
+	sp := smallSpec()
+	resp, body := postJob(t, srv, sp, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hash != sp.Hash() {
+		t.Fatalf("hash = %s, want %s", st.Hash, sp.Hash())
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, body = get(t, srv, "/jobs/"+st.Hash)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status: %d %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("job ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after deadline", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, result := get(t, srv, "/jobs/"+st.Hash+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", resp.StatusCode, result)
+	}
+	if resp.Header.Get("X-Engine-Cached") != "false" {
+		t.Fatalf("X-Engine-Cached = %q on a fresh run", resp.Header.Get("X-Engine-Cached"))
+	}
+	if res, err := DecodeResult(result); err != nil || res.Cycles == 0 {
+		t.Fatalf("result decode: %v (cycles=%d)", err, res.Cycles)
+	}
+
+	// Resubmitting the identical spec completes synchronously from the
+	// engine (dedup against the done job) with the same bytes.
+	resp, body = postJob(t, srv, sp, "?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: %d %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, result) {
+		t.Fatal("resubmitted result differs from original")
+	}
+
+	// A second engine sharing the cache serves it as a cache hit.
+	e2 := New(Config{Workers: 1, Cache: e.Cache()})
+	defer e2.Close()
+	srv2 := httptest.NewServer(NewServer(e2))
+	defer srv2.Close()
+	resp, body = postJob(t, srv2, sp, "?wait=1")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Engine-Cached") != "true" {
+		t.Fatalf("warm submit: %d, cached=%q", resp.StatusCode, resp.Header.Get("X-Engine-Cached"))
+	}
+	if !bytes.Equal(body, result) {
+		t.Fatal("cache-served result differs from original")
+	}
+}
+
+func TestServerBackpressure(t *testing.T) {
+	bx := newBlockingExec()
+	e := New(Config{Workers: 1, QueueDepth: 1, Exec: bx.exec})
+	defer e.Close()
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+
+	resp, _ := postJob(t, srv, Spec{Bench: "bs", Seed: 1}, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	<-bx.started // worker parked; queue empty
+	resp, _ = postJob(t, srv, Spec{Bench: "bs", Seed: 2}, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d", resp.StatusCode)
+	}
+	resp, body := postJob(t, srv, Spec{Bench: "bs", Seed: 3}, "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(bx.release)
+}
+
+func TestServerErrors(t *testing.T) {
+	bx := newBlockingExec()
+	close(bx.release)
+	e := New(Config{Workers: 1, Exec: bx.exec})
+	defer e.Close()
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+
+	// Malformed body.
+	resp, err := srv.Client().Post(srv.URL+"/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", resp.StatusCode)
+	}
+
+	// Invalid spec (unknown tracking mode).
+	resp, body := postJob(t, srv, Spec{Bench: "bs", Protocol: ProtocolSpec{Tracking: "psychic"}}, "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: %d %s", resp.StatusCode, body)
+	}
+
+	// Unknown hash.
+	resp, _ = get(t, srv, "/jobs/ffffffffffff")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv, "/jobs/ffffffffffff/result")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown result: %d", resp.StatusCode)
+	}
+}
+
+func TestServerMetricsAndHealth(t *testing.T) {
+	bx := newBlockingExec()
+	close(bx.release)
+	e := New(Config{Workers: 1, Exec: bx.exec})
+	defer e.Close()
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+
+	resp, _ := postJob(t, srv, Spec{Bench: "bs"}, "?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+
+	resp, body := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{"engine.jobs_submitted", "engine.jobs_done", "engine.cache.puts", "engine.queue_depth"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, body = get(t, srv, "/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+}

@@ -84,8 +84,20 @@ type Sweep struct {
 	Results map[string]map[string]system.Results
 }
 
+// Runner executes one sweep cell. RunSweep uses Run, the direct
+// in-process simulator; cmd/hscfig substitutes an engine-backed runner
+// (internal/engine) so repeated sweeps are served from the result cache
+// and independent cells run on the worker pool.
+type Runner func(bench string, opts core.Options) (system.Results, error)
+
 // RunSweep runs every benchmark × protocol variant combination.
 func RunSweep(benches []string, variants []core.Options) (*Sweep, error) {
+	return RunSweepVia(Run, benches, variants)
+}
+
+// RunSweepVia runs every benchmark × protocol variant combination
+// through run.
+func RunSweepVia(run Runner, benches []string, variants []core.Options) (*Sweep, error) {
 	sw := &Sweep{
 		Benches: benches,
 		Results: make(map[string]map[string]system.Results),
@@ -96,7 +108,7 @@ func RunSweep(benches []string, variants []core.Options) (*Sweep, error) {
 	for _, b := range benches {
 		sw.Results[b] = make(map[string]system.Results)
 		for _, v := range variants {
-			res, err := Run(b, v)
+			res, err := run(b, v)
 			if err != nil {
 				return nil, err
 			}

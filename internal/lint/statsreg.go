@@ -34,7 +34,10 @@ func runStatsReg(p *Pass) {
 			continue
 		}
 		for i := 0; i < st.NumFields(); i++ {
-			if f := st.Field(i); isStatsHandle(f.Type()) {
+			// Only fields this package defines: a type alias re-exports
+			// another package's struct, whose fields are wired up by that
+			// package's own constructor.
+			if f := st.Field(i); isStatsHandle(f.Type()) && f.Pkg() == p.Pkg.Types {
 				declared[f] = true
 			}
 		}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"hscsim/internal/lint/testdata/gadget"
 	"hscsim/internal/msg"
 	"hscsim/internal/stats"
 )
@@ -37,6 +38,12 @@ type widget struct {
 func newWidget(sc *stats.Scope) *widget {
 	return &widget{hits: sc.Counter("hits")}
 }
+
+// RemoteGadget aliases another package's struct: its stats fields
+// belong to gadget, whose own constructor registers them, so statsreg
+// must not report them here (false-positive guard — the public API
+// package re-exports internal/engine's Engine exactly this way).
+type RemoteGadget = gadget.Gadget
 
 // sum ranges over a map unannotated → maploop (when the test marks this
 // package hot). The second loop carries the suppression marker and an

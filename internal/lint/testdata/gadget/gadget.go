@@ -1,0 +1,15 @@
+// Package gadget is lint testdata for the statsreg alias guard: its
+// stats field is registered by its own constructor, and the bad
+// package re-exports the struct via a type alias. The alias must not
+// make statsreg demand a second registration in the aliasing package.
+package gadget
+
+import "hscsim/internal/stats"
+
+type Gadget struct {
+	Ticks *stats.Counter
+}
+
+func New(sc *stats.Scope) *Gadget {
+	return &Gadget{Ticks: sc.Counter("ticks")}
+}

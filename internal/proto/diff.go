@@ -1,0 +1,228 @@
+package proto
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Arm is one flattened transition row for baseline diffing: a machine's
+// (state, event) → next with its rendered guard and action columns —
+// exactly one Markdown table row of TABLES.md. Diffing flattened arms
+// instead of raw JSON makes a protocol change reviewable transition by
+// transition.
+type Arm struct {
+	Machine string
+	State   string
+	Event   string
+	Next    string
+	Guard   string
+	Actions string
+}
+
+// armKey identifies an arm: a machine may declare several next-states
+// for one (state, event) cell under different guards, so Next is part
+// of the identity and guard/action changes are reported as modified.
+type armKey struct {
+	Machine, State, Event, Next string
+}
+
+func (k armKey) String() string {
+	return fmt.Sprintf("%s (%s, %s) -> %s", k.Machine, k.State, k.Event, k.Next)
+}
+
+// Arms flattens the table into sorted rows, rendered exactly as
+// TABLES.md renders them.
+func (t *Table) Arms() []Arm {
+	var out []Arm
+	for _, m := range t.Machines {
+		for _, e := range m.Entries {
+			out = append(out, Arm{
+				Machine: m.Name,
+				State:   e.State,
+				Event:   e.Event,
+				Next:    e.Next,
+				Guard:   guardColumn(e),
+				Actions: strings.Join(e.Actions, "; "),
+			})
+		}
+	}
+	sortArms(out)
+	return out
+}
+
+func sortArms(arms []Arm) {
+	sort.Slice(arms, func(i, j int) bool {
+		a, b := arms[i], arms[j]
+		switch {
+		case a.Machine != b.Machine:
+			return a.Machine < b.Machine
+		case a.State != b.State:
+			return a.State < b.State
+		case a.Event != b.Event:
+			return a.Event < b.Event
+		default:
+			return a.Next < b.Next
+		}
+	})
+}
+
+// ParseBaseline parses a committed baseline into arms. Both baseline
+// formats the repository produces are accepted: TABLES.md Markdown
+// (`hscproto -write`) and table JSON (`hscproto -json`).
+func ParseBaseline(b []byte) ([]Arm, error) {
+	trimmed := strings.TrimSpace(string(b))
+	if strings.HasPrefix(trimmed, "{") {
+		var tbl Table
+		if err := json.Unmarshal(b, &tbl); err != nil {
+			return nil, fmt.Errorf("proto: baseline JSON: %w", err)
+		}
+		return tbl.Arms(), nil
+	}
+	return parseMarkdownArms(trimmed)
+}
+
+// parseMarkdownArms recovers arms from the TABLES.md rendering: `## x`
+// headings name the machine, `| a | b | c | d | e |` rows are arms
+// (header and separator rows are skipped).
+func parseMarkdownArms(s string) ([]Arm, error) {
+	var out []Arm
+	machine := ""
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "## "):
+			machine = strings.TrimSpace(strings.TrimPrefix(line, "## "))
+		case strings.HasPrefix(line, "|"):
+			cells := strings.Split(strings.Trim(line, "|"), "|")
+			if len(cells) != 5 {
+				continue
+			}
+			for i := range cells {
+				cells[i] = strings.TrimSpace(cells[i])
+			}
+			if cells[0] == "State" || strings.HasPrefix(cells[0], "---") {
+				continue
+			}
+			if machine == "" {
+				return nil, fmt.Errorf("proto: baseline table row before any '## machine' heading: %q", line)
+			}
+			out = append(out, Arm{
+				Machine: machine, State: cells[0], Event: cells[1],
+				Next: cells[2], Guard: cells[3], Actions: cells[4],
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("proto: baseline contains no transition rows")
+	}
+	sortArms(out)
+	return out, nil
+}
+
+// ArmDelta is one reviewable difference between a baseline and the
+// current table.
+type ArmDelta struct {
+	// Kind is "added", "removed" or "changed".
+	Kind string
+	// Old is unset for "added"; New is unset for "removed".
+	Old, New *Arm
+}
+
+// DiffArms compares a baseline against the current arms. Deltas come
+// back sorted by machine/state/event/next with removals first at each
+// position, so a diff reads like the table.
+func DiffArms(baseline, current []Arm) []ArmDelta {
+	index := func(arms []Arm) map[armKey]*Arm {
+		m := make(map[armKey]*Arm, len(arms))
+		for i := range arms {
+			a := &arms[i]
+			m[armKey{a.Machine, a.State, a.Event, a.Next}] = a
+		}
+		return m
+	}
+	base, cur := index(baseline), index(current)
+
+	var out []ArmDelta
+	for i := range baseline {
+		old := &baseline[i]
+		k := armKey{old.Machine, old.State, old.Event, old.Next}
+		switch now, ok := cur[k]; {
+		case !ok:
+			out = append(out, ArmDelta{Kind: "removed", Old: old})
+		case now.Guard != old.Guard || now.Actions != old.Actions:
+			out = append(out, ArmDelta{Kind: "changed", Old: old, New: now})
+		}
+	}
+	for i := range current {
+		now := &current[i]
+		if _, ok := base[armKey{now.Machine, now.State, now.Event, now.Next}]; !ok {
+			out = append(out, ArmDelta{Kind: "added", New: now})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].arm(), out[j].arm()
+		ki := armKey{ai.Machine, ai.State, ai.Event, ai.Next}
+		kj := armKey{aj.Machine, aj.State, aj.Event, aj.Next}
+		if ki != kj {
+			return ki.String() < kj.String()
+		}
+		return out[i].Kind < out[j].Kind // added < changed < removed
+	})
+	return out
+}
+
+// arm returns the delta's identifying arm (the new side when present).
+func (d ArmDelta) arm() *Arm {
+	if d.New != nil {
+		return d.New
+	}
+	return d.Old
+}
+
+// FormatDiff renders deltas for review, grouped per machine:
+//
+//	dir.cpu
+//	  + (S, RdBlkM) -> M  [always]  {inval sharers}
+//	  - (S, RdBlkM) -> O  [always]  {forward}
+//	  ~ (M, Probe)  -> O  guard: always -> llcWriteBack
+//
+// An empty delta list renders as "transition tables match baseline".
+func FormatDiff(deltas []ArmDelta) string {
+	if len(deltas) == 0 {
+		return "transition tables match baseline\n"
+	}
+	var b strings.Builder
+	machine := ""
+	row := func(a *Arm) string {
+		return fmt.Sprintf("(%s, %s) -> %s  [%s]  {%s}", a.State, a.Event, a.Next, a.Guard, a.Actions)
+	}
+	added, removed, changed := 0, 0, 0
+	for _, d := range deltas {
+		if m := d.arm().Machine; m != machine {
+			machine = m
+			fmt.Fprintf(&b, "%s\n", machine)
+		}
+		switch d.Kind {
+		case "added":
+			added++
+			fmt.Fprintf(&b, "  + %s\n", row(d.New))
+		case "removed":
+			removed++
+			fmt.Fprintf(&b, "  - %s\n", row(d.Old))
+		default:
+			changed++
+			fmt.Fprintf(&b, "  ~ (%s, %s) -> %s", d.New.State, d.New.Event, d.New.Next)
+			if d.Old.Guard != d.New.Guard {
+				fmt.Fprintf(&b, "  guard: %s -> %s", d.Old.Guard, d.New.Guard)
+			}
+			if d.Old.Actions != d.New.Actions {
+				fmt.Fprintf(&b, "  actions: {%s} -> {%s}", d.Old.Actions, d.New.Actions)
+			}
+			b.WriteString("\n")
+		}
+	}
+	fmt.Fprintf(&b, "%d added, %d removed, %d changed\n", added, removed, changed)
+	return b.String()
+}

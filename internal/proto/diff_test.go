@@ -1,0 +1,112 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffFixture() *Table {
+	return &Table{Machines: []*Machine{
+		{Name: "dir.cpu", Entries: []*Entry{
+			{TKey: TKey{State: "I", Event: "RdBlk", Next: "S"}, Actions: []string{"fill"}, Guards: []Guard{{}}},
+			{TKey: TKey{State: "S", Event: "RdBlkM", Next: "M"}, Actions: []string{"inval sharers"}, Guards: []Guard{{}}},
+			{TKey: TKey{State: "M", Event: "Probe", Next: "O"}, Actions: []string{"fwd"}, Guards: []Guard{{Require: []string{"llcWriteBack"}}}},
+		}},
+		{Name: "dir.llc", Entries: []*Entry{
+			{TKey: TKey{State: "V", Event: "Evict", Next: "I"}, Actions: []string{"wb"}, Guards: []Guard{{}}},
+		}},
+	}}
+}
+
+// TestDiffRoundTrip: both baseline formats the toolkit emits must parse
+// back into exactly the arms they rendered, so a no-change diff is
+// empty in both directions.
+func TestDiffRoundTrip(t *testing.T) {
+	tbl := diffFixture()
+	arms := tbl.Arms()
+
+	fromMD, err := ParseBaseline([]byte(tbl.Markdown()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffArms(fromMD, arms); len(d) != 0 {
+		t.Fatalf("markdown round-trip not identity:\n%s", FormatDiff(d))
+	}
+
+	js, err := tbl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ParseBaseline(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffArms(fromJSON, arms); len(d) != 0 {
+		t.Fatalf("JSON round-trip not identity:\n%s", FormatDiff(d))
+	}
+}
+
+// TestDiffReportsArmDeltas: an added arm, a removed arm, and a reguarded
+// arm each show up as exactly one reviewable delta.
+func TestDiffReportsArmDeltas(t *testing.T) {
+	baseline := diffFixture().Arms()
+
+	next := diffFixture()
+	cpu := next.Machine("dir.cpu")
+	// Remove (S, RdBlkM) -> M, add (S, RdBlkM) -> O, reguard (M, Probe).
+	cpu.Entries[1] = &Entry{TKey: TKey{State: "S", Event: "RdBlkM", Next: "O"}, Actions: []string{"fwd owner"}, Guards: []Guard{{}}}
+	cpu.Entries[2].Guards = []Guard{{}}
+
+	deltas := DiffArms(baseline, next.Arms())
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3:\n%s", len(deltas), FormatDiff(deltas))
+	}
+	kinds := map[string]int{}
+	for _, d := range deltas {
+		kinds[d.Kind]++
+	}
+	if kinds["added"] != 1 || kinds["removed"] != 1 || kinds["changed"] != 1 {
+		t.Fatalf("kinds = %v, want one of each", kinds)
+	}
+
+	out := FormatDiff(deltas)
+	for _, want := range []string{
+		"+ (S, RdBlkM) -> O",
+		"- (S, RdBlkM) -> M",
+		"~ (M, Probe) -> O  guard: llcWriteBack -> always",
+		"1 added, 1 removed, 1 changed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	// The unchanged dir.llc machine must not appear.
+	if strings.Contains(out, "dir.llc") {
+		t.Fatalf("diff lists an unchanged machine:\n%s", out)
+	}
+}
+
+// TestDiffRejectsGarbage: a baseline with no table rows is a usage
+// error, not an empty diff.
+func TestDiffRejectsGarbage(t *testing.T) {
+	if _, err := ParseBaseline([]byte("not a baseline\n")); err == nil {
+		t.Fatal("garbage baseline parsed")
+	}
+	if _, err := ParseBaseline([]byte("{broken json")); err == nil {
+		t.Fatal("broken JSON parsed")
+	}
+}
+
+// TestRepoTablesRoundTripThroughDiff pins the real extracted tables:
+// TABLES.md as committed must diff clean against the extraction it was
+// generated from.
+func TestRepoTablesRoundTripThroughDiff(t *testing.T) {
+	tbl := repoExtract(t)
+	fromMD, err := ParseBaseline([]byte(tbl.Markdown()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffArms(fromMD, tbl.Arms()); len(d) != 0 {
+		t.Fatalf("repo tables do not round-trip:\n%s", FormatDiff(d))
+	}
+}

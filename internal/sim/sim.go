@@ -8,8 +8,22 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 )
+
+// ErrInterrupted is returned by Run when the engine's Interrupt channel
+// closes mid-run (job cancellation or timeout in internal/engine).
+// Interruption is cooperative and deterministic with respect to the
+// simulation itself: the poll happens between events and never perturbs
+// event order, so a run that is not interrupted is bit-for-bit identical
+// to one with no Interrupt channel installed.
+var ErrInterrupted = errors.New("sim: interrupted")
+
+// interruptPollInterval is how many executed events pass between polls
+// of the Interrupt channel — frequent enough to cancel within
+// microseconds, rare enough to stay off the hot path.
+const interruptPollInterval = 4096
 
 // Tick is the simulation time unit. One tick is one CPU clock cycle
 // (3.5 GHz in the paper's configuration); slower clock domains schedule
@@ -57,6 +71,11 @@ type Engine struct {
 	// MaxTicks aborts the run when exceeded (0 means no limit). It is a
 	// safety net against livelocked protocols or non-terminating spins.
 	MaxTicks Tick
+
+	// Interrupt, when non-nil, is polled between events; once it is
+	// closed (or sends), Run returns ErrInterrupted. Used by the job
+	// engine for cancellation and per-job timeouts.
+	Interrupt <-chan struct{}
 
 	executed uint64
 }
@@ -116,6 +135,13 @@ func (e *Engine) Run() error {
 		ev.fn = nil
 		fn()
 		e.executed++
+		if e.Interrupt != nil && e.executed%interruptPollInterval == 0 {
+			select {
+			case <-e.Interrupt:
+				return fmt.Errorf("%w at tick %d with %d events pending", ErrInterrupted, e.now, len(e.queue))
+			default:
+			}
+		}
 	}
 	return nil
 }

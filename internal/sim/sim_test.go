@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -160,5 +161,58 @@ func TestDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("non-deterministic at %d: %d vs %d", i, a[i], b[i])
 		}
+	}
+}
+
+func TestInterrupt(t *testing.T) {
+	e := NewEngine()
+	stop := make(chan struct{})
+	e.Interrupt = stop
+	executed := 0
+	// A self-perpetuating event chain that would never drain on its own.
+	var step func()
+	step = func() {
+		executed++
+		if executed == interruptPollInterval+1 {
+			close(stop)
+		}
+		e.Schedule(1, step)
+	}
+	e.Schedule(0, step)
+	err := e.Run()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("Run = %v, want ErrInterrupted", err)
+	}
+	// The poll fires on multiples of the interval, so the run stopped at
+	// the first poll after the close.
+	if executed > 3*interruptPollInterval {
+		t.Fatalf("ran %d events after interrupt", executed)
+	}
+}
+
+func TestInterruptNeverFiredIsIdentity(t *testing.T) {
+	run := func(interrupt bool) (Tick, uint64) {
+		e := NewEngine()
+		if interrupt {
+			e.Interrupt = make(chan struct{}) // never closed
+		}
+		n := 0
+		var step func()
+		step = func() {
+			n++
+			if n < 3*interruptPollInterval {
+				e.Schedule(1, step)
+			}
+		}
+		e.Schedule(0, step)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), e.Executed()
+	}
+	aNow, aExec := run(false)
+	bNow, bExec := run(true)
+	if aNow != bNow || aExec != bExec {
+		t.Fatalf("armed-but-idle interrupt changed the run: (%d,%d) vs (%d,%d)", aNow, aExec, bNow, bExec)
 	}
 }

@@ -4,13 +4,17 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync"
 )
 
 // Histogram accumulates a distribution in power-of-two buckets —
 // enough resolution for latency distributions without per-sample
-// storage.
+// storage. Observe and the read accessors are safe to call
+// concurrently (a single mutex; histograms are off the simulator's
+// per-event hot path).
 type Histogram struct {
 	name    string
+	mu      sync.Mutex
 	buckets [64]uint64
 	count   uint64
 	sum     uint64
@@ -20,6 +24,8 @@ type Histogram struct {
 
 // Observe records one sample.
 func (h *Histogram) Observe(v uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	b := bits.Len64(v) // bucket b holds [2^(b-1), 2^b)
 	h.buckets[b]++
 	h.count++
@@ -33,25 +39,49 @@ func (h *Histogram) Observe(v uint64) {
 }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // Mean returns the arithmetic mean (0 with no samples).
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mean()
+}
+
+func (h *Histogram) mean() float64 {
 	if h.count == 0 {
 		return 0
 	}
 	return float64(h.sum) / float64(h.count)
 }
 
-// Min and Max return the extremes (0 with no samples).
-func (h *Histogram) Min() uint64 { return h.min }
+// Min returns the smallest observed sample (0 with no samples).
+func (h *Histogram) Min() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
 
 // Max returns the largest observed sample.
-func (h *Histogram) Max() uint64 { return h.max }
+func (h *Histogram) Max() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
 
 // Percentile returns an upper bound on the p-th percentile (p in
 // [0,100]): the top of the bucket containing it.
 func (h *Histogram) Percentile(p float64) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.percentile(p)
+}
+
+func (h *Histogram) percentile(p float64) uint64 {
 	if h.count == 0 {
 		return 0
 	}
@@ -80,17 +110,21 @@ func (h *Histogram) Percentile(p float64) uint64 {
 
 // String summarizes the distribution.
 func (h *Histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return fmt.Sprintf("%s: no samples", h.name)
 	}
 	return fmt.Sprintf("%s: n=%d mean=%.1f min=%d p50≤%d p90≤%d p99≤%d max=%d",
-		h.name, h.count, h.Mean(), h.min,
-		h.Percentile(50), h.Percentile(90), h.Percentile(99), h.max)
+		h.name, h.count, h.mean(), h.min,
+		h.percentile(50), h.percentile(90), h.percentile(99), h.max)
 }
 
 // Histogram returns (creating if needed) the named histogram in this
 // scope.
 func (s *Scope) Histogram(name string) *Histogram {
+	s.registry.mu.Lock()
+	defer s.registry.mu.Unlock()
 	if s.hists == nil {
 		s.hists = make(map[string]*Histogram)
 	}
@@ -105,6 +139,8 @@ func (s *Scope) Histogram(name string) *Histogram {
 
 // Histograms returns every histogram, keyed by full name.
 func (r *Registry) Histograms() map[string]*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make(map[string]*Histogram, len(r.allHists))
 	for _, h := range r.allHists {
 		out[h.name] = h

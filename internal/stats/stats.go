@@ -2,28 +2,37 @@
 //
 // Every controller owns a *Scope; scopes roll up into a Registry that the
 // benchmark harness formats into the paper's tables and figures.
+//
+// A Registry is safe for concurrent use: counters are atomic and the
+// scope/counter maps are mutex-protected, so the job engine
+// (internal/engine) can snapshot its registry from HTTP handlers while
+// worker goroutines mutate counters. Within one simulation the registry
+// is still effectively single-goroutine (the event loop), so the
+// synchronization never contends on the hot path.
 package stats
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing statistic.
 type Counter struct {
 	name string
-	v    uint64
+	v    atomic.Uint64
 }
 
 // Inc adds 1.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v }
+func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Name returns the fully qualified counter name.
 func (c *Counter) Name() string { return c.name }
@@ -39,6 +48,8 @@ type Scope struct {
 // Counter returns (creating if needed) the counter with the given short
 // name within this scope.
 func (s *Scope) Counter(name string) *Counter {
+	s.registry.mu.Lock()
+	defer s.registry.mu.Unlock()
 	if c, ok := s.counters[name]; ok {
 		return c
 	}
@@ -50,6 +61,7 @@ func (s *Scope) Counter(name string) *Counter {
 
 // Registry owns all scopes for a simulation run.
 type Registry struct {
+	mu       sync.Mutex
 	scopes   map[string]*Scope
 	all      []*Counter
 	allHists []*Histogram
@@ -62,6 +74,8 @@ func NewRegistry() *Registry {
 
 // Scope returns (creating if needed) the scope with the given prefix.
 func (r *Registry) Scope(prefix string) *Scope {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if s, ok := r.scopes[prefix]; ok {
 		return s
 	}
@@ -77,6 +91,8 @@ func (r *Registry) Get(fullName string) uint64 {
 	if dot < 0 {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s, ok := r.scopes[fullName[:dot]]
 	if !ok {
 		return 0
@@ -91,6 +107,8 @@ func (r *Registry) Get(fullName string) uint64 {
 // Sum adds up counter short-name `name` across every scope whose prefix
 // begins with scopePrefix.
 func (r *Registry) Sum(scopePrefix, name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var total uint64
 	for p, s := range r.scopes { //hsclint:deterministic — commutative sum
 		if !strings.HasPrefix(p, scopePrefix) {
@@ -103,11 +121,17 @@ func (r *Registry) Sum(scopePrefix, name string) uint64 {
 	return total
 }
 
-// Snapshot returns all counters as a sorted name→value map.
+// Snapshot returns all counters as a sorted name→value map. Counters
+// mutated concurrently land in the snapshot with whichever value the
+// atomic load observed; the map itself is a private copy.
 func (r *Registry) Snapshot() map[string]uint64 {
-	m := make(map[string]uint64, len(r.all))
-	for _, c := range r.all {
-		m[c.name] = c.v
+	r.mu.Lock()
+	all := make([]*Counter, len(r.all))
+	copy(all, r.all)
+	r.mu.Unlock()
+	m := make(map[string]uint64, len(all))
+	for _, c := range all {
+		m[c.name] = c.Value()
 	}
 	return m
 }

@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -107,6 +109,68 @@ func TestHistogramBasics(t *testing.T) {
 	// Same-name lookup returns the same histogram.
 	if r.Scope("dir").Histogram("txn_latency") != h {
 		t.Fatal("histogram not reused")
+	}
+}
+
+// TestConcurrentMutationAndSnapshot is the job-engine usage pattern:
+// worker goroutines create scopes and bump counters/histograms while
+// other goroutines snapshot, dump and sum the same registry. Run under
+// -race this proves the registry is safe for concurrent use; the final
+// totals prove no increment is lost.
+func TestConcurrentMutationAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Half the writers share a scope, half own one — exercises
+			// both the creation and the reuse paths concurrently.
+			sc := r.Scope(fmt.Sprintf("w%d", g%4))
+			c := sc.Counter("jobs")
+			h := sc.Histogram("latency")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				r.Scope("shared").Counter("total").Add(2)
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	// Concurrent readers: snapshots, dumps and sums must not race with
+	// the writers above.
+	var rg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for i := 0; i < 200; i++ {
+				_ = r.Snapshot()
+				_ = r.Dump()
+				_ = r.Sum("w", "jobs")
+				_ = r.Get("shared.total")
+				_ = r.DumpHistograms()
+			}
+		}()
+	}
+	wg.Wait()
+	rg.Wait()
+	if got := r.Sum("w", "jobs"); got != writers*perG {
+		t.Fatalf("Sum(w, jobs) = %d, want %d", got, writers*perG)
+	}
+	if got := r.Get("shared.total"); got != writers*perG*2 {
+		t.Fatalf("shared.total = %d, want %d", got, writers*perG*2)
+	}
+	// Each of the 4 scopes was written by exactly 2 goroutines.
+	for i := 0; i < 4; i++ {
+		h := r.Scope(fmt.Sprintf("w%d", i)).Histogram("latency")
+		if h.Count() != 2*perG {
+			t.Fatalf("w%d.latency count = %d, want %d", i, h.Count(), 2*perG)
+		}
 	}
 }
 

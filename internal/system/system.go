@@ -69,6 +69,14 @@ type Config struct {
 
 	// MaxTicks aborts deadlocked/runaway runs.
 	MaxTicks sim.Tick
+
+	// Interrupt, when non-nil, cancels a run in flight: once the channel
+	// closes, the event loop stops between events and Run returns an
+	// error wrapping sim.ErrInterrupted. The job engine (internal/engine)
+	// wires a context's Done channel here for per-job timeouts and
+	// graceful shutdown. A run that is never interrupted is bit-for-bit
+	// identical to one with no channel installed.
+	Interrupt <-chan struct{}
 }
 
 // Default returns the paper's configuration (Tables II and III) with
@@ -180,6 +188,7 @@ func (r *dirRouter) Receive(m *msg.Message) {
 func New(cfg Config) *System {
 	engine := sim.NewEngine()
 	engine.MaxTicks = cfg.MaxTicks
+	engine.Interrupt = cfg.Interrupt
 	reg := stats.NewRegistry()
 	fm := memdata.New()
 
