@@ -16,6 +16,10 @@
 //	hscproto -check               # static checks + TABLES.md freshness (CI, per push)
 //	hscproto -cover [-quick] [-min 95]   # dynamic coverage cross-check (CI, nightly)
 //	hscproto -diff <baseline>     # per-arm deltas vs a committed baseline
+//	hscproto -reach [-limit N]    # exhaustive composite-state safety proof (CI, per push)
+//	hscproto -deadlock [-dot]     # message-class dependency graph, fail on cycle (CI, per push)
+//	hscproto -stall               # stall/wake liveness lint (CI, per push)
+//	hscproto -contain             # observed states ⊆ static reachable set (CI, nightly)
 //
 // -diff compares the extracted tables against a baseline file — either
 // a TABLES.md rendering or `hscproto -json` output; "-" reads stdin, so
@@ -34,6 +38,19 @@
 // (an extraction gap), or when fewer than -min percent of the
 // non-exempt declared transitions fired — each unfired transition is
 // listed by name.
+//
+// The static safety analyses (internal/protocheck) work on the
+// extracted tables and an abstract one-line model of the composite
+// system. -reach explores every abstract configuration exhaustively,
+// exits nonzero on a safety violation (printing the shortest
+// counterexample trace) or on an arm cross-check mismatch against the
+// extracted tables. -deadlock builds the message-class wait-for graph
+// from the tables and exits nonzero on a cycle; -dot prints the graph
+// in Graphviz DOT form instead of the report. -stall lints stalling
+// arms for a matching wake path. -contain runs a contended concrete
+// workload per variant under the containment observer and exits
+// nonzero if any observed quiescent composite state escapes the
+// statically verified reachable set.
 package main
 
 import (
@@ -53,6 +70,7 @@ import (
 	"hscsim/internal/memdata"
 	"hscsim/internal/prog"
 	"hscsim/internal/proto"
+	"hscsim/internal/protocheck"
 	"hscsim/internal/system"
 	"hscsim/internal/verify"
 )
@@ -67,6 +85,12 @@ func main() {
 	diffBase := flag.String("diff", "", "baseline file (TABLES.md or -json output; \"-\" = stdin) to diff the tables against")
 	quick := flag.Bool("quick", false, "with -cover: reduced matrix (per-push CI budget)")
 	minPct := flag.Float64("min", 95, "with -cover: minimum percentage of non-exempt transitions fired")
+	reach := flag.Bool("reach", false, "exhaustive composite-state reachability + safety check; nonzero exit on violation")
+	limit := flag.Int("limit", 0, "with -reach: state budget per configuration (0 = default)")
+	deadlock := flag.Bool("deadlock", false, "message-class deadlock-freedom check; nonzero exit on cycle")
+	dot := flag.Bool("dot", false, "with -deadlock: print the wait-for graph as Graphviz DOT")
+	stall := flag.Bool("stall", false, "stall/wake liveness lint; nonzero exit on findings")
+	contain := flag.Bool("contain", false, "dynamic containment: observed states must be statically reachable")
 	flag.Parse()
 
 	tbl, err := proto.Extract(*dir)
@@ -98,6 +122,14 @@ func main() {
 		os.Exit(runCover(tbl, *quick, *minPct))
 	case *diffBase != "":
 		os.Exit(runDiff(tbl, *diffBase))
+	case *reach:
+		os.Exit(runReach(tbl, *limit))
+	case *deadlock:
+		os.Exit(runDeadlock(tbl, *dot))
+	case *stall:
+		os.Exit(runStall(tbl))
+	case *contain:
+		os.Exit(runContain(*limit))
 	default:
 		summarize(tbl)
 	}
@@ -170,6 +202,122 @@ func runDiff(tbl *proto.Table, path string) int {
 	if len(deltas) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runReach is the per-push static safety gate: explore every abstract
+// configuration exhaustively, check the safety invariants on every
+// reachable composite state, and cross-check the animated arms against
+// the extracted tables both ways.
+func runReach(tbl *proto.Table, limit int) int {
+	start := time.Now()
+	findings, results, err := protocheck.CheckReach(limit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hscproto: %v\n", err)
+		return 1
+	}
+	fmt.Printf("composite-state reachability, %d abstract configurations:\n", len(results))
+	fmt.Print(protocheck.Summarize(results))
+	fmt.Println("variant coverage:")
+	for _, opts := range verify.Variants() {
+		fmt.Printf("  %-34s → %s\n", opts.Named(), protocheck.ConfigFor(opts))
+	}
+	findings = append(findings, protocheck.CrossCheckArms(tbl, results)...)
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "hscproto: %s\n", f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	fmt.Printf("every reachable state satisfies SWMR, single-owner, no-stale-dirty and inclusivity; arm cross-check clean (%v)\n",
+		time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// runDeadlock builds the message-class wait-for graph from the tables
+// and fails on any cycle. -dot swaps the report for Graphviz input.
+func runDeadlock(tbl *proto.Table, dot bool) int {
+	findings, graph := protocheck.CheckDeadlock(tbl)
+	if dot {
+		fmt.Print(graph.DOT())
+	} else {
+		fmt.Print(graph.Report())
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "hscproto: %s\n", f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	if !dot {
+		fmt.Println("message-class graph is acyclic: no protocol-level deadlock")
+	}
+	return 0
+}
+
+// runStall lints every stalling arm for a matching wake path.
+func runStall(tbl *proto.Table) int {
+	findings := protocheck.CheckStall(tbl)
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "hscproto: %s\n", f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	fmt.Println("stall/wake lint clean: every stalling arm has a wake path")
+	return 0
+}
+
+// runContain is the nightly dynamic-containment gate: run a contended
+// workload on the concrete simulator for every paper variant and check
+// that each observed quiescent composite state is in the statically
+// verified reachable set of the variant's abstract configuration.
+func runContain(limit int) int {
+	start := time.Now()
+	explored := make(map[protocheck.ModelConfig]*protocheck.ReachResult)
+	failed := 0
+	for _, opts := range verify.Variants() {
+		mcfg := protocheck.ConfigFor(opts)
+		r, ok := explored[mcfg]
+		if !ok {
+			var err error
+			r, err = protocheck.Explore(mcfg, limit)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hscproto: %v\n", err)
+				return 1
+			}
+			if r.Violation != nil {
+				fmt.Fprintf(os.Stderr, "hscproto: %s\n", r.Violation)
+				return 1
+			}
+			explored[mcfg] = r
+		}
+		for _, seed := range []int64{7, 13} {
+			sys := system.New(protocheck.ObserverConfig(opts))
+			obs, err := protocheck.NewObserver(sys)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hscproto: %v\n", err)
+				return 1
+			}
+			if _, err := sys.Run(protocheck.ContendedWorkload(seed)); err != nil {
+				fmt.Fprintf(os.Stderr, "hscproto: %s seed %d: %v\n", opts.Named(), seed, err)
+				failed++
+				continue
+			}
+			findings := obs.Contained(r)
+			for _, f := range findings {
+				fmt.Fprintf(os.Stderr, "hscproto: %s seed %d: %s\n", opts.Named(), seed, f)
+				failed++
+			}
+			states, samples, skipped := obs.Stats()
+			fmt.Printf("  %-34s seed %2d: %3d observed states (%d samples, %d busy skips) ⊆ %d stable reachable [%s]\n",
+				opts.Named(), seed, states, samples, skipped, len(r.Stable), mcfg)
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	fmt.Printf("dynamic containment holds for every variant (%v)\n", time.Since(start).Round(time.Millisecond))
 	return 0
 }
 

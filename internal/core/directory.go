@@ -33,7 +33,7 @@ type Directory struct {
 	dirArr *cachearray.Array[dirEntry] // nil when Tracking == TrackNone
 
 	txns     map[cachearray.LineAddr]*txn
-	pend     map[cachearray.LineAddr][]*msg.Message
+	pend     map[cachearray.LineAddr][]*msg.Message //hsclint:stallqueue — drained by drainPending on txn completion
 	nextID   uint64
 	roRanges []LineRange
 
@@ -256,7 +256,7 @@ func (d *Directory) beginStateless(t *txn) {
 	m := t.req
 	switch m.Type {
 	case msg.RdBlk, msg.RdBlkS, msg.RdBlkM:
-		d.opts.Recorder.Record(machStateless, "-", m.Type.String(), "-") //proto:events RdBlk,RdBlkS,RdBlkM //proto:actions broadcast probes, read LLC/mem, grant
+		d.opts.Recorder.Record(machStateless, "-", m.Type.String(), "-") //proto:events RdBlk,RdBlkS,RdBlkM //proto:actions broadcast probes, read LLC/mem, grant //proto:emits PrbInv,PrbDowngrade,Resp
 		t.needData = true
 		t.needUnblock = !d.isTCC(m.Src)
 		inv := m.Type == msg.RdBlkM
@@ -266,19 +266,19 @@ func (d *Directory) beginStateless(t *txn) {
 		d.maybeProgress(t)
 
 	case msg.VicDirty, msg.VicClean:
-		d.opts.Recorder.Record(machStateless, "-", m.Type.String(), "-") //proto:events VicDirty,VicClean //proto:actions commit victim (dir.llc), WBAck
+		d.opts.Recorder.Record(machStateless, "-", m.Type.String(), "-") //proto:events VicDirty,VicClean //proto:actions commit victim (dir.llc), WBAck //proto:emits WBAck
 		d.commitVictim(t, m.Type == msg.VicDirty)
 		d.respondAndFinish(t, msg.WBAck)
 
 	case msg.WT:
-		d.opts.Recorder.Record(machStateless, "-", "WT", "-") //proto:actions broadcast inv probes, commit WT (dir.llc), WBAck
+		d.opts.Recorder.Record(machStateless, "-", "WT", "-") //proto:actions broadcast inv probes, commit WT (dir.llc), WBAck //proto:emits PrbInv,WBAck
 		d.wts.Inc()
 		d.sendProbes(t, true, d.probeSet(true, m.Src))
 		t.onData = func() { t.extraLatency += d.commitWT(t.addr) }
 		d.maybeProgress(t)
 
 	case msg.Atomic:
-		d.opts.Recorder.Record(machStateless, "-", "Atomic", "-") //proto:actions broadcast inv probes, RMW at directory, AtomicResp
+		d.opts.Recorder.Record(machStateless, "-", "Atomic", "-") //proto:actions broadcast inv probes, RMW at directory, AtomicResp //proto:emits PrbInv,AtomicResp
 		d.atomics.Inc()
 		t.needData = true
 		d.sendProbes(t, true, d.probeSet(true, m.Src))
@@ -287,12 +287,12 @@ func (d *Directory) beginStateless(t *txn) {
 		d.maybeProgress(t)
 
 	case msg.Flush:
-		d.opts.Recorder.Record(machStateless, "-", "Flush", "-") //proto:actions FlushAck
+		d.opts.Recorder.Record(machStateless, "-", "Flush", "-") //proto:actions FlushAck //proto:emits FlushAck
 		d.flushes.Inc()
 		d.respondAndFinish(t, msg.FlushAck)
 
 	case msg.DMARd:
-		d.opts.Recorder.Record(machStateless, "-", "DMARd", "-") //proto:actions broadcast downgrade probes, read LLC/mem
+		d.opts.Recorder.Record(machStateless, "-", "DMARd", "-") //proto:actions broadcast downgrade probes, read LLC/mem //proto:emits PrbDowngrade,Resp
 		t.needData = true
 		t.downgrade = true
 		d.sendProbes(t, false, d.probeSet(false, m.Src))
@@ -300,7 +300,7 @@ func (d *Directory) beginStateless(t *txn) {
 		d.maybeProgress(t)
 
 	case msg.DMAWr:
-		d.opts.Recorder.Record(machStateless, "-", "DMAWr", "-") //proto:actions broadcast inv probes, write memory (dir.llc)
+		d.opts.Recorder.Record(machStateless, "-", "DMAWr", "-") //proto:actions broadcast inv probes, write memory (dir.llc) //proto:emits PrbInv,WBAck
 		d.sendProbes(t, true, d.probeSet(true, m.Src))
 		t.onData = func() {
 			// DMA writes do not update the L3 (§III-C); drop the stale copy.

@@ -51,7 +51,7 @@ func (d *Directory) beginReadOnly(t *txn) {
 	m := t.req
 	switch m.Type {
 	case msg.RdBlk, msg.RdBlkS, msg.DMARd:
-		d.opts.Recorder.Record(machRO, "-", m.Type.String(), "-") //proto:events RdBlk,RdBlkS,DMARd //proto:actions elide probes and tracking, serve LLC/mem Shared
+		d.opts.Recorder.Record(machRO, "-", m.Type.String(), "-") //proto:events RdBlk,RdBlkS,DMARd //proto:actions elide probes and tracking, serve LLC/mem Shared //proto:emits Resp
 		d.roElided.Inc()
 		t.forceShared = true
 		t.needData = true
@@ -63,7 +63,7 @@ func (d *Directory) beginReadOnly(t *txn) {
 	case msg.VicClean:
 		// An L2 evicting its Shared copy of a read-only line: the data
 		// is coherent; apply the normal clean-victim policy.
-		d.opts.Recorder.Record(machRO, "-", "VicClean", "-") //proto:actions normal clean-victim policy (dir.llc), WBAck
+		d.opts.Recorder.Record(machRO, "-", "VicClean", "-") //proto:actions normal clean-victim policy (dir.llc), WBAck //proto:emits WBAck
 		d.commitVictim(t, false)
 		d.respondAndFinish(t, msg.WBAck)
 

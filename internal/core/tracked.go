@@ -35,7 +35,7 @@ func (d *Directory) beginTracked(t *txn) {
 		d.trackedWritePerm(t, func() { d.commitAtomic(t) }, false)
 
 	case msg.Flush:
-		d.opts.Recorder.Record(machTracked, "-", "Flush", "-") //proto:actions FlushAck
+		d.opts.Recorder.Record(machTracked, "-", "Flush", "-") //proto:actions FlushAck //proto:emits FlushAck
 		d.flushes.Inc()
 		d.respondAndFinish(t, msg.FlushAck)
 
@@ -74,18 +74,18 @@ func (d *Directory) trackedRead(t *txn, e *dirEntry, fresh bool) {
 		d.issueRead(t)
 		t.onData = func() {
 			if isWrite {
-				d.opts.Recorder.Record(machTracked, "I", "RdBlkM", "O") //proto:actions no probes, serve LLC/mem, track owner
+				d.opts.Recorder.Record(machTracked, "I", "RdBlkM", "O") //proto:actions no probes, serve LLC/mem, track owner //proto:emits Resp
 				e.State = dirO
 				e.Owner = int8(reqIdx)
 				e.Sharers = 0
 			} else if d.isTCC(m.Src) || m.Type == msg.RdBlkS {
-				d.opts.Recorder.Record(machTracked, "I", m.Type.String(), "S") //proto:events RdBlk,RdBlkS //proto:actions no probes, serve LLC/mem, add sharer
+				d.opts.Recorder.Record(machTracked, "I", m.Type.String(), "S") //proto:events RdBlk,RdBlkS //proto:actions no probes, serve LLC/mem, add sharer //proto:emits Resp
 				e.State = dirS
 				e.Owner = -1
 				d.addSharer(e, reqIdx)
 			} else {
 				// RdBlk granted Exclusive: conservatively O (silent E→M).
-				d.opts.Recorder.Record(machTracked, "I", "RdBlk", "O") //proto:actions no probes, serve LLC/mem, grant Exclusive, track owner
+				d.opts.Recorder.Record(machTracked, "I", "RdBlk", "O") //proto:actions no probes, serve LLC/mem, grant Exclusive, track owner //proto:emits Resp
 				e.State = dirO
 				e.Owner = int8(reqIdx)
 				e.Sharers = 0
@@ -95,7 +95,7 @@ func (d *Directory) trackedRead(t *txn, e *dirEntry, fresh bool) {
 	case e.State == dirS:
 		if !isWrite {
 			// LLC/memory guaranteed coherent: no probes, forced Shared.
-			d.opts.Recorder.Record(machTracked, "S", m.Type.String(), "S") //proto:events RdBlk,RdBlkS //proto:actions no probes, serve LLC/mem, add sharer
+			d.opts.Recorder.Record(machTracked, "S", m.Type.String(), "S") //proto:events RdBlk,RdBlkS //proto:actions no probes, serve LLC/mem, add sharer //proto:emits Resp
 			d.sendProbes(t, false, nil)
 			t.forceShared = true
 			t.needData = true
@@ -104,7 +104,7 @@ func (d *Directory) trackedRead(t *txn, e *dirEntry, fresh bool) {
 			break
 		}
 		// RdBlkM on a shared line: invalidate sharers, data from LLC.
-		d.opts.Recorder.Record(machTracked, "S", "RdBlkM", "O") //proto:actions invalidate sharers, serve LLC/mem, track owner
+		d.opts.Recorder.Record(machTracked, "S", "RdBlkM", "O") //proto:actions invalidate sharers, serve LLC/mem, track owner //proto:emits PrbInv,Resp
 		d.sendProbes(t, true, d.invTargets(e, m.Src))
 		t.needData = true
 		d.issueRead(t)
@@ -121,7 +121,7 @@ func (d *Directory) trackedRead(t *txn, e *dirEntry, fresh bool) {
 		case !isWrite && owner == reqIdx:
 			// Footnote c/d: the owner itself re-requests (I$ miss on an
 			// Exclusive line): E→S at the L2, no probes, serve the LLC.
-			d.opts.Recorder.Record(machTracked, "O", m.Type.String(), "S") //proto:events RdBlk,RdBlkS //proto:actions owner re-read, no probes, serve LLC/mem
+			d.opts.Recorder.Record(machTracked, "O", m.Type.String(), "S") //proto:events RdBlk,RdBlkS //proto:actions owner re-read, no probes, serve LLC/mem //proto:emits Resp
 			d.sendProbes(t, false, nil)
 			t.forceShared = true
 			t.needData = true
@@ -142,11 +142,11 @@ func (d *Directory) trackedRead(t *txn, e *dirEntry, fresh bool) {
 			t.onData = func() {
 				if t.dirtyAck {
 					// Owner downgraded M→O; dirty sharers (footnote h).
-					d.opts.Recorder.Record(machTracked, "O", m.Type.String(), "O") //proto:events RdBlk,RdBlkS //proto:actions probe owner only, owner M->O, dirty sharers
+					d.opts.Recorder.Record(machTracked, "O", m.Type.String(), "O") //proto:events RdBlk,RdBlkS //proto:actions probe owner only, owner M->O, dirty sharers //proto:emits PrbDowngrade,Resp
 					d.addSharer(e, reqIdx)
 				} else {
 					// Owner had a clean Exclusive line; now all Shared.
-					d.opts.Recorder.Record(machTracked, "O", m.Type.String(), "S") //proto:events RdBlk,RdBlkS //proto:actions probe owner only, owner E->S
+					d.opts.Recorder.Record(machTracked, "O", m.Type.String(), "S") //proto:events RdBlk,RdBlkS //proto:actions probe owner only, owner E->S //proto:emits PrbDowngrade,Resp
 					e.State = dirS
 					e.Owner = -1
 					d.addSharer(e, owner)
@@ -155,7 +155,7 @@ func (d *Directory) trackedRead(t *txn, e *dirEntry, fresh bool) {
 			}
 		case owner == reqIdx:
 			// Upgrade: the owner wants Modified; invalidate sharers only.
-			d.opts.Recorder.Record(machTracked, "O", "RdBlkM", "O") //proto:actions owner upgrade, invalidate sharers only
+			d.opts.Recorder.Record(machTracked, "O", "RdBlkM", "O") //proto:actions owner upgrade, invalidate sharers only //proto:emits PrbInv,Resp
 			d.sendProbes(t, true, d.invTargets(e, m.Src))
 			t.onData = func() {
 				e.Sharers = 0
@@ -164,7 +164,7 @@ func (d *Directory) trackedRead(t *txn, e *dirEntry, fresh bool) {
 		default:
 			// RdBlkM: invalidate owner and sharers; the owner's ack
 			// carries the data, so the LLC read is elided.
-			d.opts.Recorder.Record(machTracked, "O", "RdBlkM", "O") //proto:actions invalidate owner and sharers, data from owner ack, transfer ownership
+			d.opts.Recorder.Record(machTracked, "O", "RdBlkM", "O") //proto:actions invalidate owner and sharers, data from owner ack, transfer ownership //proto:emits PrbInv,Resp
 			d.sendProbes(t, true, d.invTargets(e, m.Src))
 			t.needData = true
 			t.onData = func() {
@@ -189,7 +189,7 @@ func (d *Directory) trackedVictim(t *txn) {
 		// Untracked victim: the entry was evicted (its backward
 		// invalidation already captured the data) or raced away. The
 		// write is a harmless duplicate of identical data.
-		d.opts.Recorder.Record(machTracked, "I", m.Type.String(), "I") //proto:events VicClean,VicDirty //proto:actions stale victim, commit write, WBAck
+		d.opts.Recorder.Record(machTracked, "I", m.Type.String(), "I") //proto:events VicClean,VicDirty //proto:actions stale victim, commit write, WBAck //proto:emits WBAck
 		d.staleVics.Inc()
 		d.commitVictim(t, dirty)
 		d.respondAndFinish(t, msg.WBAck)
@@ -201,19 +201,19 @@ func (d *Directory) trackedVictim(t *txn) {
 		d.commitVictim(t, true)
 		if e.Sharers != 0 && !d.opts.KeepDirtySharersOnEvict {
 			// Remaining dirty sharers are now coherent with the LLC.
-			d.opts.Recorder.Record(machTracked, "O", "VicDirty", "S") //proto:actions commit dirty victim, sharers now coherent
+			d.opts.Recorder.Record(machTracked, "O", "VicDirty", "S") //proto:actions commit dirty victim, sharers now coherent //proto:emits WBAck
 			e.State = dirS
 			e.Owner = -1
 		} else {
 			// No sharers — or §VII future work: deallocate without
 			// invalidating dirty sharers (they never forward data).
-			d.opts.Recorder.Record(machTracked, "O", "VicDirty", "I") //proto:actions commit dirty victim, deallocate entry
+			d.opts.Recorder.Record(machTracked, "O", "VicDirty", "I") //proto:actions commit dirty victim, deallocate entry //proto:emits WBAck
 			d.dirArr.Invalidate(t.addr)
 		}
 	case dirty:
 		// Dirty victim from a non-owner: it raced a transaction that
 		// already moved ownership; the data was superseded. Drop it.
-		d.opts.Recorder.Record(machTracked, e.State.String(), "VicDirty", e.State.String()) //proto:states S,O //proto:next S,O //proto:actions superseded dirty victim dropped
+		d.opts.Recorder.Record(machTracked, e.State.String(), "VicDirty", e.State.String()) //proto:states S,O //proto:next S,O //proto:actions superseded dirty victim dropped //proto:emits WBAck
 		d.staleVics.Inc()
 	case e.State == dirS || e.State == dirO:
 		// Clean victim: remove the sharer (footnote g: an O-state line
@@ -221,21 +221,21 @@ func (d *Directory) trackedVictim(t *txn) {
 		if e.State == dirO && int(e.Owner) == reqIdx {
 			e.Owner = -1
 			if e.Sharers == 0 {
-				d.opts.Recorder.Record(machTracked, "O", "VicClean", "I") //proto:actions owner evicts clean Exclusive line, deallocate entry
+				d.opts.Recorder.Record(machTracked, "O", "VicClean", "I") //proto:actions owner evicts clean Exclusive line, deallocate entry //proto:emits WBAck
 				d.dirArr.Invalidate(t.addr)
 				d.commitVictim(t, false)
 				d.respondAndFinish(t, msg.WBAck)
 				return
 			}
-			d.opts.Recorder.Record(machTracked, "O", "VicClean", "S") //proto:actions owner evicts clean Exclusive line, sharers remain
+			d.opts.Recorder.Record(machTracked, "O", "VicClean", "S") //proto:actions owner evicts clean Exclusive line, sharers remain //proto:emits WBAck
 			e.State = dirS
 		} else if reqIdx >= 0 {
 			e.Sharers &^= 1 << uint(reqIdx)
 			if e.Sharers == 0 && e.State == dirS && !e.Overflow {
-				d.opts.Recorder.Record(machTracked, "S", "VicClean", "I") //proto:actions last sharer left, deallocate entry
+				d.opts.Recorder.Record(machTracked, "S", "VicClean", "I") //proto:actions last sharer left, deallocate entry //proto:emits WBAck
 				d.dirArr.Invalidate(t.addr)
 			} else {
-				d.opts.Recorder.Record(machTracked, e.State.String(), "VicClean", e.State.String()) //proto:states S,O //proto:next S,O //proto:actions remove sharer
+				d.opts.Recorder.Record(machTracked, e.State.String(), "VicClean", e.State.String()) //proto:states S,O //proto:next S,O //proto:actions remove sharer //proto:emits WBAck
 			}
 		}
 		d.commitVictim(t, false)
@@ -257,9 +257,9 @@ func (d *Directory) trackedWritePerm(t *txn, commit func(), retainTCC bool) {
 	t.onData = func() {
 		commit()
 		if ln == nil {
-			d.opts.Recorder.Record(machTracked, "I", t.req.Type.String(), "I") //proto:events WT,Atomic,DMAWr //proto:actions no holders, commit write
+			d.opts.Recorder.Record(machTracked, "I", t.req.Type.String(), "I") //proto:events WT,Atomic,DMAWr //proto:actions no holders, commit write //proto:emits WBAck,AtomicResp
 		} else if retainTCC {
-			d.opts.Recorder.Record(machTracked, ln.Meta.State.String(), t.req.Type.String(), "S") //proto:states S,O //proto:events WT //proto:actions invalidate holders, commit write, retain write-through TCC as sharer
+			d.opts.Recorder.Record(machTracked, ln.Meta.State.String(), t.req.Type.String(), "S") //proto:states S,O //proto:events WT //proto:actions invalidate holders, commit write, retain write-through TCC as sharer //proto:emits PrbInv,WBAck
 			e := &ln.Meta
 			e.State = dirS
 			e.Owner = -1
@@ -267,7 +267,7 @@ func (d *Directory) trackedWritePerm(t *txn, commit func(), retainTCC bool) {
 			e.Overflow = false
 			d.addSharer(e, d.targetIndex(t.req.Src))
 		} else {
-			d.opts.Recorder.Record(machTracked, ln.Meta.State.String(), t.req.Type.String(), "I") //proto:states S,O //proto:events WT,Atomic,DMAWr //proto:actions invalidate holders, commit write, deallocate entry
+			d.opts.Recorder.Record(machTracked, ln.Meta.State.String(), t.req.Type.String(), "I") //proto:states S,O //proto:events WT,Atomic,DMAWr //proto:actions invalidate holders, commit write, deallocate entry //proto:emits PrbInv,WBAck,AtomicResp
 			d.dirArr.Invalidate(t.addr)
 		}
 	}
@@ -287,19 +287,19 @@ func (d *Directory) trackedDMARead(t *txn) {
 		e := &ln.Meta
 		t.onData = func() {
 			if !t.dirtyAck {
-				d.opts.Recorder.Record(machTracked, "O", "DMARd", "S") //proto:actions probe owner, owner E->S
+				d.opts.Recorder.Record(machTracked, "O", "DMARd", "S") //proto:actions probe owner, owner E->S //proto:emits PrbDowngrade,Resp
 				e.State = dirS
 				e.Owner = -1
 				d.addSharer(e, owner)
 			} else {
-				d.opts.Recorder.Record(machTracked, "O", "DMARd", "O") //proto:actions probe owner, owner M->O
+				d.opts.Recorder.Record(machTracked, "O", "DMARd", "O") //proto:actions probe owner, owner M->O //proto:emits PrbDowngrade,Resp
 			}
 		}
 	} else {
 		if ln == nil {
-			d.opts.Recorder.Record(machTracked, "I", "DMARd", "I") //proto:actions no probes, serve LLC/mem
+			d.opts.Recorder.Record(machTracked, "I", "DMARd", "I") //proto:actions no probes, serve LLC/mem //proto:emits Resp
 		} else {
-			d.opts.Recorder.Record(machTracked, "S", "DMARd", "S") //proto:actions no probes, serve LLC/mem
+			d.opts.Recorder.Record(machTracked, "S", "DMARd", "S") //proto:actions no probes, serve LLC/mem //proto:emits Resp
 		}
 		d.sendProbes(t, false, nil)
 		d.issueRead(t)

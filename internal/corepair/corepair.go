@@ -107,8 +107,9 @@ type waiter struct {
 }
 
 type mshrEntry struct {
-	waiters []waiter
+	waiters []waiter //hsclint:stallqueue — replayed by fill when the response arrives
 	issued  sim.Tick
+	typ     msg.Type // the request in flight (RdBlk/RdBlkS/RdBlkM)
 }
 
 // CorePair is the two-core CPU cluster cache subsystem.
@@ -136,7 +137,7 @@ type CorePair struct {
 	// (stale data at the requester). Real L2s serialize probes against
 	// the store pipeline the same way; the deferral is bounded by the
 	// fixed L1 latency, so it cannot deadlock.
-	pendingStores map[cachearray.LineAddr]int
+	pendingStores map[cachearray.LineAddr]int //hsclint:stallqueue — decremented by each store completion callback
 	probeWait     map[cachearray.LineAddr][]*msg.Message
 
 	// rec records fired protocol transitions for the static-vs-dynamic
@@ -256,7 +257,7 @@ func (cp *CorePair) access(core int, kind AccessKind, line cachearray.LineAddr, 
 			return
 		default:
 			// Store to S or O: upgrade via RdBlkM.
-			cp.rec.Record(machine, st.String(), "Store", st.String()) //proto:states S,O //proto:next S,O //proto:actions issue RdBlkM upgrade
+			cp.rec.Record(machine, st.String(), "Store", st.String()) //proto:states S,O //proto:next S,O //proto:actions issue RdBlkM upgrade //proto:emits RdBlkM
 			cp.upgrades.Inc()
 			cp.miss(line, msg.RdBlkM, waiter{core, kind, done})
 			return
@@ -273,7 +274,7 @@ func (cp *CorePair) access(core int, kind AccessKind, line cachearray.LineAddr, 
 		cp.wbWait[line] = append(cp.wbWait[line], waiter{core, kind, done})
 		return
 	}
-	cp.rec.Record(machine, "I", kind.event(), "I") //proto:events Load,Store //proto:actions issue RdBlk/RdBlkS/RdBlkM
+	cp.rec.Record(machine, "I", kind.event(), "I") //proto:events Load,Store //proto:actions issue RdBlk/RdBlkS/RdBlkM //proto:emits RdBlk,RdBlkS,RdBlkM
 	cp.l2Misses.Inc()
 	var t msg.Type
 	switch {
@@ -293,7 +294,7 @@ func (cp *CorePair) miss(line cachearray.LineAddr, t msg.Type, w waiter) {
 		e.waiters = append(e.waiters, w)
 		return
 	}
-	cp.mshr[line] = &mshrEntry{waiters: []waiter{w}, issued: cp.engine.Now()}
+	cp.mshr[line] = &mshrEntry{waiters: []waiter{w}, issued: cp.engine.Now(), typ: t}
 	cp.engine.Schedule(cp.cfg.L2Latency, func() {
 		cp.ic.Send(&msg.Message{Type: t, Addr: line, Src: cp.id, Dst: cp.dirID})
 	})
@@ -340,13 +341,25 @@ func (cp *CorePair) fill(m *msg.Message) {
 	}
 	if existing := cp.l2.Lookup(m.Addr); existing != nil {
 		// Upgrade response for a line already resident (S/O → M).
-		cp.rec.Record(machine, existing.Meta.State.String(), "Fill", st.String()) //proto:states S,O //proto:next M //proto:actions install upgrade grant
+		cp.rec.Record(machine, existing.Meta.State.String(), "Fill", st.String()) //proto:states S,O //proto:next M //proto:actions install upgrade grant //proto:consumes Resp //proto:emits Unblock
 		existing.Meta.State = st
 	} else {
-		cp.rec.Record(machine, "I", "Fill", st.String()) //proto:next S,E,M //proto:actions install grant, send Unblock
-		ln, evTag, evMeta, evicted := cp.l2.Insert(m.Addr, nil)
+		cp.rec.Record(machine, "I", "Fill", st.String()) //proto:next S,E,M //proto:actions install grant, send Unblock //proto:consumes Resp //proto:emits Unblock
+		// Pin lines with an outstanding miss: victimizing a line whose
+		// upgrade RdBlkM is still in flight would let the late fill
+		// install Modified next to the line's own live victim-buffer
+		// entry — a stale copy that answers probes after the upgrade
+		// grant lands (SWMR breaks). The MSHR entry for m.Addr itself was
+		// deleted above, so this fill never pins its own way.
+		ln, evTag, evMeta, evicted := cp.l2.Insert(m.Addr, func(l *cachearray.Line[l2Meta]) bool {
+			_, inFlight := cp.mshr[l.Tag]
+			return inFlight
+		})
 		ln.Meta.State = st
 		if evicted {
+			if _, inFlight := cp.mshr[evTag]; inFlight {
+				panic(fmt.Sprintf("corepair %d: evicted line %#x with miss in flight (all ways pinned?)", cp.id, evTag))
+			}
 			cp.victimize(evTag, evMeta.State)
 		}
 	}
@@ -363,7 +376,7 @@ func (cp *CorePair) fill(m *msg.Message) {
 // victimize writes back an evicted L2 line (noisy evictions: clean
 // victims are sent too, §II-D) and drops the L1 copies (inclusion).
 func (cp *CorePair) victimize(line cachearray.LineAddr, st MOESI) {
-	cp.rec.Record(machine, st.String(), "Evict", "WB") //proto:states S,E,O,M //proto:actions send VicClean/VicDirty
+	cp.rec.Record(machine, st.String(), "Evict", "WB") //proto:states S,E,O,M //proto:actions send VicClean/VicDirty //proto:emits VicClean,VicDirty
 	cp.invalidateL1s(line)
 	t := msg.VicClean
 	if st.dirty() {
@@ -419,7 +432,7 @@ func (cp *CorePair) probe(m *msg.Message) {
 	if dirty, inWB := cp.wb[m.Addr]; inWB {
 		// The victim crossed this probe in flight: supply from the
 		// victim buffer.
-		cp.rec.Record(machine, "WB", m.Type.String(), "WB") //proto:events PrbInv,PrbDowngrade //proto:actions answer from victim buffer
+		cp.rec.Record(machine, "WB", m.Type.String(), "WB") //proto:events PrbInv,PrbDowngrade //proto:actions answer from victim buffer //proto:emits PrbAck
 		ack.HasData = true
 		ack.Dirty = dirty
 		cp.probeHits.Inc()
@@ -428,26 +441,26 @@ func (cp *CorePair) probe(m *msg.Message) {
 		ack.HasData = true
 		ack.Dirty = ln.Meta.State.dirty()
 		if m.Type == msg.PrbInv {
-			cp.rec.Record(machine, ln.Meta.State.String(), "PrbInv", "I") //proto:states S,E,O,M //proto:actions ack with data, invalidate
+			cp.rec.Record(machine, ln.Meta.State.String(), "PrbInv", "I") //proto:states S,E,O,M //proto:actions ack with data, invalidate //proto:emits PrbAck
 			cp.l2.Invalidate(m.Addr)
 			cp.invalidateL1s(m.Addr)
 		} else {
 			switch ln.Meta.State {
 			case Modified:
-				cp.rec.Record(machine, "M", "PrbDowngrade", "O")
+				cp.rec.Record(machine, "M", "PrbDowngrade", "O") //proto:emits PrbAck
 				ln.Meta.State = Owned
 			case Exclusive:
-				cp.rec.Record(machine, "E", "PrbDowngrade", "S")
+				cp.rec.Record(machine, "E", "PrbDowngrade", "S") //proto:emits PrbAck
 				ln.Meta.State = Shared
 			default:
 				// S and O already lack write permission: ack, keep state.
-				cp.rec.Record(machine, ln.Meta.State.String(), "PrbDowngrade", ln.Meta.State.String()) //proto:states S,O //proto:next S,O
+				cp.rec.Record(machine, ln.Meta.State.String(), "PrbDowngrade", ln.Meta.State.String()) //proto:states S,O //proto:next S,O //proto:emits PrbAck
 			}
 		}
 	} else {
 		// Probe miss: the directory over-approximated the sharer set (or
 		// the copy was silently clean-invalidated); ack without data.
-		cp.rec.Record(machine, "I", m.Type.String(), "I") //proto:events PrbInv,PrbDowngrade //proto:actions ack without data
+		cp.rec.Record(machine, "I", m.Type.String(), "I") //proto:events PrbInv,PrbDowngrade //proto:actions ack without data //proto:emits PrbAck
 	}
 	cp.ic.Send(ack)
 }
@@ -473,6 +486,15 @@ func (cp *CorePair) OutstandingMisses() int { return len(cp.mshr) }
 func (cp *CorePair) WBState(line cachearray.LineAddr) (present, dirty bool) {
 	d, ok := cp.wb[line]
 	return ok, d
+}
+
+// MissType reports the request type of line's outstanding miss, if any
+// (checker/observer hook).
+func (cp *CorePair) MissType(line cachearray.LineAddr) (msg.Type, bool) {
+	if e, ok := cp.mshr[line]; ok {
+		return e.typ, true
+	}
+	return 0, false
 }
 
 // MSHRWaiters reports the number of accesses parked on an outstanding

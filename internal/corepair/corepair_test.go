@@ -20,18 +20,37 @@ type fakeDir struct {
 	reqs     []*msg.Message
 	unblocks []*msg.Message
 	acks     []*msg.Message
+	held     []*msg.Message
 	grant    func(m *msg.Message) msg.Grant
+	hold     func(m *msg.Message) bool // true: park the request, respond on release()
+}
+
+// release answers every held request (with the configured grant).
+func (d *fakeDir) release() {
+	held := d.held
+	d.held = nil
+	for _, m := range held {
+		d.respond(m)
+	}
+}
+
+func (d *fakeDir) respond(m *msg.Message) {
+	g := msg.GrantS
+	if d.grant != nil {
+		g = d.grant(m)
+	}
+	d.ic.Send(&msg.Message{Type: msg.Resp, Addr: m.Addr, Src: d.id, Dst: m.Src, Grant: g, TxnID: 77})
 }
 
 func (d *fakeDir) Receive(m *msg.Message) {
 	switch m.Type {
 	case msg.RdBlk, msg.RdBlkS, msg.RdBlkM:
 		d.reqs = append(d.reqs, m)
-		g := msg.GrantS
-		if d.grant != nil {
-			g = d.grant(m)
+		if d.hold != nil && d.hold(m) {
+			d.held = append(d.held, m)
+			return
 		}
-		d.ic.Send(&msg.Message{Type: msg.Resp, Addr: m.Addr, Src: d.id, Dst: m.Src, Grant: g, TxnID: 77})
+		d.respond(m)
 	case msg.VicDirty, msg.VicClean:
 		d.reqs = append(d.reqs, m)
 		d.ic.Send(&msg.Message{Type: msg.WBAck, Addr: m.Addr, Src: d.id, Dst: m.Src})
@@ -208,6 +227,61 @@ func TestCapacityEvictionSendsVictim(t *testing.T) {
 	}
 	if r.cp.OutstandingMisses() != 0 {
 		t.Fatal("MSHR not drained")
+	}
+}
+
+// TestFillPinsLinesWithMissInFlight: a conflicting fill must not
+// victimize a line whose upgrade RdBlkM is still outstanding. Without
+// the MSHR pin, the late fill would install Modified next to the line's
+// own live victim-buffer entry — a stale copy that answers probes after
+// the grant lands (the BugEvictDuringUpgrade hazard in protocheck).
+func TestFillPinsLinesWithMissInFlight(t *testing.T) {
+	r := newCPRig(t, tinyConfig()) // L2: 4 sets × 2 ways
+	// Fill both ways of set 0 with Shared lines.
+	r.cp.Access(0, Load, 0x00, func() {})
+	r.run()
+	r.cp.Access(0, Load, 0x04, func() {})
+	r.run()
+
+	// Park the upgrade for 0x00 at the directory.
+	r.dir.hold = func(m *msg.Message) bool { return m.Type == msg.RdBlkM }
+	r.dir.grant = func(m *msg.Message) msg.Grant {
+		if m.Type == msg.RdBlkM {
+			return msg.GrantM
+		}
+		return msg.GrantS
+	}
+	upgraded := false
+	r.cp.Access(0, Store, 0x00, func() { upgraded = true })
+	r.run()
+	if typ, ok := r.cp.MissType(0x00); !ok || typ != msg.RdBlkM {
+		t.Fatalf("MissType(0x00) = %v, %v; want an in-flight RdBlkM", typ, ok)
+	}
+
+	// A third line maps to set 0: its fill must victimize 0x04, never
+	// the pinned 0x00.
+	r.cp.Access(0, Load, 0x08, func() {})
+	r.run()
+	if st := r.cp.L2State(0x00); st != Shared {
+		t.Fatalf("line with miss in flight was evicted: L2State(0x00) = %s, want S", st)
+	}
+	for _, m := range r.dir.reqs {
+		if (m.Type == msg.VicClean || m.Type == msg.VicDirty) && m.Addr == 0x00 {
+			t.Fatalf("line with miss in flight was victimized: %s", m)
+		}
+	}
+
+	// Release the upgrade: the fill finds the line resident, installs M.
+	r.dir.release()
+	r.run()
+	if !upgraded {
+		t.Fatal("upgrade never completed")
+	}
+	if st := r.cp.L2State(0x00); st != Modified {
+		t.Fatalf("L2State(0x00) = %s, want M", st)
+	}
+	if _, ok := r.cp.MissType(0x00); ok {
+		t.Fatal("MSHR entry not retired after fill")
 	}
 }
 

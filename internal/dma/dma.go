@@ -29,8 +29,8 @@ type Engine struct {
 	id     msg.NodeID
 	dirID  msg.NodeID
 
-	rdWaiters map[cachearray.LineAddr][]func()
-	wrWaiters map[cachearray.LineAddr][]func()
+	rdWaiters map[cachearray.LineAddr][]func() //hsclint:stallqueue — popped by the Resp handler
+	wrWaiters map[cachearray.LineAddr][]func() //hsclint:stallqueue — popped by the WBAck handler
 
 	// rec records fired protocol transitions for the static-vs-dynamic
 	// cross-check (cmd/hscproto); nil (the default) disables recording.
@@ -58,7 +58,7 @@ func (e *Engine) SetRecorder(r *fsm.Recorder) { e.rec = r }
 
 // ReadBlock issues a DMARd for one line.
 func (e *Engine) ReadBlock(line cachearray.LineAddr, done func()) {
-	e.rec.Record(machine, "-", "Rd", "-") //proto:actions issue DMARd
+	e.rec.Record(machine, "-", "Rd", "-") //proto:actions issue DMARd //proto:emits DMARd
 	e.reads.Inc()
 	e.rdWaiters[line] = append(e.rdWaiters[line], done)
 	e.ic.Send(&msg.Message{Type: msg.DMARd, Addr: line, Src: e.id, Dst: e.dirID})
@@ -66,7 +66,7 @@ func (e *Engine) ReadBlock(line cachearray.LineAddr, done func()) {
 
 // WriteBlock issues a DMAWr for one line.
 func (e *Engine) WriteBlock(line cachearray.LineAddr, done func()) {
-	e.rec.Record(machine, "-", "Wr", "-") //proto:actions issue DMAWr
+	e.rec.Record(machine, "-", "Wr", "-") //proto:actions issue DMAWr //proto:emits DMAWr
 	e.writes.Inc()
 	e.wrWaiters[line] = append(e.wrWaiters[line], done)
 	e.ic.Send(&msg.Message{Type: msg.DMAWr, Addr: line, Src: e.id, Dst: e.dirID})

@@ -212,7 +212,7 @@ func (g *GPUCaches) tccRead(cu int, line cachearray.LineAddr, done func()) {
 		g.engine.Schedule(g.cfg.TCCLatency, done)
 		return
 	}
-	g.rec.Record(machine, "I", "Rd", "I") //proto:actions issue RdBlk (or join MSHR)
+	g.rec.Record(machine, "I", "Rd", "I") //proto:actions issue RdBlk (or join MSHR) //proto:emits RdBlk
 	g.tccMisses.Inc()
 	if ws, outstanding := g.mshr[line]; outstanding {
 		g.mshr[line] = append(ws, gpuWaiter{cu, done})
@@ -254,10 +254,10 @@ func (g *GPUCaches) tccWrite(line cachearray.LineAddr, done func()) {
 	// Write-through: the TCC keeps/updates a valid copy and forwards the
 	// write to the directory.
 	if g.tccOf(line).Peek(line) == nil {
-		g.rec.Record(machine, "I", "Wr", "V") //proto:actions allocate, send WT
+		g.rec.Record(machine, "I", "Wr", "V") //proto:actions allocate, send WT //proto:emits WT
 		g.insertTCC(line, false)
 	} else {
-		g.rec.Record(machine, "V", "Wr", "V") //proto:actions update copy, send WT
+		g.rec.Record(machine, "V", "Wr", "V") //proto:actions update copy, send WT //proto:emits WT
 	}
 	g.sendWT(line, true, done)
 }
@@ -286,7 +286,7 @@ func (g *GPUCaches) insertTCC(line cachearray.LineAddr, dirty bool) {
 	ln, evTag, evMeta, evicted := arr.Insert(line, nil)
 	ln.Meta.Dirty = dirty
 	if evicted && evMeta.Dirty {
-		g.rec.Record(machine, "D", "Evict", "I") //proto:actions write back victim (WT)
+		g.rec.Record(machine, "D", "Evict", "I") //proto:actions write back victim (WT) //proto:emits WT
 		g.sendWT(evTag, false, nil)
 	} else if evicted {
 		g.rec.Record(machine, "V", "Evict", "I") //proto:actions drop clean victim silently
@@ -301,12 +301,12 @@ func (g *GPUCaches) AtomicSystem(cu int, line cachearray.LineAddr, word memdata.
 	g.sysAtomics.Inc()
 	g.tcps[cu].Invalidate(line)
 	if meta, ok := g.tccOf(line).Invalidate(line); ok && meta.Dirty {
-		g.rec.Record(machine, "D", "AtomicSys", "I") //proto:actions flush dirty copy (WT), issue Atomic
+		g.rec.Record(machine, "D", "AtomicSys", "I") //proto:actions flush dirty copy (WT), issue Atomic //proto:emits Atomic,WT
 		g.sendWT(line, false, nil)
 	} else if ok {
-		g.rec.Record(machine, "V", "AtomicSys", "I") //proto:actions drop copy, issue Atomic
+		g.rec.Record(machine, "V", "AtomicSys", "I") //proto:actions drop copy, issue Atomic //proto:emits Atomic
 	} else {
-		g.rec.Record(machine, "I", "AtomicSys", "I") //proto:actions issue Atomic (bypass)
+		g.rec.Record(machine, "I", "AtomicSys", "I") //proto:actions issue Atomic (bypass) //proto:emits Atomic
 	}
 	g.atomics[line] = append(g.atomics[line], done)
 	g.engine.Schedule(g.cfg.TCCLatency, func() {
@@ -336,10 +336,10 @@ func (g *GPUCaches) AtomicDevice(cu int, line cachearray.LineAddr, word memdata.
 			}
 		} else {
 			if g.tccOf(line).Peek(line) == nil {
-				g.rec.Record(machine, "I", "AtomicDev", "V") //proto:actions RMW at TCC, allocate, send WT
+				g.rec.Record(machine, "I", "AtomicDev", "V") //proto:actions RMW at TCC, allocate, send WT //proto:emits WT
 				g.insertTCC(line, false)
 			} else {
-				g.rec.Record(machine, "V", "AtomicDev", "V") //proto:actions RMW at TCC, send WT
+				g.rec.Record(machine, "V", "AtomicDev", "V") //proto:actions RMW at TCC, send WT //proto:emits WT
 			}
 			g.sendWT(line, true, nil)
 		}
@@ -380,7 +380,7 @@ func (g *GPUCaches) ReleaseFlush(done func()) {
 			})
 		}
 		for _, a := range dirtyLines {
-			g.rec.Record(machine, "D", "FlushWB", "V") //proto:actions write back dirty line at release
+			g.rec.Record(machine, "D", "FlushWB", "V") //proto:actions write back dirty line at release //proto:emits WT
 			if ln := g.tccOf(a).Peek(a); ln != nil {
 				ln.Meta.Dirty = false
 			}
@@ -404,7 +404,7 @@ func (g *GPUCaches) Receive(m *msg.Message) {
 		// WB_L2 write) absorbs the fill and keeps its dirty bit.
 		before := tccState(g.tccOf(m.Addr).Peek(m.Addr))
 		g.insertTCC(m.Addr, false)
-		g.rec.Record(machine, before, "Fill", tccState(g.tccOf(m.Addr).Peek(m.Addr))) //proto:states I,V,D //proto:next V,V,D //proto:actions install fill, wake waiters
+		g.rec.Record(machine, before, "Fill", tccState(g.tccOf(m.Addr).Peek(m.Addr))) //proto:states I,V,D //proto:next V,V,D //proto:actions install fill, wake waiters //proto:consumes Resp
 		for _, w := range ws {
 			g.tcps[w.cu].Insert(m.Addr, nil)
 			w.done()
@@ -451,18 +451,18 @@ func (g *GPUCaches) Receive(m *msg.Message) {
 			// A dirty WB-mode line is lost to the probe; VIPER relies on
 			// the write-through of its data having system visibility, so
 			// flush it on the way out.
-			g.rec.Record(machine, "D", "PrbInv", "I") //proto:actions flush dirty copy (WT), ack
+			g.rec.Record(machine, "D", "PrbInv", "I") //proto:actions flush dirty copy (WT), ack //proto:emits PrbAck,WT
 			g.sendWT(m.Addr, false, nil)
 		} else if ok {
-			g.rec.Record(machine, "V", "PrbInv", "I") //proto:actions drop copy, ack
+			g.rec.Record(machine, "V", "PrbInv", "I") //proto:actions drop copy, ack //proto:emits PrbAck
 		} else {
-			g.rec.Record(machine, "I", "PrbInv", "I") //proto:actions ack without data
+			g.rec.Record(machine, "I", "PrbInv", "I") //proto:actions ack without data //proto:emits PrbAck
 		}
 		g.ic.Send(&msg.Message{Type: msg.PrbAck, Addr: m.Addr, Src: g.idOf(m.Addr), Dst: m.Src, TxnID: m.TxnID})
 
 	case msg.PrbDowngrade:
 		// The TCC holds no exclusive permission to surrender: ack only.
-		g.rec.Record(machine, "-", "PrbDowngrade", "-") //proto:actions ack, keep state
+		g.rec.Record(machine, "-", "PrbDowngrade", "-") //proto:actions ack, keep state //proto:emits PrbAck
 		g.probesRecv.Inc()
 		g.ic.Send(&msg.Message{Type: msg.PrbAck, Addr: m.Addr, Src: g.idOf(m.Addr), Dst: m.Src, TxnID: m.TxnID})
 

@@ -20,6 +20,12 @@
 //     must be assigned somewhere in its package (i.e. registered via a
 //     Scope); an unassigned field is a latent nil-dereference that only
 //     fires when the counter is first bumped.
+//   - stallwake: queue fields that park protocol work (the directory's
+//     pend map, MSHR waiter lists) must be annotated
+//     `//hsclint:stallqueue`, and every annotated queue needs both a
+//     park site and a wake site in its package — a queue that is
+//     filled but never drained is a hung transaction waiting to
+//     happen.
 package lint
 
 import (
@@ -75,7 +81,7 @@ func (p *Pass) Report(pos token.Pos, format string, args ...interface{}) {
 
 // All returns every registered analyzer.
 func All() []*Analyzer {
-	return []*Analyzer{MsgSwitch, MapLoop, StatsReg, Determinism}
+	return []*Analyzer{MsgSwitch, MapLoop, StatsReg, Determinism, StallWake}
 }
 
 // Check runs the analyzers over the packages and returns findings

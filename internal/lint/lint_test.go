@@ -115,6 +115,27 @@ func TestDeterminismIgnoresUnreachablePackages(t *testing.T) {
 	}
 }
 
+func TestStallWakeQueueRules(t *testing.T) {
+	diags := Check(loadBad(t), []*Analyzer{StallWake})
+	if len(diags) != 3 {
+		t.Fatalf("diags = %v, want exactly 3 (stalledReqs, noWake, neverFilled)", diags)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{"stalledReqs", "noWake", "neverFilled"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing a %s diagnostic in:\n%s", want, joined)
+		}
+	}
+	// The annotated queue with both a park and a wake site must pass.
+	if strings.Contains(joined, "good") {
+		t.Errorf("correct park/wake queue reported:\n%s", joined)
+	}
+}
+
 // wantRE matches one golden expectation: //want <analyzer> "<substring>"
 var wantRE = regexp.MustCompile(`//want (\w+) "([^"]+)"`)
 

@@ -79,8 +79,33 @@ func draw() int {
 	return r.Intn(10) + rand.Intn(10) //want determinism "rand.Intn"
 }
 
+// parkedQueues exercises stallwake: a queue-shaped name without the
+// annotation, an annotated queue that is filled but never drained, an
+// annotated queue that is never filled, and a correct park/wake pair
+// (the false-positive guard).
+type parkedQueues struct {
+	stalledReqs map[int]int   //want stallwake "looks like a stall/wait queue"
+	noWake      []int         //hsclint:stallqueue //want stallwake "no wake site"
+	neverFilled []int         //hsclint:stallqueue //want stallwake "never parks"
+	good        map[int][]int //hsclint:stallqueue
+}
+
+func (pq *parkedQueues) park(k, v int) {
+	pq.stalledReqs[k] = v
+	pq.noWake = append(pq.noWake, v)
+	pq.good[k] = append(pq.good[k], v)
+}
+
+func (pq *parkedQueues) wake(k int) []int {
+	q := pq.good[k]
+	delete(pq.good, k)
+	return q
+}
+
 var _ = classify
 var _ = newWidget
 var _ = sum
 var _ = stamp
 var _ = draw
+var _ = (*parkedQueues).park
+var _ = (*parkedQueues).wake

@@ -91,6 +91,66 @@ func (t Type) NeedsInvProbe() bool {
 	}
 }
 
+// Class partitions message types into the virtual-network ordering
+// classes of the gem5 AMD APU protocol (§II-A): requests, probes, probe
+// acknowledgments, responses and unblocks travel on separate virtual
+// networks, and deadlock freedom rests on handlers of one class never
+// blocking on a lower class. cmd/hscproto -deadlock checks exactly that
+// over the statically extracted tables.
+type Class uint8
+
+// Message classes, in the virtual-network dependency order: handling a
+// message of one class may wait only on classes that come later.
+const (
+	ClassRequest  Class = iota // cache/DMA → directory requests
+	ClassProbe                 // directory → cache probes
+	ClassProbeAck              // cache → directory probe acknowledgments
+	ClassResponse              // directory → requester responses
+	ClassUnblock               // requester → directory completions
+)
+
+var classNames = [...]string{"request", "probe", "probe-ack", "response", "unblock"}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Classes returns every message class in virtual-network order.
+func Classes() []Class {
+	return []Class{ClassRequest, ClassProbe, ClassProbeAck, ClassResponse, ClassUnblock}
+}
+
+// Class returns t's virtual-network class.
+func (t Type) Class() Class {
+	switch t {
+	case RdBlk, RdBlkS, RdBlkM, VicDirty, VicClean, WT, Atomic, Flush, DMARd, DMAWr:
+		return ClassRequest
+	case PrbInv, PrbDowngrade:
+		return ClassProbe
+	case PrbAck:
+		return ClassProbeAck
+	case Resp, WBAck, AtomicResp, FlushAck:
+		return ClassResponse
+	default:
+		return ClassUnblock
+	}
+}
+
+// TypeByName resolves a message-type name ("RdBlk", "PrbInv", …) back to
+// its Type. The second result is false for unknown names; the protocol
+// table extractor uses it to validate //proto:emits annotations.
+func TypeByName(name string) (Type, bool) {
+	for i, n := range typeNames {
+		if n == name {
+			return Type(i), true
+		}
+	}
+	return 0, false
+}
+
 // Grant is the permission granted by a directory response.
 type Grant uint8
 

@@ -53,6 +53,60 @@ func TestNeedsInvProbe(t *testing.T) {
 	}
 }
 
+// TestClass pins the virtual-network partition: every type belongs to
+// exactly one class and the classes come back in dependency order.
+func TestClass(t *testing.T) {
+	want := map[Type]Class{
+		RdBlk: ClassRequest, RdBlkS: ClassRequest, RdBlkM: ClassRequest,
+		VicDirty: ClassRequest, VicClean: ClassRequest,
+		WT: ClassRequest, Atomic: ClassRequest, Flush: ClassRequest,
+		DMARd: ClassRequest, DMAWr: ClassRequest,
+		PrbInv: ClassProbe, PrbDowngrade: ClassProbe,
+		PrbAck: ClassProbeAck,
+		Resp:   ClassResponse, WBAck: ClassResponse,
+		AtomicResp: ClassResponse, FlushAck: ClassResponse,
+		Unblock: ClassUnblock,
+	}
+	if len(want) != len(typeNames) {
+		t.Fatalf("class table covers %d types, want %d", len(want), len(typeNames))
+	}
+	for typ, cls := range want {
+		if typ.Class() != cls {
+			t.Errorf("%s.Class() = %s, want %s", typ, typ.Class(), cls)
+		}
+	}
+	classes := Classes()
+	names := []string{"request", "probe", "probe-ack", "response", "unblock"}
+	if len(classes) != len(names) {
+		t.Fatalf("Classes() = %v", classes)
+	}
+	for i, c := range classes {
+		if c.String() != names[i] {
+			t.Errorf("class %d = %q, want %q", i, c.String(), names[i])
+		}
+		if int(c) != i {
+			t.Errorf("class %q out of dependency order", c)
+		}
+	}
+	if !strings.Contains(Class(9).String(), "9") {
+		t.Error("unknown class should include its number")
+	}
+}
+
+// TestTypeByName round-trips every type through its name.
+func TestTypeByName(t *testing.T) {
+	for i := range typeNames {
+		typ := Type(i)
+		got, ok := TypeByName(typ.String())
+		if !ok || got != typ {
+			t.Errorf("TypeByName(%q) = %v, %v", typ.String(), got, ok)
+		}
+	}
+	if _, ok := TypeByName("NotAType"); ok {
+		t.Error("TypeByName accepted an unknown name")
+	}
+}
+
 func TestGrantString(t *testing.T) {
 	for g, want := range map[Grant]string{GrantNone: "None", GrantS: "S", GrantE: "E", GrantM: "M"} {
 		if g.String() != want {

@@ -17,7 +17,7 @@ type Kernel struct {
 // KernelHandle tracks kernel completion for host-side Wait.
 type KernelHandle struct {
 	done    bool
-	waiters []func()
+	waiters []func() //hsclint:stallqueue — released by CompleteKernel
 }
 
 // Done reports completion.

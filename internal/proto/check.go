@@ -3,6 +3,8 @@ package proto
 import (
 	"fmt"
 	"sort"
+
+	"hscsim/internal/msg"
 )
 
 // CheckStatic verifies the extracted table against the handwritten
@@ -47,9 +49,30 @@ func CheckStatic(t *Table) []string {
 	}
 
 	checkGuards(t, bad)
+	checkEmits(t, bad)
 	checkDeltas(t, bad)
 	checkVariants(t, bad)
 	return problems
+}
+
+// checkEmits validates that every //proto:emits and //proto:consumes
+// value names a real message type — a typo here would silently punch a
+// hole in the static safety analyses that consume the metadata.
+func checkEmits(t *Table, bad func(string, ...interface{})) {
+	for _, m := range t.Machines {
+		for _, e := range m.Entries {
+			for _, name := range e.Emits {
+				if _, ok := msg.TypeByName(name); !ok {
+					bad("%s: %s: emits unknown message type %q", m.Name, siteList(e), name)
+				}
+			}
+			for _, name := range e.Consumes {
+				if _, ok := msg.TypeByName(name); !ok {
+					bad("%s: %s: consumes unknown message type %q", m.Name, siteList(e), name)
+				}
+			}
+		}
+	}
 }
 
 func checkMachine(s *MachineSpec, m *Machine, bad func(string, ...interface{})) {

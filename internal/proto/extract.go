@@ -134,6 +134,12 @@ func resolveSite(pkg *lint.Package, call *ast.CallExpr, comment string) (Site, e
 	if u := attrs["unless"]; u != "" {
 		s.Unless = splitList(u)
 	}
+	if e := attrs["emits"]; e != "" {
+		s.Emits = splitList(e)
+	}
+	if c := attrs["consumes"]; c != "" {
+		s.Consumes = splitList(c)
+	}
 	return s, nil
 }
 
@@ -174,7 +180,7 @@ func parseAttrs(text string) (map[string]string, error) {
 			key, value = chunk[:i], strings.TrimSpace(chunk[i+1:])
 		}
 		switch key {
-		case "states", "events", "next", "actions", "when", "unless":
+		case "states", "events", "next", "actions", "when", "unless", "emits", "consumes":
 			if _, dup := attrs[key]; dup {
 				return nil, fmt.Errorf("duplicate //proto:%s annotation", key)
 			}

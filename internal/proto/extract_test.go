@@ -1,0 +1,88 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+// The extractor's error paths, driven through real (compiled) testdata
+// packages so the failures exercise the same load/type-check/resolve
+// pipeline the controllers go through.
+
+const protoTestdata = "hscsim/internal/proto/testdata/"
+
+func TestExtractSitesRejectsNonConstantMachine(t *testing.T) {
+	_, err := ExtractSites("../..", protoTestdata+"badmachine")
+	if err == nil {
+		t.Fatal("non-constant machine argument accepted")
+	}
+	if !strings.Contains(err.Error(), "machine argument must be a string constant") {
+		t.Fatalf("wrong error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "badmachine.go:") {
+		t.Fatalf("error does not carry the site position: %v", err)
+	}
+}
+
+func TestExtractSitesRejectsUnannotatedDomain(t *testing.T) {
+	_, err := ExtractSites("../..", protoTestdata+"baddomain")
+	if err == nil {
+		t.Fatal("non-constant state argument without annotation accepted")
+	}
+	for _, want := range []string{"states argument is not constant", "//proto:states", "baddomain.go:"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error lacks %q: %v", want, err)
+		}
+	}
+}
+
+func TestExtractSitesRejectsDuplicateAttr(t *testing.T) {
+	_, err := ExtractSites("../..", protoTestdata+"badattr")
+	if err == nil {
+		t.Fatal("duplicate //proto:states annotation accepted")
+	}
+	for _, want := range []string{"duplicate //proto:states", "badattr.go:"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error lacks %q: %v", want, err)
+		}
+	}
+}
+
+func TestExtractSitesRejectsUnknownPackage(t *testing.T) {
+	if _, err := ExtractSites("../..", protoTestdata+"nosuchpkg"); err == nil {
+		t.Fatal("unknown package pattern accepted")
+	}
+}
+
+func TestExtractSitesResolvesAnnotatedDomains(t *testing.T) {
+	sites, err := ExtractSites("../..", protoTestdata+"goodsites")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 2 {
+		t.Fatalf("extracted %d sites, want 2: %+v", len(sites), sites)
+	}
+	c, a := sites[0], sites[1]
+	if c.Machine != "toy" || len(c.States) != 1 || c.States[0] != "I" ||
+		len(c.Events) != 1 || c.Events[0] != "Load" || len(c.Nexts) != 1 || c.Nexts[0] != "S" {
+		t.Errorf("constant site resolved wrong: %+v", c)
+	}
+	if got := strings.Join(a.States, ","); got != "S,E" {
+		t.Errorf("annotated states = %q, want S,E", got)
+	}
+	if got := strings.Join(a.Events, ","); got != "Evict,Inval" {
+		t.Errorf("annotated events = %q, want Evict,Inval", got)
+	}
+	if a.Actions != "drop line" {
+		t.Errorf("actions = %q, want %q", a.Actions, "drop line")
+	}
+	if strings.Join(a.When, ",") != "LLCWriteBack" || strings.Join(a.Unless, ",") != "UseL3OnWT" {
+		t.Errorf("guards resolved wrong: when=%v unless=%v", a.When, a.Unless)
+	}
+	if strings.Join(a.Emits, ",") != "VicClean" || strings.Join(a.Consumes, ",") != "PrbInv" {
+		t.Errorf("message attrs resolved wrong: emits=%v consumes=%v", a.Emits, a.Consumes)
+	}
+	if !strings.Contains(c.Pos, "goodsites.go:") {
+		t.Errorf("site position missing: %q", c.Pos)
+	}
+}

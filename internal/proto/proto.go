@@ -25,6 +25,9 @@
 //	//proto:unless O1,O2 core.Options fields any of which suppresses
 //	                     the site (earlier arms of the same policy
 //	                     switch)
+//	//proto:emits T1,T2  msg.Type names the arm's actions may send
+//	//proto:consumes T1  msg.Type names the arm retires beyond its own
+//	                     event message (e.g. replayed queued requests)
 //
 // When states and next have the same length they are zipped pairwise;
 // a singleton on either side fans out against the other. Anything else
@@ -42,14 +45,16 @@ import (
 // Site is one fsm.Recorder.Record call site with every argument
 // resolved to its domain of possible string values.
 type Site struct {
-	Machine string
-	States  []string
-	Events  []string
-	Nexts   []string
-	Actions string
-	When    []string // options that must all be set for the site to fire
-	Unless  []string // options any of which suppresses the site
-	Pos     string   // file:line
+	Machine  string
+	States   []string
+	Events   []string
+	Nexts    []string
+	Actions  string
+	When     []string // options that must all be set for the site to fire
+	Unless   []string // options any of which suppresses the site
+	Emits    []string // msg.Type names the arm's actions may send
+	Consumes []string // msg.Type names the arm retires beyond its event
+	Pos      string   // file:line
 }
 
 // TKey identifies one transition within a machine.
@@ -115,6 +120,13 @@ type Entry struct {
 	Actions []string `json:"actions,omitempty"`
 	Guards  []Guard  `json:"guards"` // site guards (disjunction)
 	Sites   []string `json:"sites"`
+	// Emits lists the msg.Type names the arm's actions may put on the
+	// wire; Consumes lists the types the arm retires beyond the message
+	// that is its own event (e.g. a queued victim replayed by a fill).
+	// Both come from //proto:emits / //proto:consumes annotations and
+	// feed the static safety analyses (internal/protocheck).
+	Emits    []string `json:"emits,omitempty"`
+	Consumes []string `json:"consumes,omitempty"`
 }
 
 // ActiveUnder reports whether the transition can fire under the given
@@ -265,6 +277,16 @@ func Build(sites []Site) (*Table, error) {
 			if s.Actions != "" && !contains(e.Actions, s.Actions) {
 				e.Actions = append(e.Actions, s.Actions)
 			}
+			for _, em := range s.Emits {
+				if !contains(e.Emits, em) {
+					e.Emits = append(e.Emits, em)
+				}
+			}
+			for _, cn := range s.Consumes {
+				if !contains(e.Consumes, cn) {
+					e.Consumes = append(e.Consumes, cn)
+				}
+			}
 			e.Guards = append(e.Guards, g)
 			if !contains(e.Sites, s.Pos) {
 				e.Sites = append(e.Sites, s.Pos)
@@ -283,6 +305,8 @@ func Build(sites []Site) (*Table, error) {
 		for _, e := range machines[name] {
 			sort.Strings(e.Actions)
 			sort.Strings(e.Sites)
+			sort.Strings(e.Emits)
+			sort.Strings(e.Consumes)
 			m.Entries = append(m.Entries, e)
 		}
 		sort.Slice(m.Entries, func(i, j int) bool {

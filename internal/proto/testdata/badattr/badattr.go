@@ -1,0 +1,11 @@
+// Package badattr carries a duplicate //proto: annotation on a Record
+// call line — the extractor must reject it with the site's position.
+package badattr
+
+import "hscsim/internal/fsm"
+
+func fire(r *fsm.Recorder, st string) {
+	r.Record("toy", st, "Load", "S") //proto:states I,S //proto:states E
+}
+
+var _ = fire

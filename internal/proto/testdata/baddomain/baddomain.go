@@ -1,0 +1,12 @@
+// Package baddomain calls Record with a non-constant state argument
+// and no //proto:states annotation on the call line — the extractor
+// cannot learn the value domain and must say so.
+package baddomain
+
+import "hscsim/internal/fsm"
+
+func fire(r *fsm.Recorder, st string) {
+	r.Record("toy", st, "Load", "S")
+}
+
+var _ = fire

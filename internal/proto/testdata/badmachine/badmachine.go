@@ -1,0 +1,12 @@
+// Package badmachine calls Record with a non-constant machine name —
+// the extractor must reject it (tables are keyed by machine, so the
+// name has to be statically known).
+package badmachine
+
+import "hscsim/internal/fsm"
+
+func fire(r *fsm.Recorder, who string) {
+	r.Record(who, "I", "Load", "S")
+}
+
+var _ = fire

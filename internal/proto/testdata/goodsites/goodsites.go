@@ -1,0 +1,13 @@
+// Package goodsites is a well-formed extraction target: one fully
+// constant Record call and one whose domains come from //proto:
+// annotations, with guards and message attributes.
+package goodsites
+
+import "hscsim/internal/fsm"
+
+func fire(r *fsm.Recorder, st, ev string) {
+	r.Record("toy", "I", "Load", "S")
+	r.Record("toy", st, ev, "I") //proto:states S,E //proto:events Evict,Inval //proto:actions drop line //proto:when LLCWriteBack //proto:unless UseL3OnWT //proto:emits VicClean //proto:consumes PrbInv
+}
+
+var _ = fire

@@ -1,0 +1,291 @@
+package protocheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hscsim/internal/msg"
+	"hscsim/internal/proto"
+)
+
+// The message-class deadlock graph.
+//
+// The gem5 AMD APU protocol carries each message class on its own
+// virtual network (msg.Class), and its deadlock-freedom argument is
+// that the classes form a dependency ORDER: the handler of a message
+// of class X may produce traffic on, or wait for, only classes that
+// come strictly later (request → probe → probe-ack → response →
+// unblock). If the statically extracted tables ever close a cycle —
+// some arm handling class X emits or awaits class Y while some chain
+// leads from Y back to X — then finite network buffering can wedge:
+// each class waits on the next around the cycle.
+//
+// Edge derivation, per table arm:
+//
+//   - The arm's own class is the class of the message it handles: the
+//     event name if it is a msg.Type, else the first //proto:consumes
+//     type (cpu.l2/gpu.tcc "Fill" consumes Resp). Arms triggered by
+//     core/wave/engine activity rather than a message ("Load", "Wr",
+//     "Evict", …) are *internal*: they source new transactions and can
+//     never be blocked by network backpressure, so they contribute no
+//     edges.
+//   - Every //proto:emits type adds an edge arm-class → emit-class,
+//     unless the pair is in the fire-and-forget exemption list below.
+//   - A request-class arm that emits probes additionally awaits their
+//     acknowledgments (the directory holds the transaction until the
+//     ack count drains): request → probe-ack.
+//   - A request-class arm that emits Resp additionally awaits the
+//     requester's completion: request → unblock.
+//
+// Two directory behaviors have no Record arm of their own and are added
+// synthetically: the PrbAck handler (the last collected ack releases
+// the deferred response: probe-ack → response) and the Unblock handler
+// (completes the transaction; the requests it drains from the pend
+// queue are deferred request-class deliveries and are attributed to
+// their own request arms, so the handler itself is terminal).
+//
+// Fire-and-forget exemptions: emissions that open an independent new
+// transaction the emitting handler never waits on. They are excluded
+// from the blocking graph and reported alongside it.
+var fireAndForget = map[armRef][]string{
+	// A write-back TCC probed out of a dirty line flushes it with a WT.
+	// The probed TCC acks immediately and never waits for the WT's
+	// WBAck; the WT is an ordinary new request transaction.
+	{Machine: "gpu.tcc", Key: proto.TKey{State: "D", Event: "PrbInv", Next: "I"}}: {"WT"},
+}
+
+// classInternal labels arms driven by local activity, not messages.
+const classInternal = "internal"
+
+// DeadlockEdge is one class-level dependency with its witnesses.
+type DeadlockEdge struct {
+	From, To  string
+	Witnesses []string // "machine (state,event)->next emits T" / "... awaits acks"
+}
+
+// DeadlockGraph is the class-level dependency graph.
+type DeadlockGraph struct {
+	Nodes  []string // internal + the classes in virtual-network order
+	Edges  []DeadlockEdge
+	Exempt []string // fire-and-forget emissions excluded from the graph
+}
+
+// armClass returns the virtual-network class name of the message an
+// arm handles, or classInternal.
+func armClass(e *proto.Entry) string {
+	if t, ok := msg.TypeByName(e.Event); ok {
+		return t.Class().String()
+	}
+	if len(e.Consumes) > 0 {
+		if t, ok := msg.TypeByName(e.Consumes[0]); ok {
+			return t.Class().String()
+		}
+	}
+	return classInternal
+}
+
+// BuildDeadlockGraph derives the class dependency graph from the table.
+func BuildDeadlockGraph(t *proto.Table) *DeadlockGraph {
+	g := &DeadlockGraph{Nodes: []string{classInternal}}
+	for _, c := range msg.Classes() {
+		g.Nodes = append(g.Nodes, c.String())
+	}
+	type key struct{ from, to string }
+	edges := make(map[key][]string)
+	add := func(from, to, witness string) {
+		k := key{from, to}
+		edges[k] = append(edges[k], witness)
+	}
+
+	for _, m := range t.Machines {
+		for _, e := range m.Entries {
+			ref := armRef{Machine: m.Name, Key: e.TKey}
+			from := armClass(e)
+			exempt := fireAndForget[ref]
+			probes, resp := false, false
+			for _, emit := range e.Emits {
+				et, ok := msg.TypeByName(emit)
+				if !ok {
+					continue // checkEmits already rejects these
+				}
+				if contains(exempt, emit) {
+					g.Exempt = append(g.Exempt, fmt.Sprintf(
+						"%s emits %s (fire-and-forget: independent new transaction)", ref, emit))
+					continue
+				}
+				if from != classInternal {
+					add(from, et.Class().String(), fmt.Sprintf("%s emits %s", ref, emit))
+				}
+				switch et {
+				case msg.PrbInv, msg.PrbDowngrade:
+					probes = true
+				case msg.Resp:
+					resp = true
+				default: // other emits add no transaction-blocking await
+				}
+			}
+			// Transaction-blocking awaits: the directory holds the line
+			// until probe acks drain and (for Resp) until the requester
+			// unblocks.
+			if from == msg.ClassRequest.String() {
+				if probes {
+					add(from, msg.ClassProbeAck.String(), fmt.Sprintf("%s awaits collected acks", ref))
+				}
+				if resp {
+					add(from, msg.ClassUnblock.String(), fmt.Sprintf("%s awaits requester Unblock", ref))
+				}
+			}
+		}
+	}
+
+	// Synthetic directory arms (no Record site of their own).
+	for _, emit := range []string{"Resp", "WBAck", "AtomicResp"} {
+		et, _ := msg.TypeByName(emit)
+		add(msg.ClassProbeAck.String(), et.Class().String(),
+			fmt.Sprintf("dir PrbAck handler releases deferred %s", emit))
+	}
+
+	keys := make([]key, 0, len(edges))
+	for k := range edges { //hsclint:deterministic — sorted below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		w := edges[k]
+		sort.Strings(w)
+		g.Edges = append(g.Edges, DeadlockEdge{From: k.from, To: k.to, Witnesses: w})
+	}
+	sort.Strings(g.Exempt)
+	return g
+}
+
+// Cycles returns every elementary cycle among the class nodes (there
+// are at most a handful of nodes, so a simple DFS per start node is
+// plenty). An empty result proves the blocking relation is acyclic.
+func (g *DeadlockGraph) Cycles() [][]string {
+	succ := make(map[string][]string)
+	for _, e := range g.Edges {
+		if !contains(succ[e.From], e.To) {
+			succ[e.From] = append(succ[e.From], e.To)
+		}
+	}
+	for _, s := range succ {
+		sort.Strings(s)
+	}
+	var cycles [][]string
+	seen := make(map[string]bool)
+	for _, start := range g.Nodes {
+		var path []string
+		onPath := make(map[string]bool)
+		var dfs func(n string)
+		dfs = func(n string) {
+			path = append(path, n)
+			onPath[n] = true
+			for _, next := range succ[n] {
+				if next == start && len(path) > 0 {
+					cyc := append(append([]string{}, path...), start)
+					key := strings.Join(cyc, "→")
+					if !seen[key] {
+						seen[key] = true
+						cycles = append(cycles, cyc)
+					}
+					continue
+				}
+				// Only canonical rotations (start = smallest node) are
+				// recorded, so each elementary cycle appears once.
+				if !onPath[next] && next > start {
+					dfs(next)
+				}
+			}
+			path = path[:len(path)-1]
+			onPath[n] = false
+		}
+		dfs(start)
+	}
+	return cycles
+}
+
+// CheckDeadlock builds the graph and reports a finding per cycle.
+func CheckDeadlock(t *proto.Table) ([]Finding, *DeadlockGraph) {
+	g := BuildDeadlockGraph(t)
+	var findings []Finding
+	for _, cyc := range g.Cycles() {
+		witnesses := g.cycleWitnesses(cyc)
+		findings = append(findings, Finding{
+			Analysis: "deadlock",
+			Detail: fmt.Sprintf("message-class cycle %s (witnesses: %s)",
+				strings.Join(cyc, " → "), strings.Join(witnesses, "; ")),
+		})
+	}
+	return findings, g
+}
+
+// cycleWitnesses collects one witness per edge of the cycle.
+func (g *DeadlockGraph) cycleWitnesses(cyc []string) []string {
+	var out []string
+	for i := 0; i+1 < len(cyc); i++ {
+		for _, e := range g.Edges {
+			if e.From == cyc[i] && e.To == cyc[i+1] && len(e.Witnesses) > 0 {
+				out = append(out, e.Witnesses[0])
+				break
+			}
+		}
+	}
+	return out
+}
+
+// DOT renders the graph for DESIGN.md. Blocking edges are solid and
+// labeled with their witness count; fire-and-forget emissions appear
+// as a note, not as edges.
+func (g *DeadlockGraph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph msgclass {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, n := range g.Nodes {
+		attrs := ""
+		if n == classInternal {
+			attrs = " [style=dashed]"
+		}
+		fmt.Fprintf(&b, "  %q%s;\n", n, attrs)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%d arm(s)\"];\n", e.From, e.To, len(e.Witnesses))
+	}
+	for i, ex := range g.Exempt {
+		fmt.Fprintf(&b, "  // exempt %d: %s\n", i+1, ex)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Report renders the edges and verdict as text for the CLI.
+func (g *DeadlockGraph) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "message-class dependency graph: %d edges\n", len(g.Edges))
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  %-9s → %-9s (%d arm(s))\n", e.From, e.To, len(e.Witnesses))
+		for _, w := range e.Witnesses {
+			fmt.Fprintf(&b, "      %s\n", w)
+		}
+	}
+	for _, ex := range g.Exempt {
+		fmt.Fprintf(&b, "  exempt: %s\n", ex)
+	}
+	return b.String()
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,319 @@
+package protocheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hscsim/internal/core"
+	"hscsim/internal/proto"
+)
+
+// The composite-state reachability checker: breadth-first exploration
+// of the abstract one-line model from the quiescent state, checking the
+// oracle's safety invariants (SWMR, single owner, no stale dirty copy,
+// directory inclusivity) on every reachable state. Violations come with
+// a minimal abstract trace (BFS gives shortest-path counterexamples).
+
+// DefaultStateLimit bounds exploration; the real model stays far below
+// it, so hitting the limit means a runaway model change.
+const DefaultStateLimit = 4_000_000
+
+// ConfigFor maps a concrete variant's options onto the abstract model.
+// The LLC placement options act below the protocol abstraction (they
+// move committed data between LLC and memory but change no messages,
+// probes or grants), so only tracking mode and EDR remain.
+func ConfigFor(o core.Options) ModelConfig {
+	cfg := ModelConfig{EDR: o.EarlyDirtyResponse}
+	switch o.Tracking {
+	case core.TrackOwner:
+		cfg.Mode = ModeTrackOwner
+	case core.TrackOwnerSharers:
+		cfg.Mode = ModeTrackOwnerSharers
+	}
+	return cfg
+}
+
+// Configs returns the four abstract configurations that cover the
+// paper's six variants (plus the no-EDR tracked modes for coverage).
+func Configs() []ModelConfig {
+	return []ModelConfig{
+		{Mode: ModeStateless},
+		{Mode: ModeStateless, EDR: true},
+		{Mode: ModeTrackOwner, EDR: true},
+		{Mode: ModeTrackOwnerSharers, EDR: true},
+	}
+}
+
+// TraceStep is one hop of a counterexample trace.
+type TraceStep struct {
+	Desc  string // what happened
+	Arm   string // the table arm animated ("" for synthetic steps)
+	State string // resulting composite state
+}
+
+// Violation is a safety violation with its shortest abstract witness.
+type Violation struct {
+	Config   ModelConfig
+	State    string
+	Problems []string
+	Trace    []TraceStep
+}
+
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] unsafe state: %s\n", v.Config, v.State)
+	for _, p := range v.Problems {
+		fmt.Fprintf(&b, "  violates: %s\n", p)
+	}
+	fmt.Fprintf(&b, "  trace (%d steps from quiescent):\n", len(v.Trace))
+	for i, t := range v.Trace {
+		arm := ""
+		if t.Arm != "" {
+			arm = " [" + t.Arm + "]"
+		}
+		fmt.Fprintf(&b, "  %3d. %s%s\n       → %s\n", i+1, t.Desc, arm, t.State)
+	}
+	return b.String()
+}
+
+// ReachResult is the outcome of exploring one abstract configuration.
+type ReachResult struct {
+	Config    ModelConfig
+	States    int               // reachable composite states
+	ArmsUsed  map[armRef]bool   // table arms animated by some reachable step
+	Stable    map[string]string // reachable quiescent states: canonical key → rendering
+	Violation *Violation        // nil when every reachable state is safe
+}
+
+type parentLink struct {
+	parent string // key of the predecessor ("" for the initial state)
+	desc   string
+	arm    string
+}
+
+// Explore runs BFS over the abstract model for one configuration,
+// stopping at the first violation (with its shortest trace) or when the
+// reachable set is exhausted.
+func Explore(cfg ModelConfig, limit int) (*ReachResult, error) {
+	if limit <= 0 {
+		limit = DefaultStateLimit
+	}
+	res := &ReachResult{
+		Config:   cfg,
+		ArmsUsed: make(map[armRef]bool),
+		Stable:   make(map[string]string),
+	}
+
+	start := initial().canon()
+	startKey := start.key()
+	parents := map[string]parentLink{startKey: {}}
+	states := map[string]state{startKey: start}
+	queue := []string{startKey}
+	res.Stable[startKey] = start.String()
+
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		s := states[key]
+
+		if problems := s.violations(cfg); len(problems) > 0 {
+			res.Violation = &Violation{
+				Config:   cfg,
+				State:    s.String(),
+				Problems: sortedStrings(problems),
+				Trace:    buildTrace(key, parents, states),
+			}
+			res.States = len(parents)
+			return res, nil
+		}
+
+		for _, nx := range successors(s, cfg) {
+			if nx.label != nil {
+				res.ArmsUsed[*nx.label] = true
+			}
+			ns := nx.s.canon()
+			nk := ns.key()
+			if _, ok := parents[nk]; ok {
+				continue
+			}
+			ns.assertStructure()
+			if len(parents) >= limit {
+				return nil, fmt.Errorf("state budget exceeded (%d states) exploring %s", limit, cfg)
+			}
+			arm := ""
+			if nx.label != nil {
+				arm = nx.label.String()
+			}
+			parents[nk] = parentLink{parent: key, desc: nx.desc, arm: arm}
+			states[nk] = ns
+			queue = append(queue, nk)
+			if ns.stable() {
+				res.Stable[nk] = ns.String()
+			}
+		}
+	}
+	res.States = len(parents)
+	return res, nil
+}
+
+func buildTrace(key string, parents map[string]parentLink, states map[string]state) []TraceStep {
+	var rev []TraceStep
+	for key != "" {
+		link := parents[key]
+		if link.parent == "" && link.desc == "" {
+			break // initial state
+		}
+		rev = append(rev, TraceStep{Desc: link.desc, Arm: link.arm, State: states[key].String()})
+		key = link.parent
+	}
+	out := make([]TraceStep, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// CheckReach explores every configuration and reports violations as
+// findings (with the trace inlined into the detail).
+func CheckReach(limit int) ([]Finding, []*ReachResult, error) {
+	var findings []Finding
+	var results []*ReachResult
+	for _, cfg := range Configs() {
+		r, err := Explore(cfg, limit)
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, r)
+		if r.Violation != nil {
+			findings = append(findings, Finding{
+				Analysis: "reach",
+				Machine:  cfg.String(),
+				Detail:   r.Violation.String(),
+			})
+		}
+	}
+	return findings, results, nil
+}
+
+// ---------------------------------------------------------------------
+// Two-way arm cross-check: the abstract model and the extracted tables
+// must tell the same story.
+
+// modeledMachines are the controllers the one-line model animates.
+// dir.llc and dir.ro are data-placement policies below the protocol
+// abstraction; gpu.wave drives the TCC but touches no line state.
+var modeledMachines = map[string]bool{
+	machL2:        true,
+	machTCC:       true,
+	machDMA:       true,
+	machStateless: true,
+	machTracked:   true,
+}
+
+// excludedArm reports table arms outside the model's scope, with the
+// reason: the write-back TCC (WB_L2 mode, dirty 'D' state) is not part
+// of the paper's six verified variants.
+func excludedArm(machine string, key proto.TKey) (string, bool) {
+	if machine == machTCC && (key.State == "D" || key.Next == "D") {
+		return "write-back TCC (WB_L2 mode) is outside the modeled variants", true
+	}
+	return "", false
+}
+
+// expectedUncovered lists table arms of modeled machines that the
+// abstract model provably cannot animate, each with the reachability
+// argument. The cross-check fails if this list drifts out of date in
+// either direction.
+var expectedUncovered = map[armRef]string{
+	{Machine: machTracked, Key: proto.TKey{State: "O", Event: "VicClean", Next: "S"}}: "an O entry gains sharers only via the dirty-ack path (owner was Modified), and nothing cleans the owner's copy while it stays tracked owner with sharers — so an owner VicClean always finds an empty sharer set",
+	{Machine: machTracked, Key: proto.TKey{State: "O", Event: "WT", Next: "I"}}:       "a WT deallocates the entry only when Retain is false, and Retain=false WTs are emitted only by the write-back TCC's dirty flush paths (WB_L2 mode) — every write-through WT retains",
+	{Machine: machTracked, Key: proto.TKey{State: "S", Event: "WT", Next: "I"}}:       "a WT deallocates the entry only when Retain is false, and Retain=false WTs are emitted only by the write-back TCC's dirty flush paths (WB_L2 mode) — every write-through WT retains",
+	{Machine: machTCC, Key: proto.TKey{State: "-", Event: "PrbDowngrade", Next: "-"}}: "defensive handler: stateless downgrade probes go only to L2s (probeSet adds TCCs only for invalidations), and tracked downgrades target the owner, which is always an L2 (TCC reads are forceShared and never take ownership)",
+}
+
+// CrossCheckArms verifies containment both ways between the union of
+// arms the model animated (across results) and the extracted table.
+func CrossCheckArms(t *proto.Table, results []*ReachResult) []Finding {
+	var findings []Finding
+	bad := func(machine, format string, args ...interface{}) {
+		findings = append(findings, Finding{
+			Analysis: "reach", Machine: machine, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	used := make(map[armRef]bool)
+	for _, r := range results {
+		for ref := range r.ArmsUsed { //hsclint:deterministic — accumulated into a set
+			used[ref] = true
+		}
+	}
+
+	// Model → table: every arm the model animates must exist.
+	tableArms := make(map[armRef]bool)
+	for _, m := range t.Machines {
+		for _, e := range m.Entries {
+			tableArms[armRef{Machine: m.Name, Key: e.TKey}] = true
+		}
+	}
+	var usedList []armRef
+	for ref := range used { //hsclint:deterministic — sorted below
+		usedList = append(usedList, ref)
+	}
+	sort.Slice(usedList, func(i, j int) bool { return usedList[i].String() < usedList[j].String() })
+	for _, ref := range usedList {
+		if !tableArms[ref] {
+			bad(ref.Machine, "model animates %s but the extracted table has no such arm", ref)
+		}
+	}
+
+	// Table → model: every arm of a modeled machine must be animated,
+	// excluded with a reason, or on the documented uncoverable list.
+	for _, m := range t.Machines {
+		if !modeledMachines[m.Name] {
+			continue
+		}
+		for _, e := range m.Entries {
+			ref := armRef{Machine: m.Name, Key: e.TKey}
+			if _, ok := excludedArm(m.Name, e.TKey); ok {
+				continue
+			}
+			why, expect := expectedUncovered[ref]
+			if used[ref] {
+				if expect {
+					bad(m.Name, "stale expectedUncovered entry: the model now animates %s (%s)", ref, why)
+				}
+				continue
+			}
+			if !expect {
+				bad(m.Name, "table arm %s is never animated by the abstract model", ref)
+			}
+		}
+	}
+	// And no dangling expectedUncovered refs for arms that left the table.
+	var expList []armRef
+	for ref := range expectedUncovered { //hsclint:deterministic — sorted below
+		expList = append(expList, ref)
+	}
+	sort.Slice(expList, func(i, j int) bool { return expList[i].String() < expList[j].String() })
+	for _, ref := range expList {
+		if !tableArms[ref] {
+			bad(ref.Machine, "expectedUncovered references %s, which is no longer in the table", ref)
+		}
+	}
+	return findings
+}
+
+// Summarize renders per-config exploration stats for the CLI.
+func Summarize(results []*ReachResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		verdict := "safe"
+		if r.Violation != nil {
+			verdict = "UNSAFE"
+		}
+		fmt.Fprintf(&b, "  %-26s %8d states  %4d arms animated  %s\n",
+			r.Config, r.States, len(r.ArmsUsed), verdict)
+	}
+	return b.String()
+}

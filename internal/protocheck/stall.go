@@ -1,0 +1,155 @@
+package protocheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hscsim/internal/msg"
+	"hscsim/internal/proto"
+)
+
+// The stall/wake liveness lint.
+//
+// A transition arm that parks work ("stall" in its actions) is only
+// live if something is guaranteed to un-park it: the same state must
+// have an exit arm whose event is a message, and that message must be
+// provably emitted by an arm of another machine (the wake can never be
+// self-delivered — a controller that is stalled is exactly the one not
+// making progress).
+//
+// Transient states — states a line passes through only while a
+// transaction is in flight — are declared here and cross-checked
+// against the table: every declared transient state must be entered by
+// some arm, exited by some message-driven arm (same wake rule), and
+// every state that appears in a stall arm must be declared transient.
+// A newly introduced stall or buffer state that is not added to this
+// map fails the lint, forcing its liveness argument to be written down.
+var transientStates = map[string][]string{
+	// cpu.l2 WB: the victim-buffer pseudo-state between victimizing a
+	// line and its WBAck. Accesses stall in it; the directory's WBAck
+	// (emitted by every Vic* handler) is the wake.
+	"cpu.l2": {"WB"},
+}
+
+// CheckStall lints every machine's stall arms and transient states.
+func CheckStall(t *proto.Table) []Finding {
+	var findings []Finding
+	bad := func(machine, format string, args ...interface{}) {
+		findings = append(findings, Finding{
+			Analysis: "stall", Machine: machine, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Which message types does each machine emit? (For the cross-machine
+	// wake requirement.) The directory's WBAck/Resp/... emissions come
+	// from its request arms; synthetic behaviors need no special-casing
+	// here because every response type appears in some dir arm's emits.
+	emittedBy := make(map[string][]string) // msg type name → machines
+	for _, m := range t.Machines {
+		for _, e := range m.Entries {
+			for _, em := range e.Emits {
+				if !contains(emittedBy[em], m.Name) {
+					emittedBy[em] = append(emittedBy[em], m.Name)
+				}
+			}
+		}
+	}
+
+	for _, m := range t.Machines {
+		declared := transientStates[m.Name]
+
+		// 1. Every stall arm's state must be declared transient, and its
+		// state must have a message-driven exit some other machine wakes.
+		stallStates := map[string]bool{}
+		for _, e := range m.Entries {
+			if !hasStallAction(e) {
+				continue
+			}
+			stallStates[e.State] = true
+			if !contains(declared, e.State) {
+				bad(m.Name, "stall arm %s in state %q, which is not declared transient (protocheck.transientStates)",
+					e.TKey, e.State)
+			}
+		}
+
+		// 2. Every declared transient state must be entered, and exited
+		// by an externally woken arm.
+		for _, st := range declared {
+			entered := false
+			var exits []*proto.Entry
+			for _, e := range m.Entries {
+				if e.Next == st && e.State != st {
+					entered = true
+				}
+				if e.State == st && e.Next != st {
+					exits = append(exits, e)
+				}
+			}
+			if !entered {
+				bad(m.Name, "orphan transient state %q: no arm enters it", st)
+			}
+			if len(exits) == 0 {
+				bad(m.Name, "transient state %q has no exit arm: anything stalled in it is stuck forever", st)
+				continue
+			}
+			woken := false
+			var reasons []string
+			for _, e := range exits {
+				if _, isMsg := msg.TypeByName(e.Event); !isMsg {
+					reasons = append(reasons, fmt.Sprintf("%s: event %q is not a delivered message", e.TKey, e.Event))
+					continue
+				}
+				wakers := otherMachines(emittedBy[e.Event], m.Name)
+				if len(wakers) == 0 {
+					reasons = append(reasons, fmt.Sprintf("%s: no other machine emits %s", e.TKey, e.Event))
+					continue
+				}
+				woken = true
+			}
+			if !woken {
+				bad(m.Name, "transient state %q is unwakeable: %s", st, strings.Join(reasons, "; "))
+			}
+		}
+
+		// 3. Stale declarations: a transient state with no stall arm and
+		// no occurrence in the table at all points at a renamed state.
+		for _, st := range declared {
+			used := stallStates[st]
+			for _, e := range m.Entries {
+				if e.State == st || e.Next == st {
+					used = true
+				}
+			}
+			if !used {
+				bad(m.Name, "stale transient declaration %q: the state appears nowhere in the table", st)
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool { return findings[i].String() < findings[j].String() })
+	return findings
+}
+
+func hasStallAction(e *proto.Entry) bool {
+	for _, a := range e.Actions {
+		for _, tok := range strings.FieldsFunc(a, func(r rune) bool {
+			return r < 'a' || r > 'z'
+		}) {
+			if tok == "stall" || tok == "stalls" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func otherMachines(machines []string, self string) []string {
+	var out []string
+	for _, m := range machines {
+		if m != self {
+			out = append(out, m)
+		}
+	}
+	return out
+}

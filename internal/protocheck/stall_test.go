@@ -1,0 +1,128 @@
+package protocheck
+
+import (
+	"strings"
+	"testing"
+
+	"hscsim/internal/proto"
+)
+
+// deepCopyTable clones a table so tests can mutate arms freely.
+func deepCopyTable(t *proto.Table) *proto.Table {
+	out := &proto.Table{}
+	for _, m := range t.Machines {
+		mm := &proto.Machine{Name: m.Name}
+		for _, e := range m.Entries {
+			ee := *e
+			ee.Actions = append([]string{}, e.Actions...)
+			ee.Emits = append([]string{}, e.Emits...)
+			ee.Consumes = append([]string{}, e.Consumes...)
+			mm.Entries = append(mm.Entries, &ee)
+		}
+		out.Machines = append(out.Machines, mm)
+	}
+	return out
+}
+
+// TestStallClean: the real tables pass — the WB victim-buffer state is
+// entered, stalled in, and woken by the directory's WBAck.
+func TestStallClean(t *testing.T) {
+	for _, f := range CheckStall(repoTable(t)) {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestStallCatchesUnwakeableState: strip the WBAck emission from every
+// directory Vic* arm — the WB state's only wake — and the lint must
+// call the state unwakeable.
+func TestStallCatchesUnwakeableState(t *testing.T) {
+	mutated := deepCopyTable(repoTable(t))
+	for _, m := range mutated.Machines {
+		if !strings.HasPrefix(m.Name, "dir.") {
+			continue
+		}
+		for _, e := range m.Entries {
+			var kept []string
+			for _, em := range e.Emits {
+				if em != "WBAck" {
+					kept = append(kept, em)
+				}
+			}
+			e.Emits = kept
+		}
+	}
+	findings := CheckStall(mutated)
+	if !anyFinding(findings, "unwakeable") {
+		t.Fatalf("no unwakeable finding after removing every WBAck emission: %v", findings)
+	}
+}
+
+// TestStallCatchesMissingExit: drop the (WB, WBAck) → I arm and the WB
+// state loses its only exit.
+func TestStallCatchesMissingExit(t *testing.T) {
+	mutated := deepCopyTable(repoTable(t))
+	for _, m := range mutated.Machines {
+		if m.Name != "cpu.l2" {
+			continue
+		}
+		var kept []*proto.Entry
+		for _, e := range m.Entries {
+			if e.State == "WB" && e.Event == "WBAck" {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		m.Entries = kept
+	}
+	findings := CheckStall(mutated)
+	if !anyFinding(findings, "no exit arm") {
+		t.Fatalf("no missing-exit finding after dropping (WB, WBAck): %v", findings)
+	}
+}
+
+// TestStallCatchesUndeclaredStall: a stall action sneaked into a stable
+// state must demand a transient declaration.
+func TestStallCatchesUndeclaredStall(t *testing.T) {
+	mutated := deepCopyTable(repoTable(t))
+	e := mutated.Machine("cpu.l2").Entry(proto.TKey{State: "S", Event: "Load", Next: "S"})
+	if e == nil {
+		t.Fatal("missing (S, Load) -> S arm")
+	}
+	e.Actions = append(e.Actions, "stall until mood improves")
+	findings := CheckStall(mutated)
+	if !anyFinding(findings, "not declared transient") {
+		t.Fatalf("no undeclared-transient finding for a stable-state stall: %v", findings)
+	}
+}
+
+// TestStallCatchesOrphanTransient: remove every arm entering WB (the
+// Evict arms) and the declaration becomes an orphan.
+func TestStallCatchesOrphanTransient(t *testing.T) {
+	mutated := deepCopyTable(repoTable(t))
+	for _, m := range mutated.Machines {
+		if m.Name != "cpu.l2" {
+			continue
+		}
+		var kept []*proto.Entry
+		for _, e := range m.Entries {
+			if e.Next == "WB" && e.State != "WB" {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		m.Entries = kept
+	}
+	findings := CheckStall(mutated)
+	if !anyFinding(findings, "orphan transient") {
+		t.Fatalf("no orphan finding after dropping the Evict arms: %v", findings)
+	}
+}
+
+func anyFinding(fs []Finding, substr string) bool {
+	for _, f := range fs {
+		if strings.Contains(f.Detail, substr) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,447 @@
+package protocheck
+
+import (
+	"fmt"
+
+	"hscsim/internal/proto"
+)
+
+// Machine names as recorded in the transition tables.
+const (
+	machL2        = "cpu.l2"
+	machTCC       = "gpu.tcc"
+	machDMA       = "dma.engine"
+	machStateless = "dir.stateless"
+	machTracked   = "dir.tracked"
+)
+
+// succ is one abstract transition: the next state, the transition-table
+// arm it animates (nil for synthetic steps: probe-ack collection,
+// activations, back-invalidations, the un-tabled GPU Flush issue), and
+// a human-readable description for counterexample traces.
+type succ struct {
+	s     state
+	label *armRef
+	desc  string
+}
+
+type stepper struct {
+	out []succ
+}
+
+func (sp *stepper) add(next state, desc string) {
+	sp.out = append(sp.out, succ{s: next, desc: desc})
+}
+
+func (sp *stepper) addArm(next state, machine, st, ev, nx, desc string) {
+	ref := &armRef{Machine: machine, Key: proto.TKey{State: st, Event: ev, Next: nx}}
+	sp.out = append(sp.out, succ{s: next, label: ref, desc: desc})
+}
+
+func dirty(c byte) bool { return c == 'M' || c == 'O' }
+func valid(c byte) bool { return c == 'S' || c == 'E' || c == 'O' || c == 'M' }
+
+// satDec decrements a saturating {0, ≥1} counter: taking one message
+// from "at least one" leaves either none or at least one.
+func satDec(c byte) []byte {
+	if c != '1' {
+		panic("model bug: decrementing empty saturating counter")
+	}
+	return []byte{'0', '1'}
+}
+
+func drained(s state) bool {
+	return s.Ag[0].Prb == '-' && s.Ag[1].Prb == '-' && s.TCC.Prb == '-'
+}
+
+// reqIdx finds the agent marked active for the current R/V transaction.
+func reqIdx(s state, phase func(agent) byte) int {
+	for i, a := range s.Ag {
+		if phase(a) == 'a' {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("model bug: no active requester in %s", s))
+}
+
+func ownerIdx(s state) int {
+	for i, a := range s.Ag {
+		if a.Own {
+			return i
+		}
+	}
+	return -1
+}
+
+func anySharer(s state) bool {
+	return s.Ag[0].Shr || s.Ag[1].Shr || s.TCC.Shr
+}
+
+func clearSharers(s *state) {
+	s.Ag[0].Shr, s.Ag[1].Shr, s.TCC.Shr = false, false, false
+}
+
+func dealloc(s *state) {
+	s.Dir.Entry = '-'
+	s.Ag[0].Own, s.Ag[1].Own = false, false
+	clearSharers(s)
+}
+
+func clearTxn(s *state) {
+	s.Dir.Busy = '-'
+	s.Dir.Prbd, s.Dir.GotD, s.Dir.GotM, s.Dir.Rspd = false, false, false, false
+}
+
+func missEvent(k byte) string {
+	switch k {
+	case 'r':
+		return "RdBlk"
+	case 's':
+		return "RdBlkS"
+	case 'm':
+		return "RdBlkM"
+	}
+	panic("model bug: unknown miss kind")
+}
+
+// probePlan is the probe target set of the directory's active
+// transaction, derived from the request kind and the tracked entry —
+// mirroring probeSet (stateless) and invTargets (tracked).
+type probePlan struct {
+	cpu  [2]bool
+	tcc  bool
+	kind byte // 'i' invalidate, 'd' downgrade
+}
+
+func (p probePlan) empty() bool { return !p.cpu[0] && !p.cpu[1] && !p.tcc }
+
+// invTargetsM mirrors Directory.invTargets: precise multicast over
+// owner+sharers under TrackOwnerSharers, broadcast otherwise.
+func invTargetsM(s state, cfg ModelConfig, exclCPU int, exclTCC bool) probePlan {
+	p := probePlan{kind: 'i'}
+	if cfg.Mode == ModeTrackOwnerSharers {
+		for j := 0; j < 2; j++ {
+			if j == exclCPU {
+				continue
+			}
+			if s.Ag[j].Shr || (s.Dir.Entry == 'O' && s.Ag[j].Own) {
+				p.cpu[j] = true
+			}
+		}
+		p.tcc = s.TCC.Shr && !exclTCC
+		return p
+	}
+	for j := 0; j < 2; j++ {
+		p.cpu[j] = j != exclCPU
+	}
+	p.tcc = !exclTCC
+	return p
+}
+
+// planProbes computes the active transaction's probe plan. Kinds V and
+// F never probe; kind E computes its targets at activation.
+func planProbes(s state, cfg ModelConfig) probePlan {
+	tracked := cfg.Mode != ModeStateless
+	probeOwner := func() probePlan {
+		var p probePlan
+		p.kind = 'd'
+		o := ownerIdx(s)
+		if o < 0 {
+			panic(fmt.Sprintf("model bug: O entry without owner in %s", s))
+		}
+		p.cpu[o] = true
+		return p
+	}
+	switch s.Dir.Busy {
+	case 'R':
+		req := reqIdx(s, func(a agent) byte { return a.MissP })
+		k := s.Ag[req].Miss
+		if !tracked {
+			var p probePlan
+			p.cpu[1-req] = true
+			if k == 'm' {
+				p.kind, p.tcc = 'i', true
+			} else {
+				p.kind = 'd'
+			}
+			return p
+		}
+		switch s.Dir.Entry {
+		case '-':
+			return probePlan{kind: 'i'}
+		case 'S':
+			if k == 'm' {
+				return invTargetsM(s, cfg, req, false)
+			}
+			return probePlan{kind: 'd'}
+		default: // 'O'
+			if k != 'm' {
+				if s.Ag[req].Own {
+					return probePlan{kind: 'd'} // owner re-read: no probes
+				}
+				return probeOwner()
+			}
+			return invTargetsM(s, cfg, req, false)
+		}
+	case 'T':
+		if !tracked {
+			return probePlan{cpu: [2]bool{true, true}, kind: 'd'}
+		}
+		if s.Dir.Entry == 'O' {
+			return probeOwner()
+		}
+		return probePlan{kind: 'd'}
+	case 'W', 'A':
+		if !tracked {
+			return probePlan{cpu: [2]bool{true, true}, kind: 'i'}
+		}
+		if s.Dir.Entry == '-' {
+			return probePlan{kind: 'i'}
+		}
+		return invTargetsM(s, cfg, -1, true) // requester is the TCC
+	case 'w':
+		if !tracked {
+			return probePlan{cpu: [2]bool{true, true}, tcc: true, kind: 'i'}
+		}
+		if s.Dir.Entry == '-' {
+			return probePlan{kind: 'i'}
+		}
+		return invTargetsM(s, cfg, -1, false)
+	case 'r':
+		if !tracked {
+			return probePlan{cpu: [2]bool{true, true}, kind: 'd'}
+		}
+		if s.Dir.Entry == 'O' {
+			return probeOwner()
+		}
+		return probePlan{kind: 'd'}
+	}
+	panic(fmt.Sprintf("model bug: planProbes for kind %c", s.Dir.Busy))
+}
+
+// successors enumerates every abstract transition out of s, including
+// self-loops (hits, stalls) so arm-coverage accounting sees them.
+func successors(s state, cfg ModelConfig) []succ {
+	sp := &stepper{}
+	cpuSteps(sp, s, cfg)
+	tccSteps(sp, s)
+	dmaSteps(sp, s)
+	dirSteps(sp, s, cfg)
+	return sp.out
+}
+
+// ---------------------------------------------------------------------
+// CPU L2 agents.
+
+func cpuSteps(sp *stepper, s state, cfg ModelConfig) {
+	for i := 0; i < 2; i++ {
+		a := s.Ag[i]
+		st := string(a.Cache)
+		who := fmt.Sprintf("cpu%d", i)
+
+		// Hits (self-loops, recorded for arm coverage).
+		if valid(a.Cache) {
+			sp.addArm(s, machL2, st, "Load", st, who+" load hit")
+		}
+		switch a.Cache {
+		case 'M':
+			sp.addArm(s, machL2, "M", "Store", "M", who+" store hit")
+		case 'E':
+			ns := s
+			ns.Ag[i].Cache = 'M'
+			sp.addArm(ns, machL2, "E", "Store", "M", who+" silent E→M upgrade")
+		case 'S', 'O':
+			if a.Miss == '-' {
+				ns := s
+				ns.Ag[i].Miss, ns.Ag[i].MissP = 'm', 'o'
+				sp.addArm(ns, machL2, st, "Store", st, who+" issues RdBlkM upgrade")
+			}
+		case 'I':
+			if a.WBPh != '-' && cfg.Bug != BugVictimRefetch {
+				// Accesses to a line with a live victim stall until WBAck.
+				sp.addArm(s, machL2, "WB", "Load", "WB", who+" stalls load on victim buffer")
+				sp.addArm(s, machL2, "WB", "Store", "WB", who+" stalls store on victim buffer")
+			} else if a.Miss == '-' {
+				for _, k := range []byte{'r', 's'} {
+					ns := s
+					ns.Ag[i].Miss, ns.Ag[i].MissP = k, 'o'
+					sp.addArm(ns, machL2, "I", "Load", "I",
+						fmt.Sprintf("%s issues %s miss", who, missEvent(k)))
+				}
+				ns := s
+				ns.Ag[i].Miss, ns.Ag[i].MissP = 'm', 'o'
+				sp.addArm(ns, machL2, "I", "Store", "I", who+" issues RdBlkM miss")
+			}
+		}
+
+		// Eviction. A line with an outstanding miss is pinned in the L2
+		// (corepair fill pins MSHR-resident lines); BugEvictDuringUpgrade
+		// removes the pin, reintroducing the upgrade/eviction race.
+		if valid(a.Cache) && a.WBPh == '-' && (a.Miss == '-' || cfg.Bug == BugEvictDuringUpgrade) {
+			ns := s
+			ns.Ag[i].Cache = 'I'
+			ns.Ag[i].WBPh = 'o'
+			ns.Ag[i].WBDty = dirty(a.Cache)
+			sp.addArm(ns, machL2, st, "Evict", "WB", who+" victimizes the line")
+		}
+
+		// WBAck delivery retires the victim buffer.
+		if a.WBPh == 'f' {
+			ns := s
+			ns.Ag[i].WBPh, ns.Ag[i].WBDty = '-', false
+			sp.addArm(ns, machL2, "WB", "WBAck", "I", who+" retires victim on WBAck")
+		}
+
+		// Probe delivery.
+		if a.Prb == 'i' || a.Prb == 'd' {
+			inv := a.Prb == 'i'
+			ev := "PrbInv"
+			if !inv {
+				ev = "PrbDowngrade"
+			}
+			ns := s
+			switch {
+			case a.WBPh != '-':
+				// The victim buffer answers; the (I) array state is untouched.
+				ns.Ag[i].Prb = 'c'
+				if a.WBDty {
+					ns.Ag[i].Prb = 'm'
+				}
+				sp.addArm(ns, machL2, "WB", ev, "WB", who+" answers probe from victim buffer")
+			case a.Cache != 'I':
+				ns.Ag[i].Prb = 'c'
+				if dirty(a.Cache) {
+					ns.Ag[i].Prb = 'm'
+				}
+				if inv {
+					ns.Ag[i].Cache = 'I'
+					sp.addArm(ns, machL2, st, ev, "I", who+" invalidates on probe, acks with data")
+				} else {
+					nx := map[byte]byte{'E': 'S', 'S': 'S', 'M': 'O', 'O': 'O'}[a.Cache]
+					ns.Ag[i].Cache = nx
+					sp.addArm(ns, machL2, st, ev, string(nx), who+" downgrades on probe")
+				}
+			default:
+				ns.Ag[i].Prb = 'n'
+				sp.addArm(ns, machL2, "I", ev, "I", who+" acks probe without data")
+			}
+		}
+
+		// Fill delivery.
+		if g := a.MissP; g == 'S' || g == 'E' || g == 'M' {
+			ns := s
+			ns.Ag[i].Miss, ns.Ag[i].MissP = '-', '-'
+			ns.Ag[i].Unb = true
+			if a.Cache == 'I' {
+				ns.Ag[i].Cache = g
+				sp.addArm(ns, machL2, "I", "Fill", string(g), who+" installs fill, sends Unblock")
+			} else {
+				if g != 'M' {
+					panic(fmt.Sprintf("model bug: upgrade fill with grant %c in %s", g, s))
+				}
+				ns.Ag[i].Cache = 'M'
+				sp.addArm(ns, machL2, st, "Fill", "M", who+" installs upgrade fill, sends Unblock")
+			}
+		}
+
+		// Probe-ack delivery at the directory (synthetic handler: the
+		// collected ack updates the active transaction).
+		if a.Prb == 'n' || a.Prb == 'c' || a.Prb == 'm' {
+			if s.Dir.Busy == '-' {
+				panic(fmt.Sprintf("model bug: probe ack in flight with idle directory in %s", s))
+			}
+			ns := s
+			ns.Ag[i].Prb = '-'
+			if a.Prb != 'n' {
+				ns.Dir.GotD = true
+			}
+			if a.Prb == 'm' {
+				ns.Dir.GotM = true
+			}
+			sp.add(ns, "directory collects "+who+" probe ack")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// TCC (write-through mode).
+
+func tccSteps(sp *stepper, s state) {
+	t := s.TCC
+	st := string(t.Cache)
+
+	switch t.Cache {
+	case 'V':
+		sp.addArm(s, machTCC, "V", "Rd", "V", "tcc read hit")
+		ns := s
+		ns.TCC.Cache = 'I'
+		sp.addArm(ns, machTCC, "V", "Evict", "I", "tcc drops clean victim silently")
+	case 'I':
+		if t.MissP == '-' {
+			ns := s
+			ns.TCC.MissP = 'o'
+			sp.addArm(ns, machTCC, "I", "Rd", "I", "tcc issues RdBlk")
+		}
+	}
+
+	// Writes and device-scope atomics install V and send a WT.
+	for _, ev := range []string{"Wr", "AtomicDev"} {
+		ns := s
+		ns.TCC.Cache = 'V'
+		ns.TCC.Wt = '1'
+		sp.addArm(ns, machTCC, st, ev, "V", "tcc "+ev+" allocates and sends WT")
+	}
+	// System-scope atomics bypass (dropping any local copy).
+	{
+		ns := s
+		ns.TCC.Cache = 'I'
+		ns.TCC.At = '1'
+		sp.addArm(ns, machTCC, st, "AtomicSys", "I", "tcc issues system-scope Atomic")
+	}
+
+	// Fill delivery.
+	if t.MissP == 'r' {
+		ns := s
+		ns.TCC.Cache, ns.TCC.MissP = 'V', '-'
+		sp.addArm(ns, machTCC, st, "Fill", "V", "tcc installs fill")
+	}
+
+	// Probe delivery. TCC acks never carry data (write-through: clean).
+	switch t.Prb {
+	case 'i':
+		ns := s
+		ns.TCC.Cache, ns.TCC.Prb = 'I', 'n'
+		if t.Cache == 'V' {
+			sp.addArm(ns, machTCC, "V", "PrbInv", "I", "tcc drops copy, acks")
+		} else {
+			sp.addArm(ns, machTCC, "I", "PrbInv", "I", "tcc acks probe without data")
+		}
+	case 'd':
+		ns := s
+		ns.TCC.Prb = 'n'
+		sp.addArm(ns, machTCC, "-", "PrbDowngrade", "-", "tcc acks downgrade, keeps state")
+	case 'n':
+		if s.Dir.Busy == '-' {
+			panic(fmt.Sprintf("model bug: tcc ack in flight with idle directory in %s", s))
+		}
+		ns := s
+		ns.TCC.Prb = '-'
+		sp.add(ns, "directory collects tcc probe ack")
+	}
+}
+
+// ---------------------------------------------------------------------
+// DMA engine.
+
+func dmaSteps(sp *stepper, s state) {
+	{
+		ns := s
+		ns.DMA.Rd = '1'
+		sp.addArm(ns, machDMA, "-", "Rd", "-", "dma issues DMARd")
+	}
+	{
+		ns := s
+		ns.DMA.Wr = '1'
+		sp.addArm(ns, machDMA, "-", "Wr", "-", "dma issues DMAWr")
+	}
+}

@@ -23,7 +23,7 @@ import (
 // message at delivery time to seed protocol bugs for negative tests.
 type chaosFabric struct {
 	handlers  map[msg.NodeID]noc.Handler
-	pending   []*msg.Message
+	pending   []*msg.Message //hsclint:stallqueue — the checker delivers (and removes) any element
 	mutate    func(*msg.Message) *msg.Message
 	onDeliver noc.DeliveryHook
 	engine    *sim.Engine
@@ -64,7 +64,7 @@ func (f *chaosFabric) deliver(i int) {
 // reordering against probe traffic. Posted writes complete instantly
 // (they carry no callback in the directory).
 type chaosMem struct {
-	pending []pendingMem
+	pending []pendingMem //hsclint:stallqueue — the checker completes (and removes) any element
 }
 
 type pendingMem struct {
