@@ -17,9 +17,11 @@
 //	hscproto -cover [-quick] [-min 95]   # dynamic coverage cross-check (CI, nightly)
 //	hscproto -diff <baseline>     # per-arm deltas vs a committed baseline
 //	hscproto -reach [-limit N]    # exhaustive composite-state safety proof (CI, per push)
+//	hscproto -live                # liveness: every transient state drains (CI, per push)
 //	hscproto -deadlock [-dot]     # message-class dependency graph, fail on cycle (CI, per push)
 //	hscproto -stall               # stall/wake liveness lint (CI, per push)
 //	hscproto -contain             # observed states ⊆ static reachable set (CI, nightly)
+//	hscproto -symcheck            # symmetry reduction exact vs unreduced exploration (CI, nightly)
 //
 // -diff compares the extracted tables against a baseline file — either
 // a TABLES.md rendering or `hscproto -json` output; "-" reads stdin, so
@@ -44,7 +46,16 @@
 // system. -reach explores every abstract configuration exhaustively,
 // exits nonzero on a safety violation (printing the shortest
 // counterexample trace) or on an arm cross-check mismatch against the
-// extracted tables. -deadlock builds the message-class wait-for graph
+// extracted tables. -live proves liveness on the same graph: under
+// weak fairness every transient state must drain to quiescence via
+// progress moves; a starved state is reported as a shortest lasso
+// (stem + cycle) and exits nonzero. -reach and -live combine, sharing
+// one exploration. The explorations run the four configurations
+// concurrently, expand each BFS frontier across -j workers (default
+// GOMAXPROCS), canonicalize states under permutation of the two
+// symmetric CPU agents (-nosym disables the reduction for
+// cross-checking), and report per-level progress on stderr.
+// -deadlock builds the message-class wait-for graph
 // from the tables and exits nonzero on a cycle; -dot prints the graph
 // in Graphviz DOT form instead of the report. -stall lints stalling
 // arms for a matching wake path. -contain runs a contended concrete
@@ -59,6 +70,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"hscsim/internal/cachearray"
@@ -86,11 +98,15 @@ func main() {
 	quick := flag.Bool("quick", false, "with -cover: reduced matrix (per-push CI budget)")
 	minPct := flag.Float64("min", 95, "with -cover: minimum percentage of non-exempt transitions fired")
 	reach := flag.Bool("reach", false, "exhaustive composite-state reachability + safety check; nonzero exit on violation")
-	limit := flag.Int("limit", 0, "with -reach: state budget per configuration (0 = default)")
+	live := flag.Bool("live", false, "liveness: every transient state must drain to quiescence; nonzero exit on a lasso")
+	limit := flag.Int("limit", 0, "with -reach/-live: state budget per configuration (0 = default)")
+	jobs := flag.Int("j", 0, "frontier-expansion workers per configuration (0 = GOMAXPROCS)")
+	nosym := flag.Bool("nosym", false, "disable the agent-permutation symmetry reduction")
 	deadlock := flag.Bool("deadlock", false, "message-class deadlock-freedom check; nonzero exit on cycle")
 	dot := flag.Bool("dot", false, "with -deadlock: print the wait-for graph as Graphviz DOT")
 	stall := flag.Bool("stall", false, "stall/wake liveness lint; nonzero exit on findings")
 	contain := flag.Bool("contain", false, "dynamic containment: observed states must be statically reachable")
+	symcheck := flag.Bool("symcheck", false, "prove the symmetry reduction exact against an unreduced exploration")
 	flag.Parse()
 
 	tbl, err := proto.Extract(*dir)
@@ -122,14 +138,20 @@ func main() {
 		os.Exit(runCover(tbl, *quick, *minPct))
 	case *diffBase != "":
 		os.Exit(runDiff(tbl, *diffBase))
-	case *reach:
-		os.Exit(runReach(tbl, *limit))
+	case *reach, *live:
+		opts := protocheck.ExploreOpts{
+			Limit: *limit, Workers: *jobs, NoSym: *nosym,
+			Progress: progressPrinter(),
+		}
+		os.Exit(runReach(tbl, *reach, *live, opts))
 	case *deadlock:
 		os.Exit(runDeadlock(tbl, *dot))
 	case *stall:
 		os.Exit(runStall(tbl))
 	case *contain:
-		os.Exit(runContain(*limit))
+		os.Exit(runContain(protocheck.ExploreOpts{Limit: *limit, Workers: *jobs, NoSym: *nosym}))
+	case *symcheck:
+		os.Exit(runSymCheck(protocheck.ExploreOpts{Limit: *limit, Workers: *jobs, Progress: progressPrinter()}))
 	default:
 		summarize(tbl)
 	}
@@ -205,32 +227,75 @@ func runDiff(tbl *proto.Table, path string) int {
 	return 0
 }
 
-// runReach is the per-push static safety gate: explore every abstract
-// configuration exhaustively, check the safety invariants on every
-// reachable composite state, and cross-check the animated arms against
-// the extracted tables both ways.
-func runReach(tbl *proto.Table, limit int) int {
+// progressPrinter returns a callback that reports per-level BFS
+// progress on stderr. The four configurations explore concurrently, so
+// the printer serializes writes and throttles each configuration to
+// roughly one line per second (the final level always prints).
+func progressPrinter() func(protocheck.ProgressInfo) {
+	var mu sync.Mutex
+	last := make(map[protocheck.ModelConfig]time.Time)
+	return func(p protocheck.ProgressInfo) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if p.Frontier != 0 && now.Sub(last[p.Config]) < time.Second {
+			return
+		}
+		last[p.Config] = now
+		fmt.Fprintf(os.Stderr, "  [%s] depth %3d: %8d states, %8.0f st/s, frontier %d\n",
+			p.Config, p.Depth, p.States, p.Rate, p.Frontier)
+	}
+}
+
+// runReach is the per-push static safety and liveness gate: explore
+// every abstract configuration exhaustively (concurrently, with
+// frontier-parallel BFS), check the safety invariants on every
+// reachable composite state, cross-check the animated arms against the
+// extracted tables both ways (-reach), and prove every transient state
+// drains to quiescence (-live). Both flags share the one exploration.
+func runReach(tbl *proto.Table, doReach, doLive bool, opts protocheck.ExploreOpts) int {
 	start := time.Now()
-	findings, results, err := protocheck.CheckReach(limit)
+	findings, results, err := protocheck.CheckReach(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hscproto: %v\n", err)
 		return 1
 	}
 	fmt.Printf("composite-state reachability, %d abstract configurations:\n", len(results))
 	fmt.Print(protocheck.Summarize(results))
-	fmt.Println("variant coverage:")
-	for _, opts := range verify.Variants() {
-		fmt.Printf("  %-34s → %s\n", opts.Named(), protocheck.ConfigFor(opts))
+	if doReach {
+		fmt.Println("variant coverage:")
+		for _, opts := range verify.Variants() {
+			fmt.Printf("  %-34s → %s\n", opts.Named(), protocheck.ConfigFor(opts))
+		}
+		findings = append(findings, protocheck.CrossCheckArms(tbl, results)...)
 	}
-	findings = append(findings, protocheck.CrossCheckArms(tbl, results)...)
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "hscproto: %s\n", f)
 	}
 	if len(findings) > 0 {
 		return 1
 	}
-	fmt.Printf("every reachable state satisfies SWMR, single-owner, no-stale-dirty and inclusivity; arm cross-check clean (%v)\n",
-		time.Since(start).Round(time.Millisecond))
+	if doReach {
+		fmt.Printf("every reachable state satisfies SWMR, single-owner, no-stale-dirty and inclusivity; arm cross-check clean (%v)\n",
+			time.Since(start).Round(time.Millisecond))
+	}
+	if doLive {
+		liveFindings, lives, err := protocheck.CheckLive(results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hscproto: %v\n", err)
+			return 1
+		}
+		fmt.Println("liveness (drain-reachability under weak fairness):")
+		fmt.Print(protocheck.SummarizeLive(lives))
+		for _, f := range liveFindings {
+			fmt.Fprintf(os.Stderr, "hscproto: %s\n", f)
+		}
+		if len(liveFindings) > 0 {
+			return 1
+		}
+		fmt.Printf("every transient state drains to quiescence under weak fairness (%v total)\n",
+			time.Since(start).Round(time.Millisecond))
+	}
 	return 0
 }
 
@@ -268,11 +333,40 @@ func runStall(tbl *proto.Table) int {
 	return 0
 }
 
+// runSymCheck is the nightly symmetry-reduction guard: per
+// configuration (sequentially — the unreduced exploration roughly
+// doubles the memory footprint), explore reduced and unreduced and
+// check the canonical image of the unreduced set is exactly the
+// reduced set.
+func runSymCheck(opts protocheck.ExploreOpts) int {
+	start := time.Now()
+	failed := 0
+	for _, cfg := range protocheck.Configs() {
+		findings, red, unred, err := protocheck.CrossCheckSymmetry(cfg, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hscproto: %v\n", err)
+			return 1
+		}
+		fmt.Printf("  %-26s reduced %8d states, unreduced %8d (%.3f×)\n",
+			cfg, red.States, unred.States, float64(unred.States)/float64(red.States))
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "hscproto: %s\n", f)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	fmt.Printf("symmetry reduction is exact for every configuration (%v)\n",
+		time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
 // runContain is the nightly dynamic-containment gate: run a contended
 // workload on the concrete simulator for every paper variant and check
 // that each observed quiescent composite state is in the statically
 // verified reachable set of the variant's abstract configuration.
-func runContain(limit int) int {
+func runContain(eopts protocheck.ExploreOpts) int {
 	start := time.Now()
 	explored := make(map[protocheck.ModelConfig]*protocheck.ReachResult)
 	failed := 0
@@ -281,7 +375,7 @@ func runContain(limit int) int {
 		r, ok := explored[mcfg]
 		if !ok {
 			var err error
-			r, err = protocheck.Explore(mcfg, limit)
+			r, err = protocheck.Explore(mcfg, eopts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "hscproto: %v\n", err)
 				return 1

@@ -1,0 +1,219 @@
+package protocheck
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Canonicalization and packed state keys.
+//
+// The two CPU L2 agents are fully symmetric: no field of the composite
+// state refers to an agent by index (ownership and requester identity
+// live inside the agent tuples themselves), so swapping them maps
+// reachable states to reachable states and preserves every checked
+// property — the safety invariants and stability are both permutation-
+// invariant. Exploration therefore hashes the *orbit representative*
+// (agents in sorted packed order), which roughly halves the visited
+// set. Soundness for liveness holds too: a path in the quotient graph
+// lifts to a real path up to a per-step agent relabeling, and since
+// relabelings compose and stability is symmetric, a quotient lasso that
+// never stabilizes corresponds to a concrete infinite run that never
+// stabilizes. The nightly cross-check (CrossCheckSymmetry) explores
+// without the reduction and verifies that canonicalizing the unreduced
+// set reproduces the reduced one exactly.
+//
+// States are hashed as fixed-size packed arrays rather than strings:
+// an skey is comparable, allocation-free to build, and bijective with
+// the state (pack/unpack round-trip), so the visited map needs no
+// separate id→state table beyond the key slice itself.
+
+// agentBytes is the packed size of one agent tuple.
+const agentBytes = 6
+
+// skeyLen is the packed size of a composite state: two agents, the
+// TCC (2 bytes + its flag byte shared with the DMA counters), and the
+// directory.
+const skeyLen = 2*agentBytes + 4 + 3
+
+// skey is the fixed-size packed encoding of a composite state, used as
+// the visited-set key. The encoding is bijective: unpack(pack(s)) == s.
+type skey [skeyLen]byte
+
+func packAgent(a agent) [agentBytes]byte {
+	var f byte
+	if a.WBDty {
+		f |= 1
+	}
+	if a.Unb {
+		f |= 2
+	}
+	if a.Own {
+		f |= 4
+	}
+	if a.Shr {
+		f |= 8
+	}
+	return [agentBytes]byte{a.Cache, a.WBPh, a.Miss, a.MissP, a.Prb, f}
+}
+
+func unpackAgent(b []byte) agent {
+	return agent{
+		Cache: b[0], WBPh: b[1], Miss: b[2], MissP: b[3], Prb: b[4],
+		WBDty: b[5]&1 != 0, Unb: b[5]&2 != 0, Own: b[5]&4 != 0, Shr: b[5]&8 != 0,
+	}
+}
+
+// pack encodes a state into its fixed-size key. The saturating {'0','1'}
+// counters (TCC WT/Atomic, DMA read/write) share one flag byte.
+func pack(s state) skey {
+	var k skey
+	a0, a1 := packAgent(s.Ag[0]), packAgent(s.Ag[1])
+	copy(k[0:agentBytes], a0[:])
+	copy(k[agentBytes:2*agentBytes], a1[:])
+	t := s.TCC
+	var tf byte
+	if t.Shr {
+		tf |= 1
+	}
+	if t.Wt == '1' {
+		tf |= 2
+	}
+	if t.At == '1' {
+		tf |= 4
+	}
+	if s.DMA.Rd == '1' {
+		tf |= 8
+	}
+	if s.DMA.Wr == '1' {
+		tf |= 16
+	}
+	k[12], k[13], k[14], k[15] = t.Cache, t.MissP, t.Prb, tf
+	d := s.Dir
+	var df byte
+	if d.Prbd {
+		df |= 1
+	}
+	if d.GotD {
+		df |= 2
+	}
+	if d.GotM {
+		df |= 4
+	}
+	if d.Rspd {
+		df |= 8
+	}
+	k[16], k[17], k[18] = d.Busy, d.Entry, df
+	return k
+}
+
+// unpack decodes a key back into the state it encodes.
+func unpack(k skey) state {
+	var s state
+	s.Ag[0] = unpackAgent(k[0:agentBytes])
+	s.Ag[1] = unpackAgent(k[agentBytes : 2*agentBytes])
+	tf := k[15]
+	s.TCC = tccState{
+		Cache: k[12], MissP: k[13], Prb: k[14],
+		Wt: satBit(tf&2 != 0), At: satBit(tf&4 != 0),
+		Shr: tf&1 != 0,
+	}
+	s.DMA = dmaState{Rd: satBit(tf&8 != 0), Wr: satBit(tf&16 != 0)}
+	df := k[18]
+	s.Dir = dirLine{
+		Busy: k[16], Entry: k[17],
+		Prbd: df&1 != 0, GotD: df&2 != 0, GotM: df&4 != 0, Rspd: df&8 != 0,
+	}
+	return s
+}
+
+func satBit(b bool) byte {
+	if b {
+		return '1'
+	}
+	return '0'
+}
+
+// canon returns the orbit representative of s under the agent
+// permutation: the two symmetric agents in sorted packed order.
+// Ownership and requester identity live inside the agent tuples, so
+// sorting loses nothing — the two agents are exchangeable.
+func (s state) canon() state {
+	a0, a1 := packAgent(s.Ag[0]), packAgent(s.Ag[1])
+	if bytes.Compare(a1[:], a0[:]) < 0 {
+		s.Ag[0], s.Ag[1] = s.Ag[1], s.Ag[0]
+	}
+	return s
+}
+
+// CrossCheckSymmetry proves the symmetry reduction exact for one
+// configuration by exploring it twice — reduced and unreduced — and
+// checking that the canonical image of the unreduced reachable set is
+// exactly the reduced reachable set (no state lost, none invented).
+// This is the nightly CI guard for the ~2× reduction the per-push
+// gates rely on.
+func CrossCheckSymmetry(cfg ModelConfig, opts ExploreOpts) ([]Finding, *ReachResult, *ReachResult, error) {
+	redOpts, unredOpts := opts, opts
+	redOpts.NoSym, unredOpts.NoSym = false, true
+	red, err := Explore(cfg, redOpts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	unred, err := Explore(cfg, unredOpts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	var findings []Finding
+	fail := func(format string, args ...interface{}) {
+		findings = append(findings, Finding{
+			Analysis: "symcheck",
+			Machine:  cfg.String(),
+			Detail:   fmt.Sprintf(format, args...),
+		})
+	}
+	if red.Violation != nil {
+		fail("reduced exploration hit a safety violation: %v", red.Violation)
+	}
+	if unred.Violation != nil {
+		fail("unreduced exploration hit a safety violation: %v", unred.Violation)
+	}
+	if len(findings) > 0 {
+		return findings, red, unred, nil
+	}
+
+	// Every unreduced state must canonicalize into the reduced set, and
+	// every reduced state must be hit by some unreduced state.
+	hit := make([]bool, len(red.exp.keys))
+	misses := 0
+	for _, k := range unred.exp.keys {
+		id, ok := red.exp.ids[pack(unpack(k).canon())]
+		if !ok {
+			if misses < 5 {
+				fail("unreduced reachable state canonicalizes outside the reduced set: %s", unpack(k))
+			}
+			misses++
+			continue
+		}
+		hit[id] = true
+	}
+	if misses > 5 {
+		fail("… and %d more escaped states", misses-5)
+	}
+	unhit := 0
+	for id, h := range hit {
+		if !h {
+			if unhit < 5 {
+				fail("reduced state has no unreduced preimage: %s", unpack(red.exp.keys[id]))
+			}
+			unhit++
+		}
+	}
+	if unhit > 5 {
+		fail("… and %d more unmatched reduced states", unhit-5)
+	}
+	if unred.States < red.States || unred.States > 2*red.States {
+		fail("state counts inconsistent with a 2-element symmetry group: reduced %d, unreduced %d",
+			red.States, unred.States)
+	}
+	return findings, red, unred, nil
+}

@@ -1,0 +1,52 @@
+package protocheck
+
+import "testing"
+
+// TestPackUnpackRoundTrip: the packed key encoding is bijective over
+// the whole reachable set — every visited state survives a
+// pack/unpack round trip bit-for-bit.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	r := exploreCached(t, ModelConfig{Mode: ModeStateless})
+	for _, k := range r.exp.keys {
+		if got := pack(unpack(k)); got != k {
+			t.Fatalf("pack(unpack(k)) != k for %s", unpack(k))
+		}
+	}
+}
+
+// TestCanonIsOrbitRepresentative: every visited state is its own
+// canonical form (the explorer only ever stores representatives), and
+// swapping the two symmetric agents canonicalizes back to it.
+func TestCanonIsOrbitRepresentative(t *testing.T) {
+	r := exploreCached(t, ModelConfig{Mode: ModeStateless, EDR: true})
+	for _, k := range r.exp.keys {
+		s := unpack(k)
+		if s.canon() != s {
+			t.Fatalf("visited state is not canonical: %s", s)
+		}
+		sw := s
+		sw.Ag[0], sw.Ag[1] = sw.Ag[1], sw.Ag[0]
+		if sw.canon() != s {
+			t.Fatalf("agent swap does not canonicalize back to the representative: %s", s)
+		}
+	}
+}
+
+// TestCrossCheckSymmetry: the reduction is exact for the stateless
+// configuration — the canonical image of the unreduced reachable set
+// is the reduced set. (The nightly hscproto -symcheck run covers all
+// four configurations.)
+func TestCrossCheckSymmetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("unreduced exploration roughly doubles the state count")
+	}
+	findings, red, unred, err := CrossCheckSymmetry(ModelConfig{Mode: ModeStateless}, ExploreOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	t.Logf("reduced %d states, unreduced %d (%.3f×)",
+		red.States, unred.States, float64(unred.States)/float64(red.States))
+}

@@ -1,6 +1,8 @@
 package protocheck
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -99,6 +101,28 @@ func TestDeadlockDOT(t *testing.T) {
 	}
 	if !strings.Contains(dot, "->") || !strings.Contains(dot, "exempt 1:") {
 		t.Errorf("DOT missing edges or exemption note:\n%s", dot)
+	}
+}
+
+// TestDeadlockDOTGolden: the DOT rendering is byte-stable — two
+// independent builds must agree with each other and with the committed
+// golden file, so diffs of `hscproto -deadlock -dot` output always
+// reflect real graph changes, never map-iteration noise.
+func TestDeadlockDOTGolden(t *testing.T) {
+	tbl := repoTable(t)
+	_, g := CheckDeadlock(tbl)
+	got := g.DOT()
+	_, g2 := CheckDeadlock(tbl)
+	if got != g2.DOT() {
+		t.Fatal("DOT output differs between two builds of the same table")
+	}
+	golden := filepath.Join("testdata", "deadlock.dot")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with `go run ./cmd/hscproto -deadlock -dot > internal/protocheck/%s`): %v", golden, err)
+	}
+	if string(want) != got {
+		t.Errorf("DOT output differs from %s (regenerate it if the graph legitimately changed):\n%s", golden, got)
 	}
 }
 

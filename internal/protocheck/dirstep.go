@@ -47,13 +47,13 @@ func dirActivations(sp *stepper, s state, cfg ModelConfig) {
 			ns := s
 			ns.Ag[i].MissP = 'a'
 			ns.Dir.Busy = 'R'
-			sp.add(ns, fmt.Sprintf("directory activates cpu%d %s", i, missEvent(s.Ag[i].Miss)))
+			sp.add(ns, cpuDescs[i].activateMiss[missIdx(s.Ag[i].Miss)])
 		}
 		if s.Ag[i].WBPh == 'o' {
 			ns := s
 			ns.Ag[i].WBPh = 'a'
 			ns.Dir.Busy = 'V'
-			sp.add(ns, fmt.Sprintf("directory activates cpu%d victim", i))
+			sp.add(ns, cpuDescs[i].activateVictim)
 		}
 	}
 	if s.TCC.MissP == 'o' {
@@ -64,8 +64,8 @@ func dirActivations(sp *stepper, s state, cfg ModelConfig) {
 	}
 	// Release flush: touches no line state, so issue, service and the
 	// FlushAck collapse into one atomic (self-loop) step.
-	sp.addArm(s, dirMach(cfg), "-", "Flush", "-", "directory acks release flush")
-	sp.addArm(s, machTCC, "-", "FlushAck", "-", "tcc completes release flush")
+	sp.addArmInject(s, dirMach(cfg), "-", "Flush", "-", "directory acks release flush")
+	sp.addArmInject(s, machTCC, "-", "FlushAck", "-", "tcc completes release flush")
 
 	type queued struct {
 		count *byte
@@ -95,7 +95,15 @@ func dirActivations(sp *stepper, s state, cfg ModelConfig) {
 				ns.DMA.Wr = rest
 			}
 			ns.Dir.Busy = q.kind
-			sp.add(ns, q.desc)
+			// Taking one message from a saturated "at least one" counter
+			// either drains it (progress) or re-asserts that more work is
+			// outstanding — that branch is an environment injection, or
+			// the drain graph would loop on servicing phantom messages.
+			if rest == '1' {
+				sp.addInject(ns, q.desc)
+			} else {
+				sp.add(ns, q.desc)
+			}
 		}
 	}
 
@@ -107,13 +115,13 @@ func dirActivations(sp *stepper, s state, cfg ModelConfig) {
 		if p.empty() {
 			ns := s
 			dealloc(&ns)
-			sp.add(ns, "directory evicts untargeted entry (back-invalidation, no probes)")
+			sp.addInject(ns, "directory evicts untargeted entry (back-invalidation, no probes)")
 		} else {
 			ns := s
 			sendPlan(&ns, p)
 			ns.Dir.Busy = 'E'
 			ns.Dir.Prbd = true
-			sp.add(ns, "directory evicts entry, sends back-invalidation probes")
+			sp.addInject(ns, "directory evicts entry, sends back-invalidation probes")
 		}
 	}
 }
@@ -153,8 +161,11 @@ func dirProbeRespond(sp *stepper, s state, cfg ModelConfig) {
 			sp.add(ns, "directory sends probes")
 			return // probes strictly precede the response
 		}
+		// BugSkipAck drops the drain requirement: the response races
+		// the probes it should have waited for.
 		canRespond := p.empty() || dr ||
-			(cfg.EDR && p.kind == 'd' && s.Dir.GotM)
+			(cfg.EDR && p.kind == 'd' && s.Dir.GotM) ||
+			cfg.Bug == BugSkipAck
 		if canRespond {
 			switch s.Dir.Busy {
 			case 'R':
@@ -181,7 +192,7 @@ func dirProbeRespond(sp *stepper, s state, cfg ModelConfig) {
 					ns := s
 					ns.Ag[i].Unb = false
 					clearTxn(&ns)
-					sp.add(ns, fmt.Sprintf("directory consumes cpu%d Unblock, completes", i))
+					sp.add(ns, cpuDescs[i].consumeUnblock)
 				}
 			}
 		case 'T', 'r':
@@ -214,8 +225,7 @@ func dirRespondCPURead(sp *stepper, s state, cfg ModelConfig) {
 			}
 		}
 		ns.Ag[req].MissP = grant
-		sp.addArm(ns, machStateless, "-", ev, "-",
-			fmt.Sprintf("directory grants %c to cpu%d", grant, req))
+		sp.addArm(ns, machStateless, "-", ev, "-", cpuDescs[req].grant[grantIdx(grant)])
 		return
 	}
 
@@ -230,7 +240,7 @@ func dirRespondCPURead(sp *stepper, s state, cfg ModelConfig) {
 		}
 	}
 	ns.Ag[req].MissP = grant
-	desc := fmt.Sprintf("directory grants %c to cpu%d", grant, req)
+	desc := cpuDescs[req].grant[grantIdx(grant)]
 
 	switch s.Dir.Entry {
 	case '-':

@@ -71,6 +71,15 @@ const (
 	// upgrade RdBlkM is still outstanding — the unpinned-victim race
 	// that corepair.fill prevents by pinning MSHR-resident lines.
 	BugEvictDuringUpgrade
+	// BugDropWake drops the WBAck wake: the L2 never retires its victim
+	// buffer, so anything stalled behind the victim starves. A pure
+	// liveness bug — no safety invariant ever breaks — caught only by
+	// the -live lasso search.
+	BugDropWake
+	// BugSkipAck lets the directory respond before the probe acks of
+	// the active transaction have drained: the grant races the
+	// invalidations it depends on, and two Modified copies coexist.
+	BugSkipAck
 )
 
 // ModelConfig selects the abstract variant to explore.
@@ -143,52 +152,13 @@ type dirLine struct {
 }
 
 // state is one composite abstract state. The two agents are kept in
-// canonical (sorted) order — see canon().
+// canonical (sorted) order when symmetry reduction is on — see
+// canon() and pack() in canon.go.
 type state struct {
 	Ag  [2]agent
 	TCC tccState
 	DMA dmaState
 	Dir dirLine
-}
-
-func (a agent) enc() string {
-	d := byte('c')
-	if a.WBDty {
-		d = 'd'
-	}
-	return string([]byte{a.Cache, a.WBPh, d, a.Miss, a.MissP, a.Prb, flag(a.Unb), flag(a.Own), flag(a.Shr)})
-}
-
-func flag(b bool) byte {
-	if b {
-		return '1'
-	}
-	return '0'
-}
-
-// canon returns the state with its agents in sorted order. Ownership
-// and requester identity live inside the agent tuples, so sorting loses
-// nothing: the two agents are exchangeable.
-func (s state) canon() state {
-	if s.Ag[1].enc() < s.Ag[0].enc() {
-		s.Ag[0], s.Ag[1] = s.Ag[1], s.Ag[0]
-	}
-	return s
-}
-
-// key is the canonical hash key.
-func (s state) key() string {
-	var b strings.Builder
-	b.Grow(40)
-	b.WriteString(s.Ag[0].enc())
-	b.WriteString(s.Ag[1].enc())
-	t := s.TCC
-	b.Write([]byte{t.Cache, t.MissP, t.Prb, t.Wt, t.At, flag(t.Shr)})
-	d := s.DMA
-	b.Write([]byte{d.Rd, d.Wr})
-	dir := s.Dir
-	b.Write([]byte{dir.Busy, flag(dir.Prbd), flag(dir.GotD), flag(dir.GotM), flag(dir.Rspd), dir.Entry})
-	return b.String()
 }
 
 // initial returns the quiescent state: everything invalid and idle.

@@ -1,6 +1,7 @@
 package protocheck
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -26,9 +27,9 @@ import (
 type Observer struct {
 	sys      *system.System
 	cfg      ModelConfig
-	observed map[string]string // canonical stable key → rendering
-	samples  int               // quiescent projections taken
-	skipped  int               // deliveries on non-quiescent lines
+	observed map[skey]string // canonical stable key → rendering
+	samples  int             // quiescent projections taken
+	skipped  int             // deliveries on non-quiescent lines
 }
 
 // NewObserver attaches an observer to a freshly built system via its
@@ -45,7 +46,7 @@ func NewObserver(sys *system.System) (*Observer, error) {
 	o := &Observer{
 		sys:      sys,
 		cfg:      ConfigFor(sys.Cfg.Protocol),
-		observed: make(map[string]string),
+		observed: make(map[skey]string),
 	}
 	sys.IC.SetDeliveryHook(o.onDeliver)
 	return o, nil
@@ -68,7 +69,7 @@ func (o *Observer) onDeliver(_ sim.Tick, m *msg.Message) {
 	}
 	s := o.project(line)
 	o.samples++
-	k := s.key()
+	k := pack(s)
 	if _, ok := o.observed[k]; !ok {
 		o.observed[k] = s.String()
 	}
@@ -146,11 +147,13 @@ func (o *Observer) Contained(r *ReachResult) []Finding {
 		})
 		return findings
 	}
-	var keys []string
+	var keys []skey
 	for k := range o.observed { //hsclint:deterministic — sorted below
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool {
+		return bytes.Compare(keys[i][:], keys[j][:]) < 0
+	})
 	for _, k := range keys {
 		if _, ok := r.Stable[k]; !ok {
 			findings = append(findings, Finding{

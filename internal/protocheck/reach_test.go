@@ -23,7 +23,7 @@ func exploreCached(t *testing.T, cfg ModelConfig) *ReachResult {
 	if r, ok := exploreCache[cfg]; ok {
 		return r
 	}
-	r, err := Explore(cfg, 0)
+	r, err := Explore(cfg, ExploreOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestConfigFor(t *testing.T) {
 // hazard the cpu.l2 WB stall arm prevents.
 func TestReachCatchesVictimRefetch(t *testing.T) {
 	for _, mode := range []Mode{ModeStateless, ModeTrackOwnerSharers} {
-		r, err := Explore(ModelConfig{Mode: mode, EDR: true, Bug: BugVictimRefetch}, 0)
+		r, err := Explore(ModelConfig{Mode: mode, EDR: true, Bug: BugVictimRefetch}, ExploreOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +101,7 @@ func TestReachCatchesVictimRefetch(t *testing.T) {
 // upgrade RdBlkM is still in flight; the late fill then installs
 // Modified next to the line's own live victim-buffer entry.
 func TestReachCatchesEvictDuringUpgrade(t *testing.T) {
-	r, err := Explore(ModelConfig{Mode: ModeStateless, Bug: BugEvictDuringUpgrade}, 0)
+	r, err := Explore(ModelConfig{Mode: ModeStateless, Bug: BugEvictDuringUpgrade}, ExploreOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,6 +109,23 @@ func TestReachCatchesEvictDuringUpgrade(t *testing.T) {
 		t.Fatalf("evict-during-upgrade bug not caught in %d states", r.States)
 	}
 	assertViolation(t, r.Violation, "stale-victim")
+}
+
+// TestReachCatchesSkipAck: a directory that responds before the probe
+// acks drain lets the grant race the in-flight invalidations — the new
+// owner installs Modified while the old copy is still live, breaking
+// SWMR.
+func TestReachCatchesSkipAck(t *testing.T) {
+	for _, mode := range []Mode{ModeStateless, ModeTrackOwnerSharers} {
+		r, err := Explore(ModelConfig{Mode: mode, EDR: true, Bug: BugSkipAck}, ExploreOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Violation == nil {
+			t.Fatalf("%s: skipped-ack bug not caught in %d states", mode, r.States)
+		}
+		assertViolation(t, r.Violation, "SWMR")
+	}
 }
 
 func assertViolation(t *testing.T, v *Violation, problem string) {

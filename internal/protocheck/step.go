@@ -15,14 +15,35 @@ const (
 	machTracked   = "dir.tracked"
 )
 
+// edgeKind classifies each abstract transition for the liveness check
+// (live.go). Progress moves consume or advance in-flight work:
+// activations, probe and response deliveries, ack collection,
+// completions. Inject moves introduce new work — a core issuing an
+// access, an eviction, a DMA or TCC request, directory-cache pressure,
+// or a saturated counter re-asserting "at least one more message" —
+// and are attributed to the environment: weak fairness promises that
+// pending work completes, not that the environment ever goes quiet, so
+// the drain graph the liveness prover walks keeps only progress moves.
+type edgeKind uint8
+
+// Edge kinds.
+const (
+	kindProgress edgeKind = iota
+	kindInject
+)
+
 // succ is one abstract transition: the next state, the transition-table
-// arm it animates (nil for synthetic steps: probe-ack collection,
-// activations, back-invalidations, the un-tabled GPU Flush issue), and
-// a human-readable description for counterexample traces.
+// arm it animates (zero — empty Machine — for synthetic steps:
+// probe-ack collection, activations, back-invalidations, the un-tabled
+// GPU Flush issue), its liveness classification, and a human-readable
+// description for counterexample traces. The arm is held by value: the
+// explorer materializes every successor of every reachable state, and
+// a heap allocation per arm was a measurable share of exploration time.
 type succ struct {
-	s     state
-	label *armRef
-	desc  string
+	s    state
+	arm  armRef
+	kind edgeKind
+	desc string
 }
 
 type stepper struct {
@@ -34,8 +55,19 @@ func (sp *stepper) add(next state, desc string) {
 }
 
 func (sp *stepper) addArm(next state, machine, st, ev, nx, desc string) {
-	ref := &armRef{Machine: machine, Key: proto.TKey{State: st, Event: ev, Next: nx}}
-	sp.out = append(sp.out, succ{s: next, label: ref, desc: desc})
+	ref := armRef{Machine: machine, Key: proto.TKey{State: st, Event: ev, Next: nx}}
+	sp.out = append(sp.out, succ{s: next, arm: ref, desc: desc})
+}
+
+// addInject and addArmInject record work-introducing (environment)
+// moves, excluded from the liveness drain graph.
+func (sp *stepper) addInject(next state, desc string) {
+	sp.out = append(sp.out, succ{s: next, kind: kindInject, desc: desc})
+}
+
+func (sp *stepper) addArmInject(next state, machine, st, ev, nx, desc string) {
+	ref := armRef{Machine: machine, Key: proto.TKey{State: st, Event: ev, Next: nx}}
+	sp.out = append(sp.out, succ{s: next, arm: ref, kind: kindInject, desc: desc})
 }
 
 func dirty(c byte) bool { return c == 'M' || c == 'O' }
@@ -222,12 +254,95 @@ func planProbes(s state, cfg ModelConfig) probePlan {
 // successors enumerates every abstract transition out of s, including
 // self-loops (hits, stalls) so arm-coverage accounting sees them.
 func successors(s state, cfg ModelConfig) []succ {
-	sp := &stepper{}
-	cpuSteps(sp, s, cfg)
-	tccSteps(sp, s)
-	dmaSteps(sp, s)
-	dirSteps(sp, s, cfg)
+	return successorsInto(nil, s, cfg)
+}
+
+// successorsInto appends the successors to buf[:0], letting hot loops
+// (frontier expansion, the liveness edge sweep) reuse one allocation
+// across millions of states.
+func successorsInto(buf []succ, s state, cfg ModelConfig) []succ {
+	sp := stepper{out: buf[:0]}
+	cpuSteps(&sp, s, cfg)
+	tccSteps(&sp, s)
+	dmaSteps(&sp, s)
+	dirSteps(&sp, s, cfg)
 	return sp.out
+}
+
+// cpuDescs holds the per-agent interned trace descriptions: building
+// them with Sprintf/concat per visited state dominated the allocation
+// profile of exploration.
+type cpuDescSet struct {
+	loadHit, storeHit, silentUp, upgIssue  string
+	stallLoad, stallStore                  string
+	issueRd, issueRdS, issueRdM, victimize string
+	retire, prbVictim, prbInvData, prbDown string
+	prbNoData, fill, upgFill, collect      string
+	activateMiss                           [3]string // indexed by missIdx
+	activateVictim, consumeUnblock         string
+	grant                                  [3]string // indexed by grantIdx: S, E, M
+}
+
+var cpuDescs = [2]cpuDescSet{mkCPUDescs(0), mkCPUDescs(1)}
+
+func mkCPUDescs(i int) cpuDescSet {
+	who := fmt.Sprintf("cpu%d", i)
+	return cpuDescSet{
+		loadHit:    who + " load hit",
+		storeHit:   who + " store hit",
+		silentUp:   who + " silent E→M upgrade",
+		upgIssue:   who + " issues RdBlkM upgrade",
+		stallLoad:  who + " stalls load on victim buffer",
+		stallStore: who + " stalls store on victim buffer",
+		issueRd:    who + " issues RdBlk miss",
+		issueRdS:   who + " issues RdBlkS miss",
+		issueRdM:   who + " issues RdBlkM miss",
+		victimize:  who + " victimizes the line",
+		retire:     who + " retires victim on WBAck",
+		prbVictim:  who + " answers probe from victim buffer",
+		prbInvData: who + " invalidates on probe, acks with data",
+		prbDown:    who + " downgrades on probe",
+		prbNoData:  who + " acks probe without data",
+		fill:       who + " installs fill, sends Unblock",
+		upgFill:    who + " installs upgrade fill, sends Unblock",
+		collect:    "directory collects " + who + " probe ack",
+		activateMiss: [3]string{
+			"directory activates " + who + " RdBlk",
+			"directory activates " + who + " RdBlkS",
+			"directory activates " + who + " RdBlkM",
+		},
+		activateVictim: "directory activates " + who + " victim",
+		consumeUnblock: "directory consumes " + who + " Unblock, completes",
+		grant: [3]string{
+			"directory grants S to " + who,
+			"directory grants E to " + who,
+			"directory grants M to " + who,
+		},
+	}
+}
+
+// missIdx maps a miss kind byte onto the activateMiss index.
+func missIdx(k byte) int {
+	switch k {
+	case 'r':
+		return 0
+	case 's':
+		return 1
+	default: // 'm'
+		return 2
+	}
+}
+
+// grantIdx maps a grant byte onto the grant description index.
+func grantIdx(g byte) int {
+	switch g {
+	case 'S':
+		return 0
+	case 'E':
+		return 1
+	default: // 'M'
+		return 2
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -237,40 +352,42 @@ func cpuSteps(sp *stepper, s state, cfg ModelConfig) {
 	for i := 0; i < 2; i++ {
 		a := s.Ag[i]
 		st := string(a.Cache)
-		who := fmt.Sprintf("cpu%d", i)
+		d := &cpuDescs[i]
 
 		// Hits (self-loops, recorded for arm coverage).
 		if valid(a.Cache) {
-			sp.addArm(s, machL2, st, "Load", st, who+" load hit")
+			sp.addArmInject(s, machL2, st, "Load", st, d.loadHit)
 		}
 		switch a.Cache {
 		case 'M':
-			sp.addArm(s, machL2, "M", "Store", "M", who+" store hit")
+			sp.addArmInject(s, machL2, "M", "Store", "M", d.storeHit)
 		case 'E':
 			ns := s
 			ns.Ag[i].Cache = 'M'
-			sp.addArm(ns, machL2, "E", "Store", "M", who+" silent E→M upgrade")
+			sp.addArmInject(ns, machL2, "E", "Store", "M", d.silentUp)
 		case 'S', 'O':
 			if a.Miss == '-' {
 				ns := s
 				ns.Ag[i].Miss, ns.Ag[i].MissP = 'm', 'o'
-				sp.addArm(ns, machL2, st, "Store", st, who+" issues RdBlkM upgrade")
+				sp.addArmInject(ns, machL2, st, "Store", st, d.upgIssue)
 			}
 		case 'I':
 			if a.WBPh != '-' && cfg.Bug != BugVictimRefetch {
 				// Accesses to a line with a live victim stall until WBAck.
-				sp.addArm(s, machL2, "WB", "Load", "WB", who+" stalls load on victim buffer")
-				sp.addArm(s, machL2, "WB", "Store", "WB", who+" stalls store on victim buffer")
+				sp.addArmInject(s, machL2, "WB", "Load", "WB", d.stallLoad)
+				sp.addArmInject(s, machL2, "WB", "Store", "WB", d.stallStore)
 			} else if a.Miss == '-' {
-				for _, k := range []byte{'r', 's'} {
+				for _, ik := range [2]struct {
+					k    byte
+					desc string
+				}{{'r', d.issueRd}, {'s', d.issueRdS}} {
 					ns := s
-					ns.Ag[i].Miss, ns.Ag[i].MissP = k, 'o'
-					sp.addArm(ns, machL2, "I", "Load", "I",
-						fmt.Sprintf("%s issues %s miss", who, missEvent(k)))
+					ns.Ag[i].Miss, ns.Ag[i].MissP = ik.k, 'o'
+					sp.addArmInject(ns, machL2, "I", "Load", "I", ik.desc)
 				}
 				ns := s
 				ns.Ag[i].Miss, ns.Ag[i].MissP = 'm', 'o'
-				sp.addArm(ns, machL2, "I", "Store", "I", who+" issues RdBlkM miss")
+				sp.addArmInject(ns, machL2, "I", "Store", "I", d.issueRdM)
 			}
 		}
 
@@ -282,14 +399,16 @@ func cpuSteps(sp *stepper, s state, cfg ModelConfig) {
 			ns.Ag[i].Cache = 'I'
 			ns.Ag[i].WBPh = 'o'
 			ns.Ag[i].WBDty = dirty(a.Cache)
-			sp.addArm(ns, machL2, st, "Evict", "WB", who+" victimizes the line")
+			sp.addArmInject(ns, machL2, st, "Evict", "WB", d.victimize)
 		}
 
-		// WBAck delivery retires the victim buffer.
-		if a.WBPh == 'f' {
+		// WBAck delivery retires the victim buffer. BugDropWake loses
+		// the wake: the victim never retires and everything stalled
+		// behind it starves — the -live lasso search must catch it.
+		if a.WBPh == 'f' && cfg.Bug != BugDropWake {
 			ns := s
 			ns.Ag[i].WBPh, ns.Ag[i].WBDty = '-', false
-			sp.addArm(ns, machL2, "WB", "WBAck", "I", who+" retires victim on WBAck")
+			sp.addArm(ns, machL2, "WB", "WBAck", "I", d.retire)
 		}
 
 		// Probe delivery.
@@ -307,7 +426,7 @@ func cpuSteps(sp *stepper, s state, cfg ModelConfig) {
 				if a.WBDty {
 					ns.Ag[i].Prb = 'm'
 				}
-				sp.addArm(ns, machL2, "WB", ev, "WB", who+" answers probe from victim buffer")
+				sp.addArm(ns, machL2, "WB", ev, "WB", d.prbVictim)
 			case a.Cache != 'I':
 				ns.Ag[i].Prb = 'c'
 				if dirty(a.Cache) {
@@ -315,15 +434,18 @@ func cpuSteps(sp *stepper, s state, cfg ModelConfig) {
 				}
 				if inv {
 					ns.Ag[i].Cache = 'I'
-					sp.addArm(ns, machL2, st, ev, "I", who+" invalidates on probe, acks with data")
+					sp.addArm(ns, machL2, st, ev, "I", d.prbInvData)
 				} else {
-					nx := map[byte]byte{'E': 'S', 'S': 'S', 'M': 'O', 'O': 'O'}[a.Cache]
+					nx := byte('S')
+					if dirty(a.Cache) {
+						nx = 'O'
+					}
 					ns.Ag[i].Cache = nx
-					sp.addArm(ns, machL2, st, ev, string(nx), who+" downgrades on probe")
+					sp.addArm(ns, machL2, st, ev, string(nx), d.prbDown)
 				}
 			default:
 				ns.Ag[i].Prb = 'n'
-				sp.addArm(ns, machL2, "I", ev, "I", who+" acks probe without data")
+				sp.addArm(ns, machL2, "I", ev, "I", d.prbNoData)
 			}
 		}
 
@@ -334,13 +456,13 @@ func cpuSteps(sp *stepper, s state, cfg ModelConfig) {
 			ns.Ag[i].Unb = true
 			if a.Cache == 'I' {
 				ns.Ag[i].Cache = g
-				sp.addArm(ns, machL2, "I", "Fill", string(g), who+" installs fill, sends Unblock")
+				sp.addArm(ns, machL2, "I", "Fill", string(g), d.fill)
 			} else {
 				if g != 'M' {
 					panic(fmt.Sprintf("model bug: upgrade fill with grant %c in %s", g, s))
 				}
 				ns.Ag[i].Cache = 'M'
-				sp.addArm(ns, machL2, st, "Fill", "M", who+" installs upgrade fill, sends Unblock")
+				sp.addArm(ns, machL2, st, "Fill", "M", d.upgFill)
 			}
 		}
 
@@ -358,7 +480,7 @@ func cpuSteps(sp *stepper, s state, cfg ModelConfig) {
 			if a.Prb == 'm' {
 				ns.Dir.GotM = true
 			}
-			sp.add(ns, "directory collects "+who+" probe ack")
+			sp.add(ns, d.collect)
 		}
 	}
 }
@@ -372,31 +494,34 @@ func tccSteps(sp *stepper, s state) {
 
 	switch t.Cache {
 	case 'V':
-		sp.addArm(s, machTCC, "V", "Rd", "V", "tcc read hit")
+		sp.addArmInject(s, machTCC, "V", "Rd", "V", "tcc read hit")
 		ns := s
 		ns.TCC.Cache = 'I'
-		sp.addArm(ns, machTCC, "V", "Evict", "I", "tcc drops clean victim silently")
+		sp.addArmInject(ns, machTCC, "V", "Evict", "I", "tcc drops clean victim silently")
 	case 'I':
 		if t.MissP == '-' {
 			ns := s
 			ns.TCC.MissP = 'o'
-			sp.addArm(ns, machTCC, "I", "Rd", "I", "tcc issues RdBlk")
+			sp.addArmInject(ns, machTCC, "I", "Rd", "I", "tcc issues RdBlk")
 		}
 	}
 
 	// Writes and device-scope atomics install V and send a WT.
-	for _, ev := range []string{"Wr", "AtomicDev"} {
+	for _, wr := range [2]struct{ ev, desc string }{
+		{"Wr", "tcc Wr allocates and sends WT"},
+		{"AtomicDev", "tcc AtomicDev allocates and sends WT"},
+	} {
 		ns := s
 		ns.TCC.Cache = 'V'
 		ns.TCC.Wt = '1'
-		sp.addArm(ns, machTCC, st, ev, "V", "tcc "+ev+" allocates and sends WT")
+		sp.addArmInject(ns, machTCC, st, wr.ev, "V", wr.desc)
 	}
 	// System-scope atomics bypass (dropping any local copy).
 	{
 		ns := s
 		ns.TCC.Cache = 'I'
 		ns.TCC.At = '1'
-		sp.addArm(ns, machTCC, st, "AtomicSys", "I", "tcc issues system-scope Atomic")
+		sp.addArmInject(ns, machTCC, st, "AtomicSys", "I", "tcc issues system-scope Atomic")
 	}
 
 	// Fill delivery.
@@ -437,11 +562,11 @@ func dmaSteps(sp *stepper, s state) {
 	{
 		ns := s
 		ns.DMA.Rd = '1'
-		sp.addArm(ns, machDMA, "-", "Rd", "-", "dma issues DMARd")
+		sp.addArmInject(ns, machDMA, "-", "Rd", "-", "dma issues DMARd")
 	}
 	{
 		ns := s
 		ns.DMA.Wr = '1'
-		sp.addArm(ns, machDMA, "-", "Wr", "-", "dma issues DMAWr")
+		sp.addArmInject(ns, machDMA, "-", "Wr", "-", "dma issues DMAWr")
 	}
 }
