@@ -1,0 +1,133 @@
+// Command benchgate compares `go test -bench -benchmem` output (on
+// stdin) against the committed BENCH_baseline.json.
+//
+// The allocation gate is hard: a benchmark whose allocs/op exceeds its
+// baseline max_allocs_per_op fails the run, because allocation counts
+// are machine-independent — a regression means a closure or message
+// literal crept back into a hot path. Time-per-op is compared only
+// informationally (CI hosts vary); ratios beyond ±warn-factor are
+// printed as warnings.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | go run ./cmd/benchgate -baseline BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type baselineEntry struct {
+	Name           string   `json:"name"`
+	Package        string   `json:"package"`
+	MaxAllocsPerOp *float64 `json:"max_allocs_per_op"`
+	RefNsPerOp     float64  `json:"ref_ns_per_op"`
+}
+
+type baseline struct {
+	Benchmarks []baselineEntry `json:"benchmarks"`
+}
+
+type result struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// parseBench extracts per-benchmark results from `go test -bench`
+// output. The "-N" GOMAXPROCS suffix is stripped so names match the
+// baseline; repeated runs (-count) keep the best (lowest ns/op) — the
+// comparison is against noise-floor performance, not scheduler jitter.
+func parseBench(lines *bufio.Scanner) map[string]result {
+	out := make(map[string]result)
+	for lines.Scan() {
+		f := strings.Fields(lines.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := result{}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				r.nsPerOp = v
+			case "allocs/op":
+				r.allocsPerOp = v
+				r.hasAllocs = true
+			}
+		}
+		if prev, ok := out[name]; !ok || r.nsPerOp < prev.nsPerOp {
+			// Keep the worst allocation count across repeats, though: the
+			// gate must not hide a regression behind one lucky run.
+			if ok && prev.hasAllocs && prev.allocsPerOp > r.allocsPerOp {
+				r.allocsPerOp = prev.allocsPerOp
+			}
+			out[name] = r
+		}
+	}
+	return out
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
+	warnFactor := flag.Float64("warn-factor", 2.0, "warn when ns/op drifts beyond this ratio of the reference")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: parse baseline:", err)
+		os.Exit(2)
+	}
+
+	got := parseBench(bufio.NewScanner(os.Stdin))
+	failed := false
+	for _, b := range base.Benchmarks {
+		r, ok := got[b.Name]
+		if !ok {
+			fmt.Printf("benchgate: %-40s MISSING from bench output\n", b.Name)
+			failed = true
+			continue
+		}
+		status := "ok"
+		if b.MaxAllocsPerOp != nil {
+			if !r.hasAllocs {
+				status = "FAIL (no -benchmem allocs/op in output)"
+				failed = true
+			} else if r.allocsPerOp > *b.MaxAllocsPerOp {
+				status = fmt.Sprintf("FAIL (%.1f allocs/op > gate %.0f)", r.allocsPerOp, *b.MaxAllocsPerOp)
+				failed = true
+			}
+		}
+		ratio := 0.0
+		if b.RefNsPerOp > 0 {
+			ratio = r.nsPerOp / b.RefNsPerOp
+			if status == "ok" && (ratio > *warnFactor || ratio < 1 / *warnFactor) {
+				status = fmt.Sprintf("warn: %.2fx reference ns/op (informational)", ratio)
+			}
+		}
+		fmt.Printf("benchgate: %-40s %12.1f ns/op (%.2fx ref)  %s\n", b.Name, r.nsPerOp, ratio, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

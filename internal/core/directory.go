@@ -220,6 +220,10 @@ func (d *Directory) Receive(m *msg.Message) {
 }
 
 func (d *Directory) enqueue(m *msg.Message) {
+	// The directory retains every request message — as t.req for the
+	// life of its transaction, or queued in d.pend — so take ownership
+	// from the fabric here and release it in complete.
+	m.Hold()
 	if _, busy := d.txns[m.Addr]; busy {
 		d.pend[m.Addr] = append(d.pend[m.Addr], m)
 		return
@@ -233,7 +237,7 @@ func (d *Directory) start(m *msg.Message) {
 	d.nextID++
 	d.txns[m.Addr] = t
 	// The directory-cache/transaction-table access costs DirLatency.
-	d.engine.Schedule(d.timing.DirLatency, func() { d.begin(t) })
+	d.engine.Post(d.timing.DirLatency, d, dirKindBegin, 0, t)
 }
 
 func (d *Directory) begin(t *txn) {
@@ -347,7 +351,9 @@ func (d *Directory) sendProbes(t *txn, inv bool, dsts []msg.NodeID) {
 		if debugLine != 0 && t.addr == debugLine {
 			fmt.Printf("[%d] dir probe %s line=%#x txn=%d dst=%d\n", d.engine.Now(), typ, uint64(t.addr), t.id, dst)
 		}
-		d.ic.Send(&msg.Message{Type: typ, Addr: t.addr, Src: d.id, Dst: dst, TxnID: t.id})
+		pm := d.ic.Alloc()
+		pm.Type, pm.Addr, pm.Src, pm.Dst, pm.TxnID = typ, t.addr, d.id, dst, t.id
+		d.ic.Send(pm)
 	}
 	t.pendingAcks += len(dsts)
 	if len(dsts) == 0 && !t.eviction {
@@ -358,17 +364,39 @@ func (d *Directory) sendProbes(t *txn, inv bool, dsts []msg.NodeID) {
 // issueRead models the LLC read (LLCLatency) with fallback to memory.
 func (d *Directory) issueRead(t *txn) {
 	t.memIssued = true
-	d.engine.Schedule(d.timing.LLCLatency, func() {
-		if d.llc.read(t.addr) {
-			t.memDone = true
-			d.maybeProgress(t)
-			return
-		}
-		d.mem.Read(t.addr, func() {
-			t.memDone = true
-			d.maybeProgress(t)
-		})
+	d.engine.Post(d.timing.LLCLatency, d, dirKindLLCRead, 0, t)
+}
+
+func (d *Directory) llcRead(t *txn) {
+	if d.llc.read(t.addr) {
+		t.memDone = true
+		d.maybeProgress(t)
+		return
+	}
+	d.mem.Read(t.addr, func() {
+		t.memDone = true
+		d.maybeProgress(t)
 	})
+}
+
+// Directory event kinds (sim.Handler dispatch).
+const (
+	dirKindBegin   uint8 = iota // obj: *txn — transaction-table access done
+	dirKindLLCRead              // obj: *txn — LLC array access done
+	dirKindSend                 // obj: *msg.Message — delayed response send
+)
+
+// OnEvent implements sim.Handler for the directory's scheduled work, so
+// the hot request path runs closure-free.
+func (d *Directory) OnEvent(kind uint8, arg uint64, obj any) {
+	switch kind {
+	case dirKindBegin:
+		d.begin(obj.(*txn))
+	case dirKindLLCRead:
+		d.llcRead(obj.(*txn))
+	case dirKindSend:
+		d.ic.Send(obj.(*msg.Message))
+	}
 }
 
 func (d *Directory) handleAck(m *msg.Message) {
@@ -449,7 +477,7 @@ func (d *Directory) respond(t *txn) {
 	}
 	resp := d.buildResponse(t)
 	if t.extraLatency > 0 {
-		d.engine.Schedule(t.extraLatency, func() { d.ic.Send(resp) })
+		d.engine.Post(t.extraLatency, d, dirKindSend, 0, resp)
 	} else {
 		d.ic.Send(resp)
 	}
@@ -458,7 +486,8 @@ func (d *Directory) respond(t *txn) {
 
 func (d *Directory) buildResponse(t *txn) *msg.Message {
 	m := t.req
-	out := &msg.Message{Addr: t.addr, Src: d.id, Dst: m.Src, TxnID: t.id, FromCache: t.dataFromCache}
+	out := d.ic.Alloc()
+	out.Addr, out.Src, out.Dst, out.TxnID, out.FromCache = t.addr, d.id, m.Src, t.id, t.dataFromCache
 	switch m.Type {
 	case msg.RdBlk:
 		out.Type = msg.Resp
@@ -496,9 +525,10 @@ func (t *txn) grantForRdBlk() msg.Grant {
 
 func (d *Directory) respondAndFinish(t *txn, typ msg.Type) {
 	t.responded = true
-	out := &msg.Message{Type: typ, Addr: t.addr, Src: d.id, Dst: t.req.Src, TxnID: t.id}
+	out := d.ic.Alloc()
+	out.Type, out.Addr, out.Src, out.Dst, out.TxnID = typ, t.addr, d.id, t.req.Src, t.id
 	if t.extraLatency > 0 {
-		d.engine.Schedule(t.extraLatency, func() { d.ic.Send(out) })
+		d.engine.Post(t.extraLatency, d, dirKindSend, 0, out)
 	} else {
 		d.ic.Send(out)
 	}
@@ -517,6 +547,8 @@ func (d *Directory) complete(t *txn) {
 		fmt.Printf("[%d] dir complete txn=%d type=%s\n", d.engine.Now(), t.id, t.req.Type)
 	}
 	delete(d.txns, t.addr)
+	d.ic.Release(t.req)
+	t.req = nil
 	d.drainPending(t.addr)
 }
 

@@ -41,6 +41,7 @@ func newFake(t *testing.T, e *sim.Engine, ic *noc.Interconnect, id, dir msg.Node
 func (f *fakeCache) Receive(m *msg.Message) {
 	switch m.Type {
 	case msg.PrbInv, msg.PrbDowngrade:
+		m.Hold() // retained for test assertions; never released
 		f.probes = append(f.probes, m)
 		ack := &msg.Message{Type: msg.PrbAck, Addr: m.Addr, Src: f.id, Dst: m.Src, TxnID: m.TxnID}
 		if dirty, ok := f.hasLine[m.Addr]; ok && !f.isTCC {
@@ -54,6 +55,7 @@ func (f *fakeCache) Receive(m *msg.Message) {
 		}
 		f.ic.Send(ack)
 	case msg.Resp, msg.WBAck, msg.AtomicResp, msg.FlushAck:
+		m.Hold() // retained for test assertions; never released
 		f.resps = append(f.resps, m)
 		f.respTicks = append(f.respTicks, f.e.Now())
 		if m.Type == msg.Resp && f.autoUnblock && !f.isTCC {

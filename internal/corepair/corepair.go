@@ -245,7 +245,7 @@ func (cp *CorePair) access(core int, kind AccessKind, line cachearray.LineAddr, 
 			cp.rec.Record(machine, "M", "Store", "M") //proto:actions commit in place
 			cp.l2Hits.Inc()
 			l1.Insert(line, nil)
-			cp.engine.Schedule(cp.cfg.L1Latency, cp.storeCommit(line, done))
+			cp.openStoreCommit(line, done)
 			return
 		case Exclusive:
 			// Silent E→M: the directory is not informed (§II-B).
@@ -253,7 +253,7 @@ func (cp *CorePair) access(core int, kind AccessKind, line cachearray.LineAddr, 
 			ln.Meta.State = Modified
 			cp.l2Hits.Inc()
 			l1.Insert(line, nil)
-			cp.engine.Schedule(cp.cfg.L1Latency, cp.storeCommit(line, done))
+			cp.openStoreCommit(line, done)
 			return
 		default:
 			// Store to S or O: upgrade via RdBlkM.
@@ -295,9 +295,25 @@ func (cp *CorePair) miss(line cachearray.LineAddr, t msg.Type, w waiter) {
 		return
 	}
 	cp.mshr[line] = &mshrEntry{waiters: []waiter{w}, issued: cp.engine.Now(), typ: t}
-	cp.engine.Schedule(cp.cfg.L2Latency, func() {
-		cp.ic.Send(&msg.Message{Type: t, Addr: line, Src: cp.id, Dst: cp.dirID})
-	})
+	rm := cp.ic.Alloc()
+	rm.Type, rm.Addr, rm.Src, rm.Dst = t, line, cp.id, cp.dirID
+	cp.engine.Post(cp.cfg.L2Latency, cp, cpKindSend, 0, rm)
+}
+
+// CorePair event kinds (sim.Handler dispatch).
+const (
+	cpKindSend        uint8 = iota // obj: *msg.Message — delayed send
+	cpKindStoreCommit              // arg: line, obj: done func() — commit window closes
+)
+
+// OnEvent implements sim.Handler for the CorePair's scheduled work.
+func (cp *CorePair) OnEvent(kind uint8, arg uint64, obj any) {
+	switch kind {
+	case cpKindSend:
+		cp.ic.Send(obj.(*msg.Message))
+	case cpKindStoreCommit:
+		cp.storeCommitDone(cachearray.LineAddr(arg), obj.(func()))
+	}
 }
 
 // Receive implements noc.Handler.
@@ -365,7 +381,9 @@ func (cp *CorePair) fill(m *msg.Message) {
 	}
 	// End of the coherence transaction at the directory (reply to the
 	// responding bank: the directory may be distributed, §VII).
-	cp.ic.Send(&msg.Message{Type: msg.Unblock, Addr: m.Addr, Src: cp.id, Dst: m.Src, TxnID: m.TxnID})
+	ub := cp.ic.Alloc()
+	ub.Type, ub.Addr, ub.Src, ub.Dst, ub.TxnID = msg.Unblock, m.Addr, cp.id, m.Src, m.TxnID
+	cp.ic.Send(ub)
 
 	for _, w := range e.waiters {
 		// Replay: hits now, or triggers a further upgrade.
@@ -386,7 +404,9 @@ func (cp *CorePair) victimize(line cachearray.LineAddr, st MOESI) {
 		cp.vicClean.Inc()
 	}
 	cp.wb[line] = st.dirty()
-	cp.ic.Send(&msg.Message{Type: t, Addr: line, Src: cp.id, Dst: cp.dirID})
+	vm := cp.ic.Alloc()
+	vm.Type, vm.Addr, vm.Src, vm.Dst = t, line, cp.id, cp.dirID
+	cp.ic.Send(vm)
 }
 
 func (cp *CorePair) invalidateL1s(line cachearray.LineAddr) {
@@ -396,38 +416,53 @@ func (cp *CorePair) invalidateL1s(line cachearray.LineAddr) {
 	}
 }
 
-// storeCommit opens a line's store-commit window: probes delivered
+// openStoreCommit opens a line's store-commit window: probes delivered
 // before the scheduled completion runs are deferred, and replayed (in
 // arrival order) once every pending store on the line has committed.
-func (cp *CorePair) storeCommit(line cachearray.LineAddr, done func()) func() {
+// The completion is a dispatch-form event (cpKindStoreCommit), so a
+// store hit schedules nothing but the pooled event itself.
+func (cp *CorePair) openStoreCommit(line cachearray.LineAddr, done func()) {
 	cp.pendingStores[line]++
-	return func() {
-		done()
-		cp.pendingStores[line]--
-		if cp.pendingStores[line] > 0 {
-			return
-		}
-		delete(cp.pendingStores, line)
-		deferred := cp.probeWait[line]
-		delete(cp.probeWait, line)
-		for _, pm := range deferred {
-			cp.probe(pm)
+	cp.engine.Post(cp.cfg.L1Latency, cp, cpKindStoreCommit, uint64(line), done)
+}
+
+// storeCommitDone closes one store's commit window and replays probes
+// deferred behind it.
+func (cp *CorePair) storeCommitDone(line cachearray.LineAddr, done func()) {
+	done()
+	cp.pendingStores[line]--
+	if cp.pendingStores[line] > 0 {
+		return
+	}
+	delete(cp.pendingStores, line)
+	deferred := cp.probeWait[line]
+	delete(cp.probeWait, line)
+	for _, pm := range deferred {
+		// A replayed probe that is serviced is done with its message;
+		// if done() reopened the commit window it re-defers (and stays
+		// Held).
+		if cp.probe(pm) {
+			cp.ic.Release(pm)
 		}
 	}
 }
 
 // probe services a directory probe: acknowledge with data when the line
 // is held (or sits in the victim buffer awaiting its WBAck), downgrading
-// or invalidating as requested.
-func (cp *CorePair) probe(m *msg.Message) {
+// or invalidating as requested. It reports whether the probe was
+// serviced; a deferred probe is Held in probeWait until the commit
+// window closes.
+func (cp *CorePair) probe(m *msg.Message) bool {
 	if cp.pendingStores[m.Addr] > 0 {
 		// A store hit on this line is inside its commit window; answer
 		// after it retires so the acknowledgment carries its data.
+		m.Hold()
 		cp.probeWait[m.Addr] = append(cp.probeWait[m.Addr], m)
-		return
+		return false
 	}
 	cp.probesRecv.Inc()
-	ack := &msg.Message{Type: msg.PrbAck, Addr: m.Addr, Src: cp.id, Dst: m.Src, TxnID: m.TxnID}
+	ack := cp.ic.Alloc()
+	ack.Type, ack.Addr, ack.Src, ack.Dst, ack.TxnID = msg.PrbAck, m.Addr, cp.id, m.Src, m.TxnID
 
 	if dirty, inWB := cp.wb[m.Addr]; inWB {
 		// The victim crossed this probe in flight: supply from the
@@ -463,6 +498,7 @@ func (cp *CorePair) probe(m *msg.Message) {
 		cp.rec.Record(machine, "I", m.Type.String(), "I") //proto:events PrbInv,PrbDowngrade //proto:actions ack without data //proto:emits PrbAck
 	}
 	cp.ic.Send(ack)
+	return true
 }
 
 // L2State reports the MOESI state of a line (test/invariant hook).

@@ -43,6 +43,7 @@ func (d *fakeDir) respond(m *msg.Message) {
 }
 
 func (d *fakeDir) Receive(m *msg.Message) {
+	m.Hold() // retained in reqs/unblocks/acks for test assertions; never released
 	switch m.Type {
 	case msg.RdBlk, msg.RdBlkS, msg.RdBlkM:
 		d.reqs = append(d.reqs, m)

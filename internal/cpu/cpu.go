@@ -125,6 +125,14 @@ func (c *Core) Run(thread *prog.CPUThread, onExit func()) {
 
 func line(a memdata.Addr) cachearray.LineAddr { return cachearray.LineAddr(a >> 6) }
 
+// cpuKindResume is the Core's only event kind: resume the thread with
+// the value in arg. Compute ops and store-buffer hits retire through it
+// without allocating a closure per op.
+const cpuKindResume uint8 = 0
+
+// OnEvent implements sim.Handler.
+func (c *Core) OnEvent(kind uint8, arg uint64, obj any) { c.resume(arg) }
+
 func (c *Core) step() {
 	op, ok := c.thread.NextOp()
 	if !ok {
@@ -206,8 +214,7 @@ func (c *Core) exec(op prog.Op) {
 			for i := len(c.sb) - 1; i >= 0; i-- {
 				if c.sb[i].addr&^7 == word {
 					c.sbFwds.Inc()
-					v := c.sb[i].val
-					c.engine.Schedule(1, func() { c.resume(v) })
+					c.engine.Post(1, c, cpuKindResume, c.sb[i].val, nil)
 					return
 				}
 			}
@@ -234,7 +241,7 @@ func (c *Core) exec(op prog.Op) {
 			if !c.sbDraining {
 				c.drain()
 			}
-			c.engine.Schedule(1, func() { c.resume(0) })
+			c.engine.Post(1, c, cpuKindResume, 0, nil)
 			return
 		}
 		c.pair.Access(c.slot, corepair.Store, line(op.Addr), func() {
@@ -261,7 +268,7 @@ func (c *Core) exec(op prog.Op) {
 		if d == 0 {
 			d = 1
 		}
-		c.engine.Schedule(d, func() { c.resume(0) })
+		c.engine.Post(d, c, cpuKindResume, 0, nil)
 	case prog.OpLaunch:
 		c.whenDrained(func() {
 			c.engine.Schedule(c.cfg.LaunchLatency, func() {

@@ -61,7 +61,9 @@ func (e *Engine) ReadBlock(line cachearray.LineAddr, done func()) {
 	e.rec.Record(machine, "-", "Rd", "-") //proto:actions issue DMARd //proto:emits DMARd
 	e.reads.Inc()
 	e.rdWaiters[line] = append(e.rdWaiters[line], done)
-	e.ic.Send(&msg.Message{Type: msg.DMARd, Addr: line, Src: e.id, Dst: e.dirID})
+	rm := e.ic.Alloc()
+	rm.Type, rm.Addr, rm.Src, rm.Dst = msg.DMARd, line, e.id, e.dirID
+	e.ic.Send(rm)
 }
 
 // WriteBlock issues a DMAWr for one line.
@@ -69,7 +71,9 @@ func (e *Engine) WriteBlock(line cachearray.LineAddr, done func()) {
 	e.rec.Record(machine, "-", "Wr", "-") //proto:actions issue DMAWr //proto:emits DMAWr
 	e.writes.Inc()
 	e.wrWaiters[line] = append(e.wrWaiters[line], done)
-	e.ic.Send(&msg.Message{Type: msg.DMAWr, Addr: line, Src: e.id, Dst: e.dirID})
+	wm := e.ic.Alloc()
+	wm.Type, wm.Addr, wm.Src, wm.Dst = msg.DMAWr, line, e.id, e.dirID
+	e.ic.Send(wm)
 }
 
 // Stream transfers length bytes starting at byte address base, keeping

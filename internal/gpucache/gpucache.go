@@ -201,7 +201,34 @@ func (g *GPUCaches) ReadLine(cu int, line cachearray.LineAddr, done func()) {
 		g.engine.Schedule(g.cfg.TCPLatency, done)
 		return
 	}
-	g.engine.Schedule(g.cfg.TCPLatency, func() { g.tccRead(cu, line, done) })
+	g.engine.Post(g.cfg.TCPLatency, g, gpuKindTCCRead, packCULine(cu, line), done)
+}
+
+// GPUCaches event kinds (sim.Handler dispatch). The vector read/write
+// paths are the GPU's hot loops, so their TCP→TCC hops and delayed
+// sends carry (kind, arg, obj) instead of allocating closures. A line
+// address is a byte address >> 6, so its top 8 bits are free to carry
+// the CU index.
+const (
+	gpuKindSend     uint8 = iota // obj: *msg.Message — delayed send
+	gpuKindTCCRead               // arg: cu<<56|line, obj: done func()
+	gpuKindTCCWrite              // arg: line, obj: done func()
+)
+
+func packCULine(cu int, line cachearray.LineAddr) uint64 {
+	return uint64(cu)<<56 | uint64(line)
+}
+
+// OnEvent implements sim.Handler for the GPU cache complex's events.
+func (g *GPUCaches) OnEvent(kind uint8, arg uint64, obj any) {
+	switch kind {
+	case gpuKindSend:
+		g.ic.Send(obj.(*msg.Message))
+	case gpuKindTCCRead:
+		g.tccRead(int(arg>>56), cachearray.LineAddr(arg&(1<<56-1)), obj.(func()))
+	case gpuKindTCCWrite:
+		g.tccWrite(cachearray.LineAddr(arg), obj.(func()))
+	}
 }
 
 func (g *GPUCaches) tccRead(cu int, line cachearray.LineAddr, done func()) {
@@ -219,9 +246,9 @@ func (g *GPUCaches) tccRead(cu int, line cachearray.LineAddr, done func()) {
 		return
 	}
 	g.mshr[line] = []gpuWaiter{{cu, done}}
-	g.engine.Schedule(g.cfg.TCCLatency, func() {
-		g.ic.Send(&msg.Message{Type: msg.RdBlk, Addr: line, Src: g.idOf(line), Dst: g.dirID})
-	})
+	rm := g.ic.Alloc()
+	rm.Type, rm.Addr, rm.Src, rm.Dst = msg.RdBlk, line, g.idOf(line), g.dirID
+	g.engine.Post(g.cfg.TCCLatency, g, gpuKindSend, 0, rm)
 }
 
 // WriteLine services a coalesced vector store for one line. In the
@@ -236,7 +263,7 @@ func (g *GPUCaches) WriteLine(cu int, line cachearray.LineAddr, done func()) {
 	} else if tcp.Peek(line) != nil {
 		tcp.Lookup(line) // write-through updates a present copy
 	}
-	g.engine.Schedule(g.cfg.TCPLatency, func() { g.tccWrite(line, done) })
+	g.engine.Post(g.cfg.TCPLatency, g, gpuKindTCCWrite, uint64(line), done)
 }
 
 func (g *GPUCaches) tccWrite(line cachearray.LineAddr, done func()) {
@@ -269,9 +296,9 @@ func (g *GPUCaches) sendWT(line cachearray.LineAddr, retain bool, done func()) {
 	} else {
 		g.wtAcks[line] = append(g.wtAcks[line], func() {})
 	}
-	g.engine.Schedule(g.cfg.TCCLatency, func() {
-		g.ic.Send(&msg.Message{Type: msg.WT, Addr: line, Src: g.idOf(line), Dst: g.dirID, Retain: retain})
-	})
+	wm := g.ic.Alloc()
+	wm.Type, wm.Addr, wm.Src, wm.Dst, wm.Retain = msg.WT, line, g.idOf(line), g.dirID, retain
+	g.engine.Post(g.cfg.TCCLatency, g, gpuKindSend, 0, wm)
 }
 
 // insertTCC allocates (or refreshes) a TCC line, writing back a
@@ -309,12 +336,10 @@ func (g *GPUCaches) AtomicSystem(cu int, line cachearray.LineAddr, word memdata.
 		g.rec.Record(machine, "I", "AtomicSys", "I") //proto:actions issue Atomic (bypass) //proto:emits Atomic
 	}
 	g.atomics[line] = append(g.atomics[line], done)
-	g.engine.Schedule(g.cfg.TCCLatency, func() {
-		g.ic.Send(&msg.Message{
-			Type: msg.Atomic, Addr: line, Src: g.idOf(line), Dst: g.dirID,
-			AOp: op, WordAddr: word, Operand: operand, Compare: compare,
-		})
-	})
+	am := g.ic.Alloc()
+	am.Type, am.Addr, am.Src, am.Dst = msg.Atomic, line, g.idOf(line), g.dirID
+	am.AOp, am.WordAddr, am.Operand, am.Compare = op, word, operand, compare
+	g.engine.Post(g.cfg.TCCLatency, g, gpuKindSend, 0, am)
 }
 
 // AtomicDevice executes a device-scope (GLC) atomic at the TCC (GPU
@@ -357,7 +382,7 @@ func (g *GPUCaches) IFetch(cu int, line cachearray.LineAddr, done func()) {
 	}
 	g.sqcMisses.Inc()
 	g.sqc.Insert(line, nil)
-	g.engine.Schedule(g.cfg.SQCLatency, func() { g.tccRead(0, line, done) })
+	g.engine.Post(g.cfg.SQCLatency, g, gpuKindTCCRead, packCULine(0, line), done)
 }
 
 // AcquireInvalidate drops all TCP lines of a CU (kernel-launch /
@@ -388,7 +413,9 @@ func (g *GPUCaches) ReleaseFlush(done func()) {
 		}
 	}
 	g.flushes = append(g.flushes, done)
-	g.ic.Send(&msg.Message{Type: msg.Flush, Addr: 0, Src: g.ids[0], Dst: g.dirID})
+	fm := g.ic.Alloc()
+	fm.Type, fm.Addr, fm.Src, fm.Dst = msg.Flush, 0, g.ids[0], g.dirID
+	g.ic.Send(fm)
 }
 
 // Receive implements noc.Handler.
@@ -458,13 +485,17 @@ func (g *GPUCaches) Receive(m *msg.Message) {
 		} else {
 			g.rec.Record(machine, "I", "PrbInv", "I") //proto:actions ack without data //proto:emits PrbAck
 		}
-		g.ic.Send(&msg.Message{Type: msg.PrbAck, Addr: m.Addr, Src: g.idOf(m.Addr), Dst: m.Src, TxnID: m.TxnID})
+		ack := g.ic.Alloc()
+		ack.Type, ack.Addr, ack.Src, ack.Dst, ack.TxnID = msg.PrbAck, m.Addr, g.idOf(m.Addr), m.Src, m.TxnID
+		g.ic.Send(ack)
 
 	case msg.PrbDowngrade:
 		// The TCC holds no exclusive permission to surrender: ack only.
 		g.rec.Record(machine, "-", "PrbDowngrade", "-") //proto:actions ack, keep state //proto:emits PrbAck
 		g.probesRecv.Inc()
-		g.ic.Send(&msg.Message{Type: msg.PrbAck, Addr: m.Addr, Src: g.idOf(m.Addr), Dst: m.Src, TxnID: m.TxnID})
+		ack := g.ic.Alloc()
+		ack.Type, ack.Addr, ack.Src, ack.Dst, ack.TxnID = msg.PrbAck, m.Addr, g.idOf(m.Addr), m.Src, m.TxnID
+		g.ic.Send(ack)
 
 	default:
 		panic(fmt.Sprintf("gpucache: unexpected %s", m))

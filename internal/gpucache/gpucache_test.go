@@ -20,6 +20,7 @@ type fakeDir struct {
 }
 
 func (d *fakeDir) Receive(m *msg.Message) {
+	m.Hold() // retained in reqs for test assertions; never released
 	d.reqs = append(d.reqs, m)
 	switch m.Type {
 	case msg.RdBlk:
@@ -242,7 +243,7 @@ func TestProbeInvalidatesWithoutForwarding(t *testing.T) {
 	r.g.ReadLine(0, 0x10, func() {})
 	r.run()
 	got := []*msg.Message{}
-	r.g.ic.Register(msg.NodeID(99), noc.HandlerFunc(func(m *msg.Message) { got = append(got, m) }))
+	r.g.ic.Register(msg.NodeID(99), noc.HandlerFunc(func(m *msg.Message) { m.Hold(); got = append(got, m) }))
 	r.g.Receive(&msg.Message{Type: msg.PrbInv, Addr: 0x10, Src: 99, Dst: r.g.ids[0], TxnID: 3})
 	r.run()
 	if len(got) != 1 || got[0].Type != msg.PrbAck {

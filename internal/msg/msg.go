@@ -204,6 +204,10 @@ type Message struct {
 
 	// TxnID ties probes and acks to a directory transaction.
 	TxnID uint64
+
+	// state is the pool lifecycle (see pool.go). The zero value marks a
+	// foreign (non-pooled) message, so literals keep working unchanged.
+	state uint8
 }
 
 // ControlBytes and DataBytes size messages for network-traffic

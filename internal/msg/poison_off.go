@@ -1,0 +1,11 @@
+//go:build !race && !msgdebug
+
+package msg
+
+// PoisonEnabled reports whether released messages are poisoned (true in
+// -race and -tags msgdebug builds). The use-after-release tests skip
+// themselves when it is off.
+const PoisonEnabled = false
+
+func poison(m *Message)      {}
+func checkPoison(m *Message) {}

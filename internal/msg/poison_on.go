@@ -1,0 +1,38 @@
+//go:build race || msgdebug
+
+package msg
+
+import "fmt"
+
+// PoisonEnabled reports whether released messages are poisoned (true in
+// -race and -tags msgdebug builds). The use-after-release tests skip
+// themselves when it is off.
+const PoisonEnabled = true
+
+// Poison sentinels: an invalid Type plus recognizable garbage in the
+// fields a stale holder is most likely to touch.
+const (
+	poisonType Type   = 0xEE
+	poisonAddr        = 0xDEAD_BEEF_DEAD_BEC0
+	poisonTxn  uint64 = 0xFEED_FACE_FEED_FACE
+)
+
+// poison stamps a released message so any write by a stale holder is
+// detectable, and any read returns obvious garbage (Type 0xEE fails
+// every handler switch).
+func poison(m *Message) {
+	m.Type = poisonType
+	m.Addr = poisonAddr
+	m.TxnID = poisonTxn
+}
+
+// checkPoison panics if a freed message was written to while on the
+// free list — i.e. some handler kept a pointer past its Receive return
+// without calling Hold.
+func checkPoison(m *Message) {
+	if m.Type != poisonType || m.Addr != poisonAddr || m.TxnID != poisonTxn {
+		panic(fmt.Sprintf(
+			"msg: use after release: pooled message written while on the free list (now %v); "+
+				"a handler kept it past Receive without Hold", m))
+	}
+}

@@ -1,0 +1,97 @@
+package msg
+
+import "fmt"
+
+// Message pool states, kept in the unexported Message.state field. The
+// zero value is foreign: a message built as a plain literal (tests, the
+// model checker's chaos fabric, cold paths) is never pool-managed and
+// every pool operation on it is a no-op, so pooling is strictly opt-in
+// at the allocation site.
+const (
+	stateForeign    uint8 = iota // plain literal; pool ops no-op
+	stateLive                    // from a Pool, owned by sender or fabric
+	stateDelivering              // inside the destination's Receive call
+	stateHeld                    // receiver took ownership past Receive
+	stateFree                    // on the free list
+)
+
+// Pool is a free list of Messages owned by one fabric (one engine).
+// Steady-state traffic recycles a handful of Message objects instead of
+// allocating one per hop; see DESIGN.md "Event loop" for the ownership
+// rules.
+//
+// In -race or -tags msgdebug builds, released messages are poisoned and
+// the poison is checked on reuse, so a handler that keeps writing to a
+// message past its Receive return (without Hold) panics the next time
+// the object cycles through the pool.
+type Pool struct {
+	free []*Message
+}
+
+// Get returns a zeroed live Message from the pool.
+func (p *Pool) Get() *Message {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		checkPoison(m)
+		*m = Message{state: stateLive}
+		return m
+	}
+	return &Message{state: stateLive}
+}
+
+// Put releases m back to the pool. Foreign messages are ignored;
+// releasing twice is a bug and panics.
+func (p *Pool) Put(m *Message) {
+	switch m.state {
+	case stateForeign:
+		return
+	case stateFree:
+		panic(fmt.Sprintf("msg: double release of %s", m))
+	}
+	m.state = stateFree
+	poison(m)
+	p.free = append(p.free, m)
+}
+
+// Hold transfers ownership of an in-delivery (or live) message to the
+// caller, suppressing the fabric's release-on-consume. The holder must
+// Put it back when done. No-op on foreign messages.
+func (m *Message) Hold() {
+	switch m.state {
+	case stateForeign:
+	case stateFree:
+		panic(fmt.Sprintf("msg: Hold of released message %s", m))
+	default:
+		m.state = stateHeld
+	}
+}
+
+// Pooled reports whether m is pool-managed (not a foreign literal).
+func (m *Message) Pooled() bool { return m.state != stateForeign }
+
+// BeginDelivery is fabric-side protocol: it marks a pooled message as inside its receiver's
+// Receive call; the fabric uses Consumed to decide release-on-consume.
+func (m *Message) BeginDelivery() {
+	if m.state == stateLive {
+		m.state = stateDelivering
+	}
+}
+
+// Consumed is fabric-side protocol: it reports whether the receiver left the message to the fabric
+// (neither Held it nor re-Sent it) and it should now be released.
+func (m *Message) Consumed() bool { return m.state == stateDelivering }
+
+// MarkSent is fabric-side protocol: it marks a pooled message as queued in the fabric again. Re-sending
+// the message currently being delivered (zero-copy forward) transfers
+// ownership back to the fabric; sending a released message panics.
+func (m *Message) MarkSent() {
+	switch m.state {
+	case stateForeign:
+	case stateFree:
+		panic(fmt.Sprintf("msg: Send of released message %s", m))
+	default:
+		m.state = stateLive
+	}
+}

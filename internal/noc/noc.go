@@ -30,9 +30,19 @@ func (f HandlerFunc) Receive(m *msg.Message) { f(m) }
 // interconnect. The production implementation is *Interconnect; the
 // model checker in internal/verify substitutes a fabric that buffers
 // in-flight messages so delivery order can be explored exhaustively.
+//
+// Alloc returns a message for sending; on the production fabric it
+// comes from a pool and is reclaimed automatically after the
+// destination handler consumes it (release-on-consume). A receiver
+// that keeps a delivered message past its Receive return must call
+// msg.Message.Hold and later Release it; plain &msg.Message{} literals
+// remain valid everywhere and are never reclaimed. The chaos fabric
+// allocates plain literals, so model-checker runs are pool-free.
 type Fabric interface {
 	Register(id msg.NodeID, h Handler)
 	Send(m *msg.Message)
+	Alloc() *msg.Message
+	Release(m *msg.Message)
 }
 
 // DeliveryHook observes every message just after the destination
@@ -64,12 +74,15 @@ type Tracer func(t sim.Tick, m *msg.Message)
 // message.
 type Mutator func(m *msg.Message) *msg.Message
 
-// Interconnect is a crossbar connecting registered nodes.
+// Interconnect is a crossbar connecting registered nodes. Node IDs are
+// small and dense (see system.nodeLayout), so handlers and port clocks
+// live in ID-indexed slices rather than maps.
 type Interconnect struct {
 	engine     *sim.Engine
 	cfg        Config
-	handlers   map[msg.NodeID]Handler
-	portFree   map[msg.NodeID]sim.Tick
+	handlers   []Handler
+	portFree   []sim.Tick
+	pool       msg.Pool
 	tracer     Tracer
 	mutate     Mutator
 	onDelivery DeliveryHook
@@ -87,8 +100,6 @@ func New(engine *sim.Engine, cfg Config, sc *stats.Scope) *Interconnect {
 	return &Interconnect{
 		engine:    engine,
 		cfg:       cfg,
-		handlers:  make(map[msg.NodeID]Handler),
-		portFree:  make(map[msg.NodeID]sim.Tick),
 		msgs:      sc.Counter("messages"),
 		bytes:     sc.Counter("bytes"),
 		probes:    sc.Counter("probes"),
@@ -101,11 +112,23 @@ func New(engine *sim.Engine, cfg Config, sc *stats.Scope) *Interconnect {
 // Register attaches a handler to a node ID. Registering the same ID
 // twice is a wiring bug and panics.
 func (ic *Interconnect) Register(id msg.NodeID, h Handler) {
-	if _, dup := ic.handlers[id]; dup {
+	for int(id) >= len(ic.handlers) {
+		ic.handlers = append(ic.handlers, nil)
+		ic.portFree = append(ic.portFree, 0)
+	}
+	if ic.handlers[id] != nil {
 		panic(fmt.Sprintf("noc: duplicate node %d", id))
 	}
 	ic.handlers[id] = h
 }
+
+// Alloc returns a pooled message; the fabric reclaims it once its
+// destination consumes it (or Send is never called and the caller
+// Releases it).
+func (ic *Interconnect) Alloc() *msg.Message { return ic.pool.Get() }
+
+// Release returns a Held (or allocated-but-unsent) message to the pool.
+func (ic *Interconnect) Release(m *msg.Message) { ic.pool.Put(m) }
 
 // SetTracer installs (or, with nil, removes) a message tracer.
 func (ic *Interconnect) SetTracer(t Tracer) { ic.tracer = t }
@@ -121,17 +144,20 @@ func (ic *Interconnect) SetMutator(mu Mutator) { ic.mutate = mu }
 func (ic *Interconnect) SetDeliveryHook(h DeliveryHook) { ic.onDelivery = h }
 
 // Send delivers m to m.Dst after the configured latency, counting
-// traffic by class.
+// traffic by class. Sending transfers ownership of a pooled message to
+// the fabric (a receiver may therefore zero-copy forward the message it
+// is currently handling by re-Sending it).
 func (ic *Interconnect) Send(m *msg.Message) {
 	if ic.tracer != nil {
 		ic.tracer(ic.engine.Now(), m)
 	}
-	h, ok := ic.handlers[m.Dst]
-	if !ok {
+	if int(m.Dst) >= len(ic.handlers) || ic.handlers[m.Dst] == nil {
 		panic(fmt.Sprintf("noc: send to unregistered node %d (%s)", m.Dst, m))
 	}
+	m.MarkSent()
 	ic.msgs.Inc()
-	ic.bytes.Add(uint64(m.Bytes()))
+	bytes := m.Bytes()
+	ic.bytes.Add(uint64(bytes))
 	switch m.Type {
 	case msg.PrbInv, msg.PrbDowngrade:
 		ic.probes.Inc()
@@ -140,29 +166,52 @@ func (ic *Interconnect) Send(m *msg.Message) {
 	default:
 		// Only probe traffic is classified separately.
 	}
-	if m.Bytes() == msg.DataBytes {
+	if bytes == msg.DataBytes {
 		ic.dataMsgs.Inc()
 	}
 	depart := ic.engine.Now()
 	if ic.cfg.WidthBytes > 0 {
-		// Serialize the sender's egress port.
+		// Serialize the sender's egress port. Senders need not be
+		// registered receivers (the map-based fabric tolerated that),
+		// so grow the port table on demand.
+		for int(m.Src) >= len(ic.portFree) {
+			ic.portFree = append(ic.portFree, 0)
+		}
 		if free := ic.portFree[m.Src]; free > depart {
 			ic.portStall.Add(uint64(free - depart))
 			depart = free
 		}
-		occupancy := sim.Tick((m.Bytes() + ic.cfg.WidthBytes - 1) / ic.cfg.WidthBytes)
+		occupancy := sim.Tick((bytes + ic.cfg.WidthBytes - 1) / ic.cfg.WidthBytes)
 		ic.portFree[m.Src] = depart + occupancy
 	}
-	ic.engine.At(depart+ic.cfg.Latency, func() {
-		if ic.mutate != nil {
-			if m = ic.mutate(m); m == nil {
-				return // dropped in flight
+	// Dispatch form: no closure, no per-send allocation. The handler is
+	// resolved at delivery time from m.Dst (identical to the seed
+	// behavior, since only a Mutator can rewrite Dst in flight).
+	ic.engine.PostAt(depart+ic.cfg.Latency, ic, 0, 0, m)
+}
+
+// OnEvent delivers a message; it implements sim.Handler for the events
+// Send posts.
+func (ic *Interconnect) OnEvent(kind uint8, arg uint64, obj any) {
+	m := obj.(*msg.Message)
+	if ic.mutate != nil {
+		mutated := ic.mutate(m)
+		if mutated != m {
+			// The fault injector dropped or replaced the message; the
+			// original's flight ends here either way.
+			ic.pool.Put(m)
+			if mutated == nil {
+				return
 			}
-			h = ic.handlers[m.Dst] // the mutation may have redirected it
+			m = mutated
 		}
-		h.Receive(m)
-		if ic.onDelivery != nil {
-			ic.onDelivery(ic.engine.Now(), m)
-		}
-	})
+	}
+	m.BeginDelivery()
+	ic.handlers[m.Dst].Receive(m)
+	if ic.onDelivery != nil {
+		ic.onDelivery(ic.engine.Now(), m)
+	}
+	if m.Consumed() {
+		ic.pool.Put(m)
+	}
 }

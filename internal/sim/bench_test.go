@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"testing"
+)
+
+// benchDelays is the latency mix the full simulator schedules with: L1
+// hits (1), L2/NoC hops (4), GPU TCP/TCC accesses (13, 25) and memory
+// accesses (in the hundreds). The calendar queue's bucket window is
+// sized to exactly this distribution; the benchmark keeps the queue
+// populated with a few hundred in-flight events, like a busy run.
+var benchDelays = [8]Tick{1, 1, 4, 4, 13, 25, 100, 200}
+
+// benchChains is how many concurrent event chains the benchmark keeps
+// in flight (≈ queue depth of a full-system run: cores + CUs + NoC +
+// directory transactions).
+const benchChains = 256
+
+// BenchmarkEventsPerSec measures raw scheduler throughput: b.N events
+// scheduled and executed through closure-form Schedule, the API every
+// cold path uses. events/s is the headline number ROADMAP tracks.
+func BenchmarkEventsPerSec(b *testing.B) {
+	e := NewEngine()
+	executed := 0
+	fns := make([]func(), benchChains)
+	for c := 0; c < benchChains; c++ {
+		c := c
+		fns[c] = func() {
+			executed++
+			if executed+benchChains <= b.N {
+				e.Schedule(benchDelays[(executed+c)&7], fns[c])
+			}
+		}
+	}
+	b.ResetTimer()
+	for c := 0; c < benchChains && c < b.N; c++ {
+		e.Schedule(benchDelays[c&7], fns[c])
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "events/s")
+}

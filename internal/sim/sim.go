@@ -4,10 +4,21 @@
 // Events are ordered by tick; events scheduled for the same tick execute
 // in the order they were scheduled (a stable sequence number breaks ties),
 // which makes every simulation run bit-for-bit reproducible.
+//
+// The scheduler is a calendar queue tuned to the tick distribution the
+// system actually produces (cache hits at 1–4 ticks, GPU cache levels at
+// 13–25, memory at ~160): a ring of per-tick FIFO buckets covers the
+// near-future window [winStart, winStart+len(buckets)), and events beyond
+// the window wait in a small (tick, seq)-ordered overflow heap until the
+// window advances over them. Scheduling into the window is O(1) append;
+// popping is O(1) amortized. Events come from a free-list pool, so the
+// steady-state hot path (Schedule + fire) performs zero allocations —
+// see DESIGN.md, "Event loop", for the sizing heuristic and the
+// determinism argument. The seed binary-heap implementation survives as
+// the test-only oracle in internal/sim/refsched.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -30,34 +41,68 @@ const interruptPollInterval = 4096
 // events at multiples of the tick.
 type Tick uint64
 
-// Event is a unit of scheduled work.
+// minBuckets is the initial calendar window width in ticks. 256 covers
+// every steady-state latency in the system (L1 1, L2/NoC 4, TCP 13,
+// TCC 25, memory 160) so in practice only cold-path events (GPU kernel
+// launch at ~500 ticks, long compute ops) touch the overflow heap.
+const minBuckets = 256
+
+// maxBuckets caps adaptive window growth. Growth doubles the window
+// whenever the overflow heap is as populated as the window is wide
+// (the distribution outgrew it); 4096 bounds the empty-bucket scan a
+// single pop can perform on a sparse queue.
+const maxBuckets = 4096
+
+// Handler is the zero-alloc dispatch target for Post/PostAt. kind
+// demultiplexes within a component, arg carries a packed scalar payload
+// (an address, a resume value), and obj carries an optional reference
+// payload. Pointer-shaped obj values (pointers, func values) do not
+// allocate when stored; non-pointer scalars would box, which is why arg
+// is a separate field.
+type Handler interface {
+	OnEvent(kind uint8, arg uint64, obj any)
+}
+
+// event state machine: free (on the pool) → queued (in a bucket or the
+// overflow heap) → free again when fired, or queued → cancelled →
+// free when the cancelled entry is popped and discarded.
+const (
+	evFree uint8 = iota
+	evQueued
+	evCancelled
+)
+
+// Event is a unit of scheduled work, owned by the engine's pool. An
+// event carries either a closure (fn) or a dispatch triple
+// (target, kind, arg, obj); fn != nil selects the closure form.
 type Event struct {
-	when Tick
-	seq  uint64
-	fn   func()
+	when   Tick
+	seq    uint64
+	arg    uint64
+	fn     func()
+	target Handler
+	obj    any
+	gen    uint32
+	kind   uint8
+	state  uint8
 }
 
-// When reports the tick at which the event fires.
-func (e *Event) When() Tick { return e.when }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
+// Handle names a scheduled event for cancellation. The generation
+// counter makes Cancel safe against the pool recycling the underlying
+// Event: cancelling after the event fired (or was itself cancelled and
+// reaped) is a no-op, even if the Event object now carries an unrelated
+// scheduled event. The zero Handle is valid and cancels nothing.
+type Handle struct {
+	ev  *Event
+	gen uint32
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// bucket is one calendar slot: a FIFO of events for a single tick.
+// head avoids shifting on pop; the slice is reset (retaining capacity)
+// once drained.
+type bucket struct {
+	evs  []*Event
+	head int
 }
 
 // Engine is the discrete-event scheduler. The zero value is not usable;
@@ -65,16 +110,27 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now     Tick
 	seq     uint64
-	queue   eventHeap
 	stopped bool
+
+	// Calendar state. buckets[t&mask] holds exactly the events for tick
+	// t when winStart ≤ t < winStart+len(buckets); cur is the scan
+	// cursor (winStart ≤ cur, and no queued event is earlier than cur).
+	buckets  []bucket
+	mask     Tick
+	winStart Tick
+	cur      Tick
+	overflow overflowHeap
+	size     int // queued events, including cancelled-but-unreaped
+
+	free []*Event
 
 	// MaxTicks aborts the run when exceeded (0 means no limit). It is a
 	// safety net against livelocked protocols or non-terminating spins.
 	MaxTicks Tick
 
 	// Interrupt, when non-nil, is polled between events; once it is
-	// closed (or sends), Run returns ErrInterrupted. Used by the job
-	// engine for cancellation and per-job timeouts.
+	// closed (or sends), Run and Step return ErrInterrupted. Used by the
+	// job engine for cancellation and per-job timeouts.
 	Interrupt <-chan struct{}
 
 	executed uint64
@@ -82,7 +138,10 @@ type Engine struct {
 
 // NewEngine returns an empty engine at tick 0.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{
+		buckets: make([]bucket, minBuckets),
+		mask:    minBuckets - 1,
+	}
 }
 
 // Now returns the current simulation tick.
@@ -91,87 +150,247 @@ func (e *Engine) Now() Tick { return e.now }
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
+// alloc takes an Event from the free list, or allocates one if the pool
+// is dry (only while the in-flight population is still growing).
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// release returns an Event to the pool. Bumping gen invalidates every
+// outstanding Handle to this event, which is what makes cancel-after-
+// fire (and cancel-after-recycle) a safe no-op.
+func (e *Engine) release(ev *Event) {
+	ev.gen++
+	ev.state = evFree
+	ev.fn = nil
+	ev.target = nil
+	ev.obj = nil
+	e.free = append(e.free, ev)
+}
+
+// insert places a queued event into its calendar bucket or, beyond the
+// window, into the overflow heap. Callers guarantee ev.when ≥ now ≥
+// winStart, so the in-window test needs no lower bound.
+func (e *Engine) insert(ev *Event) {
+	if ev.when-e.winStart < Tick(len(e.buckets)) {
+		b := &e.buckets[ev.when&e.mask]
+		b.evs = append(b.evs, ev)
+	} else {
+		e.overflow.push(ev)
+	}
+	e.size++
+}
+
 // Schedule runs fn after delay ticks (0 means "later this tick", after
 // events already queued for the current tick).
-func (e *Engine) Schedule(delay Tick, fn func()) *Event {
-	ev := &Event{when: e.now + delay, seq: e.seq, fn: fn}
+func (e *Engine) Schedule(delay Tick, fn func()) Handle {
+	ev := e.alloc()
+	ev.when = e.now + delay
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	ev.fn = fn
+	ev.state = evQueued
+	e.insert(ev)
+	return Handle{ev, ev.gen}
 }
 
 // At runs fn at absolute tick t, which must not be in the past.
-func (e *Engine) At(t Tick, fn func()) *Event {
+func (e *Engine) At(t Tick, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.when = t
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	ev.fn = fn
+	ev.state = evQueued
+	e.insert(ev)
+	return Handle{ev, ev.gen}
+}
+
+// Post schedules a dispatch-form event after delay ticks: when it fires
+// the engine calls target.OnEvent(kind, arg, obj). This is the
+// zero-alloc form the hot delivery paths use — no closure is built, and
+// the Event comes from the pool.
+func (e *Engine) Post(delay Tick, target Handler, kind uint8, arg uint64, obj any) Handle {
+	return e.PostAt(e.now+delay, target, kind, arg, obj)
+}
+
+// PostAt is Post at an absolute tick, which must not be in the past.
+func (e *Engine) PostAt(t Tick, target Handler, kind uint8, arg uint64, obj any) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
+	}
+	ev := e.alloc()
+	ev.when = t
+	ev.seq = e.seq
+	e.seq++
+	ev.target = target
+	ev.kind = kind
+	ev.arg = arg
+	ev.obj = obj
+	ev.state = evQueued
+	e.insert(ev)
+	return Handle{ev, ev.gen}
 }
 
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports the number of queued events (cancelled entries count
+// until they are reaped by the pop scan).
+func (e *Engine) Pending() int { return e.size }
 
-// Run executes events until the queue drains, Stop is called, or MaxTicks
-// is exceeded. It returns an error only on tick-limit exhaustion, which
-// indicates a protocol deadlock or a runaway workload.
+// advance moves the calendar window to start at newStart and promotes
+// newly covered overflow events into their buckets. It must only be
+// called when every bucket is empty, which holds at both call sites:
+// either nothing was bucketed at all (jump to the overflow minimum), or
+// the pop scan just verified each bucket in the old window empty — and
+// nothing can have been inserted behind the scan, because insertions
+// happen at ≥ now and now never exceeds the scan cursor outside next.
+//
+// Promotion pops the overflow heap in (when, seq) order, so events for
+// a given tick are appended to its bucket in seq order; any later
+// Schedule targeting that tick carries a strictly larger seq and
+// appends behind them. Bucket FIFO order therefore IS (tick, seq)
+// order, which is the whole determinism argument.
+func (e *Engine) advance(newStart Tick) {
+	// Adaptive sizing: if the overflow population reached the window
+	// width, the tick distribution outgrew the window — double it (the
+	// buckets are all empty, so regrowing is just a reallocation).
+	for len(e.overflow) >= len(e.buckets) && len(e.buckets) < maxBuckets {
+		e.buckets = make([]bucket, 2*len(e.buckets))
+		e.mask = Tick(len(e.buckets) - 1)
+	}
+	e.winStart = newStart
+	e.cur = newStart
+	end := newStart + Tick(len(e.buckets))
+	for len(e.overflow) > 0 && e.overflow[0].when < end {
+		ev := e.overflow.pop()
+		b := &e.buckets[ev.when&e.mask]
+		b.evs = append(b.evs, ev)
+	}
+}
+
+// next pops the earliest queued live event, reaping cancelled entries
+// along the way, or returns nil when the queue is empty.
+func (e *Engine) next() *Event {
+	for {
+		if e.size == 0 {
+			return nil
+		}
+		if e.size == len(e.overflow) {
+			// Nothing bucketed: jump the window straight to the
+			// earliest overflow event instead of scanning empty ticks.
+			e.advance(e.overflow[0].when)
+		}
+		b := &e.buckets[e.cur&e.mask]
+		for b.head < len(b.evs) {
+			ev := b.evs[b.head]
+			b.evs[b.head] = nil
+			b.head++
+			if b.head == len(b.evs) {
+				b.evs = b.evs[:0]
+				b.head = 0
+			}
+			e.size--
+			if ev.state == evCancelled {
+				e.release(ev)
+				continue
+			}
+			return ev
+		}
+		e.cur++
+		if e.cur-e.winStart == Tick(len(e.buckets)) {
+			e.advance(e.cur)
+		}
+	}
+}
+
+// step executes exactly one event. It is the single primitive under
+// both Run and Step, so MaxTicks enforcement and Interrupt polling are
+// identical in the two (the seed engine's Step skipped both — see the
+// regression tests in sim_test.go).
+func (e *Engine) step() (bool, error) {
+	ev := e.next()
+	if ev == nil {
+		return false, nil
+	}
+	e.now = ev.when
+	if e.MaxTicks != 0 && e.now > e.MaxTicks {
+		return false, fmt.Errorf("sim: exceeded MaxTicks=%d with %d events pending", e.MaxTicks, e.size+1)
+	}
+	// Release before dispatch: the Event returns to the pool first, so
+	// a handler that immediately schedules reuses it without growing
+	// the pool. Safe because ordering depends only on (when, seq),
+	// both assigned at schedule time — see DESIGN.md.
+	if fn := ev.fn; fn != nil {
+		e.release(ev)
+		fn()
+	} else {
+		target, kind, arg, obj := ev.target, ev.kind, ev.arg, ev.obj
+		e.release(ev)
+		target.OnEvent(kind, arg, obj)
+	}
+	e.executed++
+	if e.Interrupt != nil && e.executed%interruptPollInterval == 0 {
+		select {
+		case <-e.Interrupt:
+			return true, fmt.Errorf("%w at tick %d with %d events pending", ErrInterrupted, e.now, e.size)
+		default:
+		}
+	}
+	return true, nil
+}
+
+// Run executes events until the queue drains, Stop is called, MaxTicks
+// is exceeded, or Interrupt fires. It returns an error only on
+// tick-limit exhaustion (a protocol deadlock or runaway workload) or
+// interruption.
 func (e *Engine) Run() error {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.fn == nil { // cancelled
-			continue
+	for !e.stopped {
+		ok, err := e.step()
+		if err != nil {
+			return err
 		}
-		e.now = ev.when
-		if e.MaxTicks != 0 && e.now > e.MaxTicks {
-			return fmt.Errorf("sim: exceeded MaxTicks=%d with %d events pending", e.MaxTicks, len(e.queue)+1)
-		}
-		fn := ev.fn
-		ev.fn = nil
-		fn()
-		e.executed++
-		if e.Interrupt != nil && e.executed%interruptPollInterval == 0 {
-			select {
-			case <-e.Interrupt:
-				return fmt.Errorf("%w at tick %d with %d events pending", ErrInterrupted, e.now, len(e.queue))
-			default:
-			}
+		if !ok {
+			return nil
 		}
 	}
 	return nil
 }
 
 // Step executes exactly one event (skipping cancelled entries) and
-// returns true, or returns false when the queue is empty. It is the
+// reports whether it did; false means the queue is empty. It is the
 // single-step primitive the model checker (internal/verify) uses to
-// drain handler cascades under an event budget; Run is Step in a loop.
-func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.fn == nil { // cancelled
-			continue
-		}
-		e.now = ev.when
-		fn := ev.fn
-		ev.fn = nil
-		fn()
-		e.executed++
-		return true
-	}
-	return false
+// drain handler cascades under an event budget. Step enforces MaxTicks
+// and polls Interrupt exactly as Run does (Run is Step in a loop); an
+// interrupt error can accompany an executed event.
+func (e *Engine) Step() (bool, error) {
+	return e.step()
 }
 
-// Cancel prevents a scheduled event from firing. Safe to call on events
-// that already fired.
-func (e *Engine) Cancel(ev *Event) {
-	if ev != nil {
-		ev.fn = nil
+// Cancel prevents a scheduled event from firing. Safe to call on
+// handles whose event already fired or was cancelled — the generation
+// check makes those no-ops even after the pool recycles the Event.
+func (e *Engine) Cancel(h Handle) {
+	if h.ev == nil || h.ev.gen != h.gen || h.ev.state != evQueued {
+		return
 	}
+	// Leave the entry queued; the pop scan reaps it. Dropping the
+	// payload now lets the GC collect captured state early.
+	h.ev.state = evCancelled
+	h.ev.fn = nil
+	h.ev.target = nil
+	h.ev.obj = nil
 }
 
 // Ticker invokes fn every period ticks until fn returns false.
@@ -186,4 +405,57 @@ func (e *Engine) Ticker(period Tick, fn func() bool) {
 		}
 	}
 	e.Schedule(period, step)
+}
+
+// overflowHeap is a hand-rolled (when, seq) min-heap over far-future
+// events. container/heap would box every push through interface{}; this
+// stays monomorphic and allocation-free on the hot path.
+type overflowHeap []*Event
+
+func (h overflowHeap) less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *overflowHeap) push(ev *Event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *overflowHeap) pop() *Event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && q.less(l, least) {
+			least = l
+		}
+		if r < n && q.less(r, least) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top
 }

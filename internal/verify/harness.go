@@ -43,6 +43,14 @@ func (f *chaosFabric) Send(m *msg.Message) {
 	f.pending = append(f.pending, m)
 }
 
+// Alloc returns a plain (foreign) message: the checker buffers,
+// reorders, and retains messages freely, so pooling is deliberately
+// disabled here — every pool operation on a foreign message no-ops.
+func (f *chaosFabric) Alloc() *msg.Message { return &msg.Message{} }
+
+// Release is a no-op for the chaos fabric's foreign messages.
+func (f *chaosFabric) Release(m *msg.Message) {}
+
 // deliver hands pending message i to its destination handler.
 func (f *chaosFabric) deliver(i int) {
 	m := f.pending[i]
@@ -331,7 +339,13 @@ func (h *harness) perform(a action, drainBudget int) {
 // external action left to unblock progress is a livelock.
 func (h *harness) drain(budget int) {
 	for i := 0; i < budget; i++ {
-		if !h.engine.Step() {
+		// The harness sets neither MaxTicks nor Interrupt, so Step can
+		// only error on those — treat one as a harness bug.
+		ok, err := h.engine.Step()
+		if err != nil {
+			panic(err)
+		}
+		if !ok {
 			return
 		}
 		if h.violation != nil {
