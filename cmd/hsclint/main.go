@@ -3,18 +3,35 @@
 //
 //	go run ./cmd/hsclint ./...
 //
-// It exits non-zero if any rule fires.
+// It exits non-zero if any rule fires. With -json the findings are
+// emitted as a JSON array on stdout (one object per diagnostic, with
+// analyzer, position, and message fields) — a stable, diffable
+// artifact for CI to archive and compare across pushes.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
 	"hscsim/internal/lint"
 )
 
+// jsonDiag is the wire form of one finding. Position is split into
+// components so downstream diffs survive checkout-path changes.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -24,8 +41,27 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Check(pkgs, lint.All())
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hsclint: %d finding(s)\n", len(diags))

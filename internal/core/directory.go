@@ -201,7 +201,11 @@ type txn struct {
 // (development aid; set via the HSCSIM_DEBUG_LINE env hook in tests).
 var debugLine cachearray.LineAddr
 
-// Receive implements noc.Handler.
+// Receive implements noc.Handler. Request messages are Held (the
+// directory keeps them as txn.req or in d.pend until complete); acks
+// and unblocks are consumed in place.
+//
+//msgown:owns m
 func (d *Directory) Receive(m *msg.Message) {
 	if debugLine != 0 && m.Addr == debugLine {
 		fmt.Printf("[%d] dir recv %s txn=%d hasData=%v dirty=%v\n", d.engine.Now(), m, m.TxnID, m.HasData, m.Dirty)

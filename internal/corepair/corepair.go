@@ -316,7 +316,11 @@ func (cp *CorePair) OnEvent(kind uint8, arg uint64, obj any) {
 	}
 }
 
-// Receive implements noc.Handler.
+// Receive implements noc.Handler. Probes that arrive inside a store
+// commit window are Held (probe defers them until the commit drains);
+// everything else is consumed in place.
+//
+//msgown:owns m
 func (cp *CorePair) Receive(m *msg.Message) {
 	switch m.Type {
 	case msg.Resp:

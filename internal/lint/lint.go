@@ -26,6 +26,12 @@
 //     park site and a wake site in its package — a queue that is
 //     filled but never drained is a hung transaction waiting to
 //     happen.
+//   - msgown: pooled messages and events must follow the
+//     release-on-consume ownership discipline on every path — a
+//     flow-sensitive dataflow over a per-function CFG catches
+//     use-after-release, double-release, leak-on-return and
+//     send-after-hold statically, with //msgown: annotations declaring
+//     cross-function ownership transfer (see msgown.go).
 package lint
 
 import (
@@ -63,9 +69,13 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Pass carries one analyzer's run over one package.
+// Pass carries one analyzer's run over one package. All holds every
+// package in the run, so analyzers that honor cross-package
+// annotations (msgown) can index declarations outside the package
+// under analysis.
 type Pass struct {
 	Pkg      *Package
+	All      []*Package
 	analyzer *Analyzer
 	diags    *[]Diagnostic
 }
@@ -81,7 +91,7 @@ func (p *Pass) Report(pos token.Pos, format string, args ...interface{}) {
 
 // All returns every registered analyzer.
 func All() []*Analyzer {
-	return []*Analyzer{MsgSwitch, MapLoop, StatsReg, Determinism, StallWake}
+	return []*Analyzer{MsgSwitch, MapLoop, StatsReg, Determinism, StallWake, MsgOwn}
 }
 
 // Check runs the analyzers over the packages and returns findings
@@ -90,7 +100,7 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &diags})
+			a.Run(&Pass{Pkg: pkg, All: pkgs, analyzer: a, diags: &diags})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

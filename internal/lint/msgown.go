@@ -1,0 +1,1257 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MsgOwn is a flow-sensitive, path-aware ownership analyzer for pooled
+// values: `*msg.Message` handed out by the fabric pools and `*sim.Event`
+// managed by the engine free list. PR 7's release-on-consume discipline
+// is enforced dynamically by -race/-tags msgdebug poisoning, which only
+// catches bugs on executed paths; msgown proves the same rules over
+// every path, per function, with a hand-rolled CFG (cfg.go) and a
+// forward dataflow.
+//
+// Abstract states per pooled value: owned (fresh from Alloc or a
+// //msgown:transfer return), sent (ownership handed to the fabric or
+// engine), held (Hold() taken), held+sent (sent while held — any
+// further op without re-taking is flagged), released (back in the
+// pool), foreign (&msg.Message{} literals — every pool op is a no-op
+// by design, so msgown never reports on them), and unknown (escaped,
+// loaded from a structure, or conditionally consumed — silent).
+//
+// Diagnostics: use-after-release (any field access, method call,
+// Send or Hold after Release/Send consumed ownership), double-release,
+// leak (a path to return where an owned value is neither Sent, Held,
+// nor Released — including deferred releases), and send-after-hold
+// (a held value sent and then used or released without re-taking
+// ownership via Hold).
+//
+// Cross-function transfer is declared on parameters/returns with
+// annotations in the //hsclint:stallqueue style:
+//
+//	//msgown:transfer m      — callee unconditionally takes ownership
+//	//msgown:transfer return — caller owns the result (Alloc-like)
+//	//msgown:owns m          — callee may keep m (conditional: caller
+//	//                         state becomes unknown)
+//	//msgown:releases ev     — callee releases it (pool Put analogue)
+//	//msgown:neutral         — asserts the function only borrows
+//
+// An exhaustiveness check requires every exported function (and
+// interface method) with a pooled parameter to be annotated, shaped
+// like a pool intrinsic (Alloc/Get/Send/Release/Put/Hold/Post/PostAt),
+// or provably ownership-neutral; violations are the
+// unannotated-transfer class.
+var MsgOwn = &Analyzer{
+	Name: "msgown",
+	Doc:  "pooled messages and events must follow the release-on-consume ownership discipline on every path",
+	Run:  runMsgOwn,
+}
+
+// MsgOwnRules maps each dynamic panic-message fragment emitted by the
+// msgdebug/race poisoning in internal/msg to the static msgown
+// diagnostic class that subsumes it. The cross-check test in
+// msgown_test.go asserts every panic site in internal/msg matches a
+// fragment here, and that every class has a seeded //want golden — the
+// static↔dynamic closure the transition tables established in PR 3.
+var MsgOwnRules = map[string]string{
+	"double release":    "double-release",
+	"Hold of released":  "use-after-release",
+	"Send of released":  "use-after-release",
+	"use after release": "use-after-release",
+}
+
+const (
+	pooledMsgPath = "hscsim/internal/msg"
+	pooledSimPath = "hscsim/internal/sim"
+)
+
+// ownState is a bitset of abstract states a value may be in, joined
+// across paths by bitwise OR. Reports fire only when a bad bit is
+// present and no silencing bit (unknown/foreign/param) is — so a
+// diagnostic always corresponds to a concrete bad path.
+type ownState uint16
+
+const (
+	osOwned ownState = 1 << iota
+	osSent
+	osHeld
+	osHeldSent
+	osReleased
+	osUnknown // escaped, loaded, or conditionally consumed
+	osForeign // &msg.Message{} literal: pool ops are no-ops
+	osParam   // borrowed parameter of the function under analysis
+)
+
+const osSilent = osUnknown | osForeign | osParam
+
+// opKind is what an atom does to a tracked value.
+type opKind int
+
+const (
+	opUse     opKind = iota // field access, method call, borrowed arg
+	opSend                  // fabric Send / engine Post: ownership leaves
+	opRelease               // pool Put / fabric Release
+	opHold                  // Hold(): retained past delivery
+	opEscape                // stored into a structure we can't track
+	opOwns                  // callee may keep it (conditional transfer)
+)
+
+// opNewState maps a joined state through an op, preserving silencing
+// bits and transforming each definite bit independently (so the
+// dataflow is monotone and the fixpoint terminates).
+func opNewState(st ownState, op opKind) ownState {
+	keep := st & osSilent
+	def := st &^ keep
+	if def == 0 {
+		if op == opEscape || op == opOwns {
+			return keep | osUnknown
+		}
+		return st
+	}
+	switch op {
+	case opSend:
+		var out ownState
+		if def&osOwned != 0 {
+			out |= osSent
+		}
+		if def&osHeld != 0 {
+			out |= osHeldSent
+		}
+		out |= def & (osSent | osHeldSent | osReleased)
+		return keep | out
+	case opRelease:
+		return keep | osReleased
+	case opHold:
+		return keep | osHeld
+	case opEscape, opOwns:
+		return keep | osUnknown
+	}
+	return st
+}
+
+// opComplaint returns the violation an op on st implies, or "" if the
+// state is silenced or clean. At most one complaint per op, by
+// severity: released first, then held+sent, then sent.
+func opComplaint(st ownState, op opKind, name string) string {
+	if st&osSilent != 0 {
+		return ""
+	}
+	switch op {
+	case opUse, opEscape, opOwns:
+		switch {
+		case st&osReleased != 0:
+			return fmt.Sprintf("pooled %s used after it was released to the pool (use-after-release)", name)
+		case st&osHeldSent != 0:
+			return fmt.Sprintf("pooled %s used after being sent while held — re-take ownership with Hold (send-after-hold)", name)
+		case st&osSent != 0:
+			return fmt.Sprintf("pooled %s used after Send transferred ownership (use-after-release)", name)
+		}
+	case opSend:
+		switch {
+		case st&osReleased != 0:
+			return fmt.Sprintf("released %s sent back to the fabric (use-after-release)", name)
+		case st&osHeldSent != 0:
+			return fmt.Sprintf("pooled %s sent again while held (send-after-hold)", name)
+		case st&osSent != 0:
+			return fmt.Sprintf("pooled %s sent twice — ownership was already transferred (use-after-release)", name)
+		}
+	case opRelease:
+		switch {
+		case st&osReleased != 0:
+			return fmt.Sprintf("double release of %s (double-release)", name)
+		case st&osHeldSent != 0:
+			return fmt.Sprintf("pooled %s released after being sent while held — re-take with Hold before releasing (send-after-hold)", name)
+		case st&osSent != 0:
+			return fmt.Sprintf("pooled %s released after Send transferred ownership (use-after-release)", name)
+		}
+	case opHold:
+		switch {
+		case st&osReleased != 0:
+			return fmt.Sprintf("Hold of released %s (use-after-release)", name)
+		case st&osHeldSent != 0:
+			// Re-taking ownership of a held-and-sent value: legal.
+		case st&osSent != 0:
+			return fmt.Sprintf("Hold of %s after Send transferred ownership (use-after-release)", name)
+		}
+	}
+	return ""
+}
+
+func isPooledType(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case pooledMsgPath:
+		return obj.Name() == "Message"
+	case pooledSimPath:
+		return obj.Name() == "Event"
+	}
+	return false
+}
+
+// --- annotations -----------------------------------------------------
+
+const msgOwnReturn = "return"
+
+// msgOwnAnnot is one function's parsed //msgown: directives.
+type msgOwnAnnot struct {
+	transfer map[string]bool // param name (or "return") → definite transfer
+	owns     map[string]bool // param name → conditional transfer
+	releases map[string]bool // param name → released by callee
+	neutral  bool
+}
+
+func (a *msgOwnAnnot) opFor(param string) (opKind, bool) {
+	switch {
+	case a.transfer[param]:
+		return opSend, true
+	case a.owns[param]:
+		return opOwns, true
+	case a.releases[param]:
+		return opRelease, true
+	}
+	return opUse, false
+}
+
+// parseMsgOwnAnnot extracts //msgown: directives from comment groups.
+// Returns nil when none are present.
+func parseMsgOwnAnnot(groups ...*ast.CommentGroup) *msgOwnAnnot {
+	var an *msgOwnAnnot
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "msgown:") {
+				continue
+			}
+			if an == nil {
+				an = &msgOwnAnnot{
+					transfer: map[string]bool{},
+					owns:     map[string]bool{},
+					releases: map[string]bool{},
+				}
+			}
+			verb, rest, _ := strings.Cut(strings.TrimPrefix(text, "msgown:"), " ")
+			var set map[string]bool
+			switch verb {
+			case "transfer":
+				set = an.transfer
+			case "owns":
+				set = an.owns
+			case "releases":
+				set = an.releases
+			case "neutral":
+				an.neutral = true
+				continue
+			default:
+				continue
+			}
+			for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+				return r == ',' || r == ' ' || r == '\t'
+			}) {
+				set[name] = true
+			}
+		}
+	}
+	return an
+}
+
+// buildMsgOwnIndex collects annotations from every loaded package,
+// keyed by types.Func full name so cross-package call sites (which see
+// a distinct export-data object) still resolve.
+func buildMsgOwnIndex(pkgs []*Package) map[string]*msgOwnAnnot {
+	idx := make(map[string]*msgOwnAnnot)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				an := parseMsgOwnAnnot(fd.Doc)
+				if an == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn.FullName()] = an
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				it, ok := n.(*ast.InterfaceType)
+				if !ok {
+					return true
+				}
+				for _, m := range it.Methods.List {
+					if len(m.Names) == 0 {
+						continue
+					}
+					an := parseMsgOwnAnnot(m.Doc, m.Comment)
+					if an == nil {
+						continue
+					}
+					if fn, ok := pkg.Info.Defs[m.Names[0]].(*types.Func); ok {
+						idx[fn.FullName()] = an
+					}
+				}
+				return true
+			})
+		}
+	}
+	return idx
+}
+
+// --- intrinsics ------------------------------------------------------
+
+// intrinsicOps returns the per-operand ops for a call to a pool
+// intrinsic, matched by name and signature shape so the rule works
+// across packages (and for every Fabric implementation) without
+// annotations. source reports whether the call's result is a fresh
+// owned value.
+func intrinsicOps(fn *types.Func, call *ast.CallExpr) (ops map[ast.Expr]opKind, source, ok bool) {
+	sig, sok := fn.Type().(*types.Signature)
+	if !sok {
+		return nil, false, false
+	}
+	switch fn.Name() {
+	case "Alloc", "Get":
+		if sig.Params().Len() == 0 && sig.Results().Len() == 1 && isPooledType(sig.Results().At(0).Type()) {
+			return nil, true, true
+		}
+	case "Send":
+		if sig.Params().Len() == 1 && isPooledType(sig.Params().At(0).Type()) && len(call.Args) == 1 {
+			return map[ast.Expr]opKind{call.Args[0]: opSend}, false, true
+		}
+	case "Release", "Put":
+		if sig.Params().Len() == 1 && isPooledType(sig.Params().At(0).Type()) && len(call.Args) == 1 {
+			return map[ast.Expr]opKind{call.Args[0]: opRelease}, false, true
+		}
+	case "Hold":
+		if sig.Recv() != nil && isPooledType(sig.Recv().Type()) && sig.Params().Len() == 0 {
+			if sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr); selOK {
+				return map[ast.Expr]opKind{sel.X: opHold}, false, true
+			}
+			return nil, false, true
+		}
+	case "Post", "PostAt":
+		if recv := sig.Recv(); recv != nil && isEngineType(recv.Type()) && len(call.Args) > 0 {
+			return map[ast.Expr]opKind{call.Args[len(call.Args)-1]: opSend}, false, true
+		}
+	}
+	return nil, false, false
+}
+
+// isIntrinsicShaped reports whether fn matches the intrinsic table —
+// such functions are the pool API itself and are exempt from the
+// annotation exhaustiveness requirement.
+func isIntrinsicShaped(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	switch fn.Name() {
+	case "Alloc", "Get":
+		return sig.Params().Len() == 0 && sig.Results().Len() == 1 && isPooledType(sig.Results().At(0).Type())
+	case "Send", "Release", "Put":
+		return sig.Params().Len() == 1 && isPooledType(sig.Params().At(0).Type())
+	case "Hold":
+		return sig.Recv() != nil && isPooledType(sig.Recv().Type()) && sig.Params().Len() == 0
+	case "Post", "PostAt":
+		return sig.Recv() != nil && isEngineType(sig.Recv().Type())
+	}
+	return false
+}
+
+func isEngineType(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pooledSimPath && obj.Name() == "Engine"
+}
+
+// --- driver ----------------------------------------------------------
+
+type msgOwnCtx struct {
+	pass  *Pass
+	annot map[string]*msgOwnAnnot
+	// consumes records, for same-package functions, which parameter
+	// indices the body takes ownership of (directly or transitively).
+	// Grown to a fixpoint before the reporting pass so callers treat
+	// those argument positions as conditional transfers.
+	consumes     map[*types.Func]map[int]bool
+	returnsOwned map[*types.Func]bool
+	reporting    bool
+	reported     map[string]bool
+}
+
+func runMsgOwn(p *Pass) {
+	all := p.All
+	if len(all) == 0 {
+		all = []*Package{p.Pkg}
+	}
+	ctx := &msgOwnCtx{
+		pass:         p,
+		annot:        buildMsgOwnIndex(all),
+		consumes:     make(map[*types.Func]map[int]bool),
+		returnsOwned: make(map[*types.Func]bool),
+		reported:     make(map[string]bool),
+	}
+	// Neutrality fixpoint: ownership taken by unexported helpers
+	// propagates to their same-package callers (enqueue Holds → Receive
+	// is not neutral). Consumption only grows, so this terminates.
+	for i := 0; i < 20; i++ {
+		if !ctx.analyzeAll() {
+			break
+		}
+	}
+	ctx.reporting = true
+	ctx.analyzeAll()
+	ctx.checkExhaustive()
+}
+
+func (ctx *msgOwnCtx) analyzeAll() (changed bool) {
+	for _, f := range ctx.pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := ctx.pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			af := newOwnFunc(ctx, fn, fd.Recv, fd.Type, fd.Body)
+			af.run()
+			if ctx.mergeConsumes(fn, af) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (ctx *msgOwnCtx) mergeConsumes(fn *types.Func, af *ownFunc) (changed bool) {
+	for v := range af.consumedParams {
+		idx, ok := af.paramIndex[v]
+		if !ok || idx < 0 {
+			continue
+		}
+		if ctx.consumes[fn] == nil {
+			ctx.consumes[fn] = make(map[int]bool)
+		}
+		if !ctx.consumes[fn][idx] {
+			ctx.consumes[fn][idx] = true
+			changed = true
+		}
+	}
+	if af.returnsOwned && !ctx.returnsOwned[fn] {
+		ctx.returnsOwned[fn] = true
+		changed = true
+	}
+	return changed
+}
+
+func (ctx *msgOwnCtx) report(pos token.Pos, format string, args ...interface{}) {
+	if !ctx.reporting {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d|%s", pos, msg)
+	if ctx.reported[key] {
+		return
+	}
+	ctx.reported[key] = true
+	ctx.pass.Report(pos, "%s", msg)
+}
+
+// --- per-function dataflow -------------------------------------------
+
+type factMap map[*types.Var]ownState
+
+func cloneFacts(f factMap) factMap {
+	out := make(factMap, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// joinInto ORs src into dst, reporting whether dst changed.
+func joinInto(dst, src factMap) bool {
+	changed := false
+	for v, st := range src {
+		if old, ok := dst[v]; !ok || old|st != old {
+			dst[v] = dst[v] | st
+			changed = true
+		}
+	}
+	return changed
+}
+
+type ownFunc struct {
+	ctx  *msgOwnCtx
+	info *types.Info
+	fn   *types.Func // nil for function literals
+	body *ast.BlockStmt
+
+	// paramIndex maps pooled parameter vars to their position in the
+	// signature (receiver = -1); used for the neutrality analysis.
+	paramIndex     map[*types.Var]int
+	consumedParams map[*types.Var]bool
+	returnsOwned   bool
+
+	entry    factMap
+	fact     factMap
+	emit     bool // diagnostics enabled (final pass only)
+	allocPos map[*types.Var]token.Pos
+	lits     []*ast.FuncLit
+}
+
+func newOwnFunc(ctx *msgOwnCtx, fn *types.Func, recv *ast.FieldList, ftyp *ast.FuncType, body *ast.BlockStmt) *ownFunc {
+	a := &ownFunc{
+		ctx:            ctx,
+		info:           ctx.pass.Pkg.Info,
+		fn:             fn,
+		paramIndex:     make(map[*types.Var]int),
+		consumedParams: make(map[*types.Var]bool),
+		allocPos:       make(map[*types.Var]token.Pos),
+	}
+	a.body = body
+	a.collectParams(recv, ftyp)
+	return a
+}
+
+func (a *ownFunc) collectParams(recv *ast.FieldList, ftyp *ast.FuncType) {
+	a.entry = make(factMap)
+	if recv != nil {
+		for _, f := range recv.List {
+			for _, name := range f.Names {
+				if v, ok := a.info.Defs[name].(*types.Var); ok && isPooledType(v.Type()) {
+					a.entry[v] = osParam
+					a.paramIndex[v] = -1
+				}
+			}
+		}
+	}
+	idx := 0
+	if ftyp.Params != nil {
+		for _, f := range ftyp.Params.List {
+			if len(f.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range f.Names {
+				if v, ok := a.info.Defs[name].(*types.Var); ok && isPooledType(v.Type()) {
+					a.entry[v] = osParam
+					a.paramIndex[v] = idx
+				}
+				idx++
+			}
+		}
+	}
+}
+
+// run builds the CFG, iterates the dataflow to a fixpoint, then (when
+// the context is in its reporting pass) re-interprets every block with
+// diagnostics enabled and checks for leaks at exit.
+func (a *ownFunc) run() {
+	g := buildCFG(a.body)
+	in := make([]factMap, len(g.blocks))
+	in[g.entry.index] = cloneFacts(a.entry)
+
+	a.emit = false
+	work := []*cfgBlock{g.entry}
+	onWork := map[int]bool{g.entry.index: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		onWork[blk.index] = false
+		if in[blk.index] == nil {
+			in[blk.index] = make(factMap)
+		}
+		a.fact = cloneFacts(in[blk.index])
+		a.interpretBlock(blk)
+		for _, s := range blk.succs {
+			if in[s.index] == nil {
+				in[s.index] = make(factMap)
+			}
+			if joinInto(in[s.index], a.fact) && !onWork[s.index] {
+				work = append(work, s)
+				onWork[s.index] = true
+			}
+		}
+	}
+
+	if a.ctx.reporting {
+		a.emit = true
+		for _, blk := range g.blocks {
+			if in[blk.index] == nil {
+				continue // unreachable
+			}
+			a.fact = cloneFacts(in[blk.index])
+			a.interpretBlock(blk)
+		}
+	}
+
+	// Exit state: apply deferred calls (in reverse registration order,
+	// matching Go), then look for owned values that no path consumed.
+	exit := in[g.exit.index]
+	if exit == nil {
+		exit = make(factMap)
+	}
+	a.fact = cloneFacts(exit)
+	for i := len(g.atExit) - 1; i >= 0; i-- {
+		a.call(g.atExit[i])
+	}
+	if a.ctx.reporting {
+		a.checkLeaks()
+	}
+
+	// Function literals nest their own analysis; captures of tracked
+	// values were already marked as escapes at the creation site.
+	for _, lit := range a.lits {
+		nested := newOwnFunc(a.ctx, nil, nil, lit.Type, lit.Body)
+		nested.run()
+		// Ownership taken from a captured parameter counts against the
+		// enclosing function's neutrality via the escape at capture.
+	}
+}
+
+func (a *ownFunc) checkLeaks() {
+	var vars []*types.Var
+	for v := range a.allocPos { //hsclint:deterministic — sorted below
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return a.allocPos[vars[i]] < a.allocPos[vars[j]] })
+	for _, v := range vars {
+		st := a.fact[v]
+		if st&osOwned != 0 && st&osForeign == 0 {
+			a.ctx.report(a.allocPos[v],
+				"pooled %s allocated here is neither Sent, Held, nor Released on some path to return (leak)", v.Name())
+		}
+	}
+}
+
+func (a *ownFunc) interpretBlock(blk *cfgBlock) {
+	for _, n := range blk.nodes {
+		a.node(n)
+	}
+}
+
+func (a *ownFunc) node(n ast.Node) {
+	switch n := n.(type) {
+	case *nilGuard:
+		// On a proven-nil edge the variable holds no pooled storage:
+		// stop tracking it (nothing to leak, nothing to double-free).
+		if n.isNil {
+			if v := a.trackedIdent(n.x); v != nil {
+				if _, tracked := a.fact[v]; tracked {
+					a.fact[v] = osUnknown
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		a.assign(n)
+	case *ast.DeclStmt:
+		a.declStmt(n)
+	case *ast.ExprStmt:
+		a.expr(n.X)
+	case *ast.ReturnStmt:
+		a.ret(n)
+	case *ast.DeferStmt:
+		// Argument expressions evaluate now; the call's ownership ops
+		// apply at function exit (run() replays g.atExit there).
+		a.deferArgs(n.Call)
+	case *ast.GoStmt:
+		a.call(n.Call)
+	case *ast.RangeStmt:
+		a.rangeDef(n)
+	case *ast.IncDecStmt:
+		a.expr(n.X)
+	case *ast.SendStmt:
+		a.expr(n.Chan)
+		if v := a.trackedIdent(n.Value); v != nil {
+			a.applyOp(v, opEscape, n.Value.Pos())
+		} else {
+			a.expr(n.Value)
+		}
+	case ast.Expr:
+		a.expr(n)
+	}
+}
+
+func (a *ownFunc) declStmt(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if len(vs.Values) != len(vs.Names) {
+			for _, val := range vs.Values {
+				a.expr(val)
+			}
+			continue
+		}
+		for i, name := range vs.Names {
+			val := a.rvalue(vs.Values[i])
+			a.bind(name, val)
+		}
+	}
+}
+
+// ownVal is the abstract value of one right-hand side.
+type ownVal struct {
+	st     ownState
+	srcPos token.Pos // allocation site when st came from a source call
+}
+
+func (a *ownFunc) assign(s *ast.AssignStmt) {
+	if len(s.Lhs) == len(s.Rhs) {
+		vals := make([]ownVal, len(s.Rhs))
+		for i, r := range s.Rhs {
+			vals[i] = a.rvalue(r)
+		}
+		for i, l := range s.Lhs {
+			a.assignOne(l, vals[i])
+		}
+		return
+	}
+	// Tuple assignment (call, type assertion, map read): every LHS is
+	// unknown — we can't tell which result carried ownership.
+	for _, r := range s.Rhs {
+		a.rvalue(r)
+	}
+	for _, l := range s.Lhs {
+		a.assignOne(l, ownVal{st: osUnknown})
+	}
+}
+
+// rvalue evaluates one RHS expression to an abstract value, applying
+// any call effects and move semantics on the way.
+func (a *ownFunc) rvalue(e ast.Expr) ownVal {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if a.call(e) {
+			return ownVal{st: osOwned, srcPos: e.Pos()}
+		}
+		return ownVal{st: osUnknown}
+	case *ast.Ident:
+		if v := a.trackedIdent(e); v != nil {
+			// Move: the alias carries the state (and the allocation
+			// site, so leak tracking survives `m2 := m`); the source
+			// var goes unknown rather than double-tracking one value.
+			val := ownVal{st: a.fact[v], srcPos: a.allocPos[v]}
+			a.fact[v] = osUnknown
+			delete(a.allocPos, v)
+			return val
+		}
+		return ownVal{st: osUnknown}
+	case *ast.UnaryExpr:
+		if lit, ok := e.X.(*ast.CompositeLit); ok && e.Op == token.AND {
+			if tv, ok := a.info.Types[e]; ok && isPooledType(tv.Type) {
+				a.compositeLit(lit)
+				return ownVal{st: osForeign}
+			}
+		}
+		a.expr(e)
+		return ownVal{st: osUnknown}
+	default:
+		a.expr(e)
+		return ownVal{st: osUnknown}
+	}
+}
+
+func (a *ownFunc) assignOne(l ast.Expr, val ownVal) {
+	l = ast.Unparen(l)
+	if id, ok := l.(*ast.Ident); ok {
+		if id.Name == "_" {
+			if val.st == osOwned && val.srcPos.IsValid() {
+				a.ctx.report(val.srcPos, "allocated pooled value is assigned to _ and dropped (leak)")
+			}
+			return
+		}
+		a.bind(id, val)
+		return
+	}
+	// Storing into a field, slice, map or dereference: walk the lvalue
+	// for uses. The stored value (if tracked) was already moved to
+	// unknown by rvalue, which is exactly the escape semantics.
+	a.lvalueUses(l)
+}
+
+func (a *ownFunc) lvalueUses(l ast.Expr) {
+	switch l := l.(type) {
+	case *ast.SelectorExpr:
+		a.expr(l.X)
+	case *ast.IndexExpr:
+		a.expr(l.X)
+		a.expr(l.Index)
+	case *ast.StarExpr:
+		a.expr(l.X)
+	default:
+		a.expr(l)
+	}
+}
+
+// bind strong-updates a pooled variable, reporting a leak when an
+// owned value is overwritten (its allocation can never be consumed).
+func (a *ownFunc) bind(id *ast.Ident, val ownVal) {
+	var v *types.Var
+	if d, ok := a.info.Defs[id].(*types.Var); ok {
+		v = d
+	} else if u, ok := a.info.Uses[id].(*types.Var); ok {
+		v = u
+	}
+	if v == nil || !isPooledType(v.Type()) {
+		return
+	}
+	if old, ok := a.fact[v]; ok && a.emit {
+		if old&osOwned != 0 && old&osSilent == 0 && a.allocPos[v].IsValid() {
+			a.ctx.report(a.allocPos[v],
+				"pooled %s reassigned while still owned — the original allocation leaks (leak)", v.Name())
+		}
+	}
+	a.fact[v] = val.st
+	if val.st&(osOwned|osHeld) != 0 && val.srcPos.IsValid() {
+		a.allocPos[v] = val.srcPos
+	} else {
+		delete(a.allocPos, v)
+	}
+}
+
+func (a *ownFunc) ret(s *ast.ReturnStmt) {
+	for _, e := range s.Results {
+		e = ast.Unparen(e)
+		if v := a.trackedIdent(e); v != nil {
+			st := a.fact[v]
+			if st&(osOwned|osHeld) != 0 && st&osSilent == 0 {
+				if _, isParam := a.paramIndex[v]; !isParam {
+					a.returnsOwned = true
+				}
+			}
+			if msg := opComplaint(st, opUse, v.Name()); msg != "" && a.emit {
+				// Returning a released pointer is handing a dead value
+				// to the caller — same class as any other use.
+				a.ctx.report(e.Pos(), "%s", msg)
+			}
+			// The value leaves through the return: consumed, not leaked.
+			a.fact[v] = st&osSilent | osSent
+			delete(a.allocPos, v)
+			continue
+		}
+		if call, ok := e.(*ast.CallExpr); ok {
+			if a.call(call) {
+				a.returnsOwned = true
+			}
+			continue
+		}
+		a.expr(e)
+	}
+}
+
+func (a *ownFunc) deferArgs(call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		a.expr(sel.X)
+	}
+	for _, arg := range call.Args {
+		if a.trackedIdent(arg) != nil {
+			continue // op applies at exit; reading the pointer now is fine
+		}
+		a.expr(arg)
+	}
+}
+
+func (a *ownFunc) rangeDef(s *ast.RangeStmt) {
+	a.expr(s.X)
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			a.bind(id, ownVal{st: osUnknown})
+		}
+	}
+}
+
+// trackedIdent resolves e to a pooled-typed variable, or nil.
+func (a *ownFunc) trackedIdent(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := a.info.Uses[id].(*types.Var)
+	if !ok {
+		v, ok = a.info.Defs[id].(*types.Var)
+		if !ok {
+			return nil
+		}
+	}
+	if !isPooledType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// applyOp runs one op against a tracked var: complain if the joined
+// state proves a bad path, record parameter consumption for the
+// neutrality analysis, then transform the state.
+func (a *ownFunc) applyOp(v *types.Var, op opKind, pos token.Pos) {
+	st, tracked := a.fact[v]
+	if !tracked {
+		return
+	}
+	if a.emit {
+		if msg := opComplaint(st, op, v.Name()); msg != "" {
+			a.ctx.report(pos, "%s", msg)
+		}
+	}
+	if op != opUse {
+		if _, isParam := a.paramIndex[v]; isParam {
+			a.consumedParams[v] = true
+		}
+	}
+	// allocPos is kept even after a consuming op: a join may carry the
+	// owned bit in from another path, and the leak report anchors at
+	// the allocation site.
+	a.fact[v] = opNewState(st, op)
+}
+
+// --- expression walk -------------------------------------------------
+
+func (a *ownFunc) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident:
+		if v := a.trackedIdent(e); v != nil {
+			a.applyOp(v, opUse, e.Pos())
+		}
+	case *ast.ParenExpr:
+		a.expr(e.X)
+	case *ast.SelectorExpr:
+		a.expr(e.X)
+	case *ast.StarExpr:
+		a.expr(e.X)
+	case *ast.UnaryExpr:
+		if lit, ok := e.X.(*ast.CompositeLit); ok && e.Op == token.AND {
+			a.compositeLit(lit)
+			return
+		}
+		a.expr(e.X)
+	case *ast.BinaryExpr:
+		a.expr(e.X)
+		a.expr(e.Y)
+	case *ast.IndexExpr:
+		a.expr(e.X)
+		a.expr(e.Index)
+	case *ast.SliceExpr:
+		a.expr(e.X)
+		a.expr(e.Low)
+		a.expr(e.High)
+		a.expr(e.Max)
+	case *ast.TypeAssertExpr:
+		a.expr(e.X)
+	case *ast.CallExpr:
+		a.call(e)
+	case *ast.CompositeLit:
+		a.compositeLit(e)
+	case *ast.FuncLit:
+		a.funcLit(e)
+	case *ast.KeyValueExpr:
+		a.expr(e.Key)
+		a.expr(e.Value)
+	}
+}
+
+// compositeLit treats tracked elements as escapes: Handle{ev, gen},
+// &txn{req: m}, []*msg.Message{m} all park the pointer somewhere the
+// intraprocedural analysis can't see.
+func (a *ownFunc) compositeLit(lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			a.expr(kv.Key)
+			val = kv.Value
+		}
+		if v := a.trackedIdent(val); v != nil {
+			a.applyOp(v, opEscape, val.Pos())
+			continue
+		}
+		a.expr(val)
+	}
+}
+
+// funcLit marks captured tracked values as escaped at the creation
+// site and queues the literal's body for its own analysis.
+func (a *ownFunc) funcLit(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := a.info.Uses[id].(*types.Var)
+		if !ok || !isPooledType(v.Type()) {
+			return true
+		}
+		if _, tracked := a.fact[v]; tracked {
+			a.applyOp(v, opEscape, lit.Pos())
+		}
+		return true
+	})
+	a.lits = append(a.lits, lit)
+}
+
+// call interprets one call expression, returning whether its result is
+// a fresh owned value (an Alloc-like source).
+func (a *ownFunc) call(call *ast.CallExpr) (source bool) {
+	fun := ast.Unparen(call.Fun)
+
+	if id, ok := fun.(*ast.Ident); ok {
+		switch obj := a.objOf(id).(type) {
+		case *types.Builtin:
+			return a.builtinCall(obj.Name(), call)
+		case *types.TypeName:
+			for _, arg := range call.Args {
+				a.expr(arg)
+			}
+			return false
+		case nil:
+			_ = obj
+		}
+	}
+
+	fn := a.calleeFunc(fun)
+	if fn != nil {
+		if ops, src, ok := intrinsicOps(fn, call); ok {
+			a.applyCallOps(call, fun, ops)
+			return src
+		}
+		if an := a.ctx.annot[fn.FullName()]; an != nil {
+			return a.annotatedCall(call, fun, fn, an)
+		}
+		if fn.Pkg() == a.ctx.pass.Pkg.Types {
+			if consumed := a.ctx.consumes[fn]; len(consumed) > 0 {
+				ops := make(map[ast.Expr]opKind)
+				sig, _ := fn.Type().(*types.Signature)
+				for i, arg := range call.Args {
+					if consumed[i] && sig != nil && i < sig.Params().Len() {
+						ops[arg] = opOwns
+					}
+				}
+				a.applyCallOps(call, fun, ops)
+				return false
+			}
+		}
+		// Resolved, unannotated, non-consuming: a borrow.
+		a.applyCallOps(call, fun, nil)
+		return false
+	}
+
+	// Unresolvable callee (func-typed field or variable, e.g. the
+	// config's Mutate hook): assume it may keep any pooled argument.
+	ops := make(map[ast.Expr]opKind)
+	for _, arg := range call.Args {
+		if a.trackedIdent(arg) != nil {
+			ops[arg] = opOwns
+		}
+	}
+	a.applyCallOps(call, fun, ops)
+	return false
+}
+
+// applyCallOps walks the callee expression and every argument, using
+// the per-operand op where one applies and a plain borrowing use
+// everywhere else.
+func (a *ownFunc) applyCallOps(call *ast.CallExpr, fun ast.Expr, ops map[ast.Expr]opKind) {
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if op, ok := ops[sel.X]; ok {
+			a.operand(sel.X, op)
+		} else {
+			a.expr(sel.X)
+		}
+	}
+	for _, arg := range call.Args {
+		if op, ok := ops[arg]; ok {
+			a.operand(arg, op)
+			continue
+		}
+		a.expr(arg)
+	}
+}
+
+func (a *ownFunc) operand(e ast.Expr, op opKind) {
+	if v := a.trackedIdent(e); v != nil {
+		a.applyOp(v, op, e.Pos())
+		return
+	}
+	a.expr(e)
+}
+
+func (a *ownFunc) annotatedCall(call *ast.CallExpr, fun ast.Expr, fn *types.Func, an *msgOwnAnnot) (source bool) {
+	ops := make(map[ast.Expr]opKind)
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			if op, ok := an.opFor(sig.Params().At(i).Name()); ok {
+				ops[call.Args[i]] = op
+			}
+		}
+		if recv := sig.Recv(); recv != nil && recv.Name() != "" {
+			if sel, selOK := fun.(*ast.SelectorExpr); selOK {
+				if op, ok := an.opFor(recv.Name()); ok {
+					ops[sel.X] = op
+				}
+			}
+		}
+	}
+	a.applyCallOps(call, fun, ops)
+	return an.transfer[msgOwnReturn]
+}
+
+func (a *ownFunc) builtinCall(name string, call *ast.CallExpr) (source bool) {
+	switch name {
+	case "append":
+		// append(list, m): the element escapes into the slice.
+		for i, arg := range call.Args {
+			if i == 0 {
+				a.expr(arg)
+				continue
+			}
+			if v := a.trackedIdent(arg); v != nil {
+				a.applyOp(v, opEscape, arg.Pos())
+				continue
+			}
+			a.expr(arg)
+		}
+	default:
+		for _, arg := range call.Args {
+			a.expr(arg)
+		}
+	}
+	return false
+}
+
+func (a *ownFunc) objOf(id *ast.Ident) types.Object {
+	if o := a.info.Uses[id]; o != nil {
+		return o
+	}
+	return a.info.Defs[id]
+}
+
+func (a *ownFunc) calleeFunc(fun ast.Expr) *types.Func {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		f, _ := a.info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := a.info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// --- exhaustiveness --------------------------------------------------
+
+// checkExhaustive enforces the annotation contract: every exported
+// function or interface method that can take ownership of a pooled
+// parameter must say so, and //msgown:neutral must be true.
+func (ctx *msgOwnCtx) checkExhaustive() {
+	info := ctx.pass.Pkg.Info
+	for _, f := range ctx.pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok || isIntrinsicShaped(fn) {
+				continue
+			}
+			an := ctx.annot[fn.FullName()]
+			consumed := ctx.consumes[fn]
+			if an != nil {
+				if an.neutral && (len(consumed) > 0 || ctx.returnsOwned[fn]) {
+					ctx.report(fd.Name.Pos(),
+						"%s is annotated //msgown:neutral but takes ownership of a pooled value (unannotated-transfer)", fn.Name())
+				}
+				continue
+			}
+			if !fd.Name.IsExported() {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			var idxs []int
+			for i := range consumed { //hsclint:deterministic — sorted below
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+			for _, i := range idxs {
+				if i >= 0 && i < sig.Params().Len() && isPooledType(sig.Params().At(i).Type()) {
+					ctx.report(fd.Name.Pos(),
+						"exported %s takes ownership of pooled parameter %s but carries no //msgown annotation (unannotated-transfer)",
+						fn.Name(), sig.Params().At(i).Name())
+				}
+			}
+			if ctx.returnsOwned[fn] {
+				ctx.report(fd.Name.Pos(),
+					"exported %s returns an owned pooled value but carries no //msgown:transfer return annotation (unannotated-transfer)", fn.Name())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			it, ok := n.(*ast.InterfaceType)
+			if !ok {
+				return true
+			}
+			for _, m := range it.Methods.List {
+				if len(m.Names) == 0 || !m.Names[0].IsExported() {
+					continue
+				}
+				fn, ok := info.Defs[m.Names[0]].(*types.Func)
+				if !ok || isIntrinsicShaped(fn) {
+					continue
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok {
+					continue
+				}
+				pooled := false
+				for i := 0; i < sig.Params().Len(); i++ {
+					if isPooledType(sig.Params().At(i).Type()) {
+						pooled = true
+					}
+				}
+				if pooled && ctx.annot[fn.FullName()] == nil {
+					ctx.report(m.Names[0].Pos(),
+						"interface method %s receives a pooled parameter; declare //msgown:owns or //msgown:transfer on it (unannotated-transfer)", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const (
+	msgownPkg      = "hscsim/internal/lint/testdata/msgown"
+	msgownCleanPkg = "hscsim/internal/lint/testdata/msgownclean"
+)
+
+func loadPkg(t *testing.T, pattern string) []*Package {
+	t.Helper()
+	pkgs, err := Load(".", pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for %s, want 1", len(pkgs), pattern)
+	}
+	return pkgs
+}
+
+// TestMsgOwnGoldens runs the ownership analyzer over a package of
+// deliberately seeded ownership bugs and matches the diagnostics,
+// line by line, against the //want expectations in the source. Every
+// diagnostic needs a matching expectation and every expectation a
+// diagnostic, so the test fails on both missed bugs and false
+// positives.
+func TestMsgOwnGoldens(t *testing.T) {
+	pkgs := loadPkg(t, msgownPkg)
+
+	type want struct {
+		analyzer, substr string
+		matched          bool
+	}
+	src, err := os.ReadFile("testdata/msgown/msgown.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[int][]*want)
+	total := 0
+	for i, line := range strings.Split(string(src), "\n") {
+		for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+			wants[i+1] = append(wants[i+1], &want{analyzer: m[1], substr: m[2]})
+			total++
+		}
+	}
+	if total < 16 {
+		t.Fatalf("only %d //want expectations parsed — the testdata lost some", total)
+	}
+
+	for _, d := range Check(pkgs, []*Analyzer{MsgOwn}) {
+		matched := false
+		for _, w := range wants[d.Pos.Line] {
+			if !w.matched && w.analyzer == d.Analyzer && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for line, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("line %d: no %s diagnostic matching %q", line, w.analyzer, w.substr)
+			}
+		}
+	}
+}
+
+// TestMsgOwnCleanGuards runs the analyzer over the false-positive
+// guard package: loops, deferred releases, branch merges, foreign
+// literals, conditional transfer, nil guards, aliasing, Hold parking.
+// Any diagnostic here is a false positive by construction.
+func TestMsgOwnCleanGuards(t *testing.T) {
+	diags := Check(loadPkg(t, msgownCleanPkg), []*Analyzer{MsgOwn})
+	for _, d := range diags {
+		t.Errorf("false positive: %s", d)
+	}
+}
+
+// TestMsgOwnStaticSubsumesDynamic is the static↔dynamic cross-check:
+// every panic the msgdebug build can raise at runtime must correspond
+// to a static rule class, and every rule class must be demonstrated
+// by a seeded bug the analyzer actually catches. Together the two
+// directions prove the analyzer subsumes the dynamic checker — a
+// clean msgown run means no ownership panic is reachable on the
+// paths the analyzer models.
+func TestMsgOwnStaticSubsumesDynamic(t *testing.T) {
+	// Direction 1: collect every "msg:"-prefixed panic string in the
+	// msg package (including msgdebug-gated files, which parse fine
+	// regardless of build tags) and require a matching rule fragment.
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir("../msg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchedKeys := make(map[string]bool)
+	sites := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join("../msg", name), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "panic" {
+				return true
+			}
+			// The panic argument is usually fmt.Sprintf(...); scan the
+			// whole subtree for the "msg:"-prefixed format literal.
+			ast.Inspect(call, func(m ast.Node) bool {
+				lit, ok := m.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING || !strings.Contains(lit.Value, "msg:") {
+					return true
+				}
+				sites++
+				hit := false
+				for frag := range MsgOwnRules {
+					if strings.Contains(lit.Value, frag) {
+						matchedKeys[frag] = true
+						hit = true
+					}
+				}
+				if !hit {
+					t.Errorf("%s: dynamic panic %s has no static msgown rule",
+						fset.Position(lit.Pos()), lit.Value)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	if sites < 4 {
+		t.Fatalf("found only %d msgdebug panic sites, want at least 4 — did the dynamic checker move?", sites)
+	}
+	for frag := range MsgOwnRules {
+		if !matchedKeys[frag] {
+			t.Errorf("static rule fragment %q matches no dynamic panic site — stale MsgOwnRules entry", frag)
+		}
+	}
+
+	// Direction 2: every rule class must show up in a diagnostic the
+	// analyzer emits on the seeded-bug package.
+	classes := make(map[string]bool)
+	for _, d := range Check(loadPkg(t, msgownPkg), []*Analyzer{MsgOwn}) {
+		for _, class := range MsgOwnRules {
+			if strings.Contains(d.Message, "("+class+")") {
+				classes[class] = true
+			}
+		}
+	}
+	for _, class := range MsgOwnRules {
+		if !classes[class] {
+			t.Errorf("rule class %q is never demonstrated by the seeded testdata", class)
+		}
+	}
+}
+
+// TestMsgOwnFindsTheMaxTicksLeak pins the analyzer's one real catch:
+// the sim.Engine.step MaxTicks error path used to drop the popped
+// event without releasing it. The fixed source must stay clean; this
+// test re-seeds the bug shape in testdata (leakOnErrorPath) instead,
+// so here we only assert the live sim package carries no msgown
+// diagnostics — i.e. the fix stuck.
+func TestMsgOwnFindsTheMaxTicksLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads a live package; skipped in -short")
+	}
+	pkgs, err := Load(".", "hscsim/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Check(pkgs, []*Analyzer{MsgOwn}) {
+		t.Errorf("sim package regressed: %s", d)
+	}
+}

@@ -1,0 +1,170 @@
+// Package msgown deliberately violates the pooled-message ownership
+// discipline in every way the msgown analyzer can detect. It lives
+// under testdata so wildcard package patterns skip it; the lint tests
+// load it explicitly and match each seeded bug against the //want
+// expectations below.
+package msgown
+
+import (
+	"hscsim/internal/msg"
+	"hscsim/internal/noc"
+	"hscsim/internal/sim"
+)
+
+// useAfterRelease reads a message after returning it to the pool.
+func useAfterRelease(ic noc.Fabric) uint64 {
+	m := ic.Alloc()
+	ic.Release(m)
+	return uint64(m.Addr) //want msgown "used after it was released"
+}
+
+// poisonReseed re-seeds the PR 7 dynamic use-after-release bug (the
+// msgdebug poison check) as a purely static catch: the same
+// Get → Put → write shape, no instrumented build needed.
+func poisonReseed(p *msg.Pool) {
+	m := p.Get()
+	p.Put(m)
+	m.TxnID = 7 //want msgown "use-after-release"
+}
+
+// doubleRelease returns the same message to the pool twice.
+func doubleRelease(ic noc.Fabric) {
+	m := ic.Alloc()
+	ic.Release(m)
+	ic.Release(m) //want msgown "double release"
+}
+
+// loopRelease releases a loop-invariant message on every iteration:
+// the second iteration is a double release, and the zero-iteration
+// path leaks the allocation outright.
+func loopRelease(ic noc.Fabric, n int) {
+	m := ic.Alloc() //want msgown "leak"
+	for i := 0; i < n; i++ {
+		ic.Release(m) //want msgown "double release"
+	}
+}
+
+// sendAfterRelease puts a freed message back on the wire.
+func sendAfterRelease(ic noc.Fabric) {
+	m := ic.Alloc()
+	ic.Release(m)
+	ic.Send(m) //want msgown "sent back to the fabric"
+}
+
+// holdAfterRelease pins a message that is already on the free list.
+func holdAfterRelease(ic noc.Fabric) {
+	m := ic.Alloc()
+	ic.Release(m)
+	m.Hold() //want msgown "Hold of released"
+}
+
+// doubleSend forwards a message whose ownership Send already
+// transferred to the fabric.
+func doubleSend(ic noc.Fabric) {
+	m := ic.Alloc()
+	ic.Send(m)
+	ic.Send(m) //want msgown "sent twice"
+}
+
+// useAfterSend touches a message after Send handed it to the fabric;
+// the destination consumes and recycles it at delivery time.
+func useAfterSend(ic noc.Fabric) {
+	m := ic.Alloc()
+	ic.Send(m)
+	m.Src = 1 //want msgown "Send transferred ownership"
+}
+
+// postThenUse is the engine-side variant: Post transfers the obj
+// payload to the scheduled handler.
+func postThenUse(e *sim.Engine, h sim.Handler, ic noc.Fabric) {
+	m := ic.Alloc()
+	e.Post(1, h, 0, 0, m)
+	m.Dst = 2 //want msgown "Send transferred ownership"
+}
+
+// sendAfterHold sends a held message and then releases it without
+// re-taking ownership: the destination's release-on-consume races the
+// local Release, so one of them double-frees.
+func sendAfterHold(ic noc.Fabric) {
+	m := ic.Alloc()
+	m.Hold()
+	ic.Send(m)
+	ic.Release(m) //want msgown "send-after-hold"
+}
+
+// sendAfterHoldUse reads a held-and-sent message without re-taking it.
+func sendAfterHoldUse(ic noc.Fabric) {
+	m := ic.Alloc()
+	m.Hold()
+	ic.Send(m)
+	m.TxnID = 9 //want msgown "send-after-hold"
+}
+
+// leakOnErrorPath forgets the allocation on the early return — the
+// exact shape of the sim.Engine.step MaxTicks leak this analyzer
+// found in the real tree.
+func leakOnErrorPath(ic noc.Fabric, fail bool) {
+	m := ic.Alloc() //want msgown "neither Sent, Held, nor Released"
+	if fail {
+		return
+	}
+	ic.Send(m)
+}
+
+// reassignLeak overwrites the only reference to an owned message.
+func reassignLeak(ic noc.Fabric) {
+	m := ic.Alloc() //want msgown "reassigned while still owned"
+	m = ic.Alloc()
+	ic.Send(m)
+}
+
+// dropAlloc discards a pooled allocation into the blank identifier.
+func dropAlloc(ic noc.Fabric) {
+	_ = ic.Alloc() //want msgown "assigned to _ and dropped"
+}
+
+// branchRelease frees on one branch only, then uses unconditionally:
+// the release path makes the use a use-after-release.
+func branchRelease(ic noc.Fabric, c bool) {
+	m := ic.Alloc()
+	if c {
+		ic.Release(m)
+	}
+	m.TxnID = 1 //want msgown "used after it was released"
+	ic.Send(m)  //want msgown "sent back to the fabric"
+}
+
+// Consume takes ownership of its pooled parameter but does not say
+// so, leaving callers to guess whether they still own m.
+func Consume(ic noc.Fabric, m *msg.Message) { //want msgown "unannotated-transfer"
+	ic.Release(m)
+}
+
+// BadNeutral claims to borrow but actually transfers ownership.
+//
+//msgown:neutral
+func BadNeutral(ic noc.Fabric, m *msg.Message) { //want msgown "msgown:neutral"
+	ic.Send(m)
+}
+
+// Sink's method takes a pooled parameter without declaring the
+// ownership contract implementations must honor.
+type Sink interface {
+	Push(m *msg.Message) //want msgown "interface method"
+}
+
+var _ = useAfterRelease
+var _ = poisonReseed
+var _ = doubleRelease
+var _ = loopRelease
+var _ = sendAfterRelease
+var _ = holdAfterRelease
+var _ = doubleSend
+var _ = useAfterSend
+var _ = postThenUse
+var _ = sendAfterHold
+var _ = sendAfterHoldUse
+var _ = leakOnErrorPath
+var _ = reassignLeak
+var _ = dropAlloc
+var _ = branchRelease

@@ -15,15 +15,20 @@ import (
 	"hscsim/internal/stats"
 )
 
-// Handler receives delivered messages.
+// Handler receives delivered messages. The fabric still owns m during
+// Receive (release-on-consume); an implementation that keeps it past
+// the return must Hold it — hence the conditional-ownership
+// annotation.
 type Handler interface {
-	Receive(m *msg.Message)
+	Receive(m *msg.Message) //msgown:owns m
 }
 
 // HandlerFunc adapts a function to the Handler interface.
 type HandlerFunc func(m *msg.Message)
 
-// Receive calls f(m).
+// Receive calls f(m), which may Hold it like any Handler.
+//
+//msgown:owns m
 func (f HandlerFunc) Receive(m *msg.Message) { f(m) }
 
 // Fabric is the interface cache controllers use to reach the

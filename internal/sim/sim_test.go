@@ -137,6 +137,28 @@ func TestMaxTicks(t *testing.T) {
 	}
 }
 
+// TestMaxTicksReleasesPoppedEvent pins the leak the msgown lint found
+// in step(): the MaxTicks abort path popped the over-limit event off
+// the queue and returned without releasing it, so every abort bled one
+// event (and its target/obj references) out of the free list.
+func TestMaxTicksReleasesPoppedEvent(t *testing.T) {
+	e := NewEngine()
+	e.MaxTicks = 5
+	e.Schedule(10, func() { t.Fatal("event beyond MaxTicks must not fire") })
+	if err := e.Run(); err == nil {
+		t.Fatal("expected MaxTicks error")
+	}
+	if len(e.free) != 1 {
+		t.Fatalf("free list has %d events after MaxTicks abort, want 1 (popped event leaked)", len(e.free))
+	}
+	// The recycled event must be fully neutral: a poisoned fn/obj here
+	// would resurrect the aborted dispatch on the next Schedule.
+	ev := e.free[0]
+	if ev.fn != nil || ev.target != nil || ev.obj != nil {
+		t.Fatal("released event still references its cancelled dispatch")
+	}
+}
+
 func TestTicker(t *testing.T) {
 	e := NewEngine()
 	n := 0

@@ -41,7 +41,11 @@ func TestStoreProbeRoundTripAllocs(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		store()
 	}
-	const budget = 12
+	// Measured 7.0 allocs/op with pooled messages and events; the
+	// budget sits exactly on the measurement so any new allocation on
+	// the store+probe path fails loudly. The msgown lint proves the
+	// pooling that gets us here is leak- and use-after-release-free.
+	const budget = 7
 	got := testing.AllocsPerRun(200, store)
 	t.Logf("store+probe round trip: %.1f allocs/op (budget %d)", got, budget)
 	if got > budget {

@@ -180,6 +180,9 @@ type dirRouter struct {
 	banks []*core.Directory
 }
 
+// Receive forwards to the owning bank, which may Hold the request.
+//
+//msgown:owns m
 func (r *dirRouter) Receive(m *msg.Message) {
 	r.banks[dirBankFor(m.Addr, len(r.banks))].Receive(m)
 }
