@@ -1,26 +1,40 @@
 // Command hscserve exposes the simulation job engine as an HTTP/JSON
-// service: submit canonical job specs, poll their status, and fetch
-// canonical results, with every completed run memoized in the
-// content-addressed cache.
+// service: submit canonical job specs or whole sweeps, poll status,
+// and fetch canonical results, with every completed run memoized in
+// the content-addressed cache. With -peers, N hscserve processes form
+// one coherent fleet: job hashes are consistent-hash routed to a home
+// node, peers read through each other's caches, and results computed
+// anywhere warm the whole cluster.
 //
 // Usage:
 //
 //	hscserve [-addr :8080] [-workers GOMAXPROCS] [-queue 256] [-cache dir] [-timeout 0]
+//	         [-self http://host:8080] [-peers http://a:8080,http://b:8080] [-cells 16]
 //
 // API:
 //
 //	POST /jobs                submit a Spec (JSON); 202 accepted,
-//	                          200 done (cache hit), 429 queue full.
-//	                          ?wait=1 blocks until the result is ready.
-//	GET  /jobs/{hash}         job status
+//	                          200 done (cache hit), 413 oversize,
+//	                          429 queue full. ?wait=1 blocks.
+//	                          Non-home submissions are proxied to the
+//	                          job's home peer (local fallback).
+//	GET  /jobs/{hash}         job status (cache-backed after retirement)
 //	GET  /jobs/{hash}/result  canonical result JSON
-//	GET  /metrics             engine + cache counters (plain text)
+//	POST /sweeps              submit a SweepSpec; streams NDJSON
+//	                          per-cell results as they complete
+//	GET  /sweeps/{id}         sweep progress / resumption
+//	GET  /cache/{hash}        local cache tier (peer read-through)
+//	POST /cache/{hash}        local cache tier (peer async fill)
+//	GET  /ring                fleet membership
+//	GET  /metrics             engine + fleet counters (plain text)
 //	GET  /healthz             liveness
 //
-// Example:
+// Example (3-node loopback fleet):
 //
-//	curl -d '{"bench":"tq","scale":1,"threads":8,"protocol":{"tracking":"owner+sharers","llcWriteBack":true,"useL3OnWT":true}}' \
-//	    'localhost:8080/jobs?wait=1'
+//	hscserve -addr 127.0.0.1:8081 -self http://127.0.0.1:8081 -peers http://127.0.0.1:8082,http://127.0.0.1:8083 &
+//	hscserve -addr 127.0.0.1:8082 -self http://127.0.0.1:8082 -peers http://127.0.0.1:8081,http://127.0.0.1:8083 &
+//	hscserve -addr 127.0.0.1:8083 -self http://127.0.0.1:8083 -peers http://127.0.0.1:8081,http://127.0.0.1:8082 &
+//	hscsweep -server http://127.0.0.1:8081 -bench tq
 //
 // On SIGINT/SIGTERM the server stops accepting jobs, cancels the
 // queue, lets in-flight simulations finish (bounded by -drain), and
@@ -36,10 +50,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"hscsim/internal/engine"
+	"hscsim/internal/fleet"
+	"hscsim/internal/stats"
 )
 
 func main() {
@@ -50,25 +67,54 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 0, "max in-memory cache entries (0 = 4096)")
 	timeout := flag.Duration("timeout", 0, "per-job execution timeout (0 = none)")
 	drain := flag.Duration("drain", time.Minute, "max wait for in-flight jobs on shutdown")
+	self := flag.String("self", "", "this node's advertised base URL (required with -peers)")
+	peersFlag := flag.String("peers", "", "comma-separated peer base URLs forming the fleet")
+	cells := flag.Int("cells", 0, "max concurrently in-flight sweep cells (0 = 16)")
+	peerTimeout := flag.Duration("peer-timeout", 30*time.Second, "per-attempt peer request timeout")
 	flag.Parse()
 
-	cache, err := engine.NewCache(*cacheEntries, *cacheDir)
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) > 0 && *self == "" {
+		fmt.Fprintln(os.Stderr, "hscserve: -peers requires -self (this node's advertised URL)")
+		os.Exit(2)
+	}
+	if *self == "" {
+		*self = "http://" + *addr // single-node: any stable placeholder works
+	}
+
+	local, err := engine.NewCache(*cacheEntries, *cacheDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hscserve:", err)
 		os.Exit(1)
+	}
+	ring := fleet.NewRing(*self, peers)
+	client := fleet.NewClient(*peerTimeout)
+	reg := stats.NewRegistry()
+	var cache engine.ResultCache = local
+	var tiered *fleet.TieredCache
+	if len(ring.Members()) > 1 {
+		tiered = fleet.NewTieredCache(local, ring, client, reg)
+		cache = tiered
 	}
 	eng := engine.New(engine.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		Cache:      cache,
 		JobTimeout: *timeout,
+		Registry:   reg,
 	})
+	node := fleet.New(eng, ring, tiered, fleet.Options{Client: client, CellParallelism: *cells})
 
-	srv := &http.Server{Addr: *addr, Handler: engine.NewServer(eng)}
+	srv := &http.Server{Addr: *addr, Handler: node.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "hscserve: listening on %s (workers=%d queue=%d cache=%q)\n",
-		*addr, *workers, *queue, *cacheDir)
+	fmt.Fprintf(os.Stderr, "hscserve: listening on %s (workers=%d queue=%d cache=%q fleet=%d)\n",
+		*addr, *workers, *queue, *cacheDir, len(ring.Members()))
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -8,6 +8,27 @@ import (
 	"sync"
 )
 
+// ResultCache is the interface the engine memoizes through. The
+// canonical implementation is Cache (in-memory LRU + optional disk
+// store); internal/fleet layers a peer-backed read-through tier on top
+// so a whole cluster shares one content-addressed result space. Keys
+// are job hashes (Spec.Hash), which fold in the code version, so an
+// implementation never has to reason about staleness — a key either
+// maps to the one result its spec can produce, or is absent.
+type ResultCache interface {
+	// Get returns the result bytes for key. Implementations own the
+	// returned slice's lifetime guarantees: callers may retain it.
+	Get(key string) ([]byte, bool)
+	// Put stores val under key. Implementations must tolerate
+	// concurrent Puts of the same key (the values are identical by
+	// construction).
+	Put(key string, val []byte) error
+	// Len reports the number of entries in the fastest tier.
+	Len() int
+	// Stats snapshots hit/miss counters for /metrics.
+	Stats() CacheStats
+}
+
 // Cache is the content-addressed result store: an in-memory LRU over
 // canonical result encodings, optionally backed by an on-disk store.
 // Keys are job hashes (see Spec.Hash), which already fold in the code

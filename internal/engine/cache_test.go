@@ -2,8 +2,10 @@ package engine
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -112,5 +114,52 @@ func TestCacheMissCounts(t *testing.T) {
 	}
 	if st := c.Stats(); st.Misses != 1 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCacheConcurrentStress hammers one cache from many goroutines —
+// overlapping Get/Put on a hot key set small enough to force constant
+// LRU eviction, over a real disk store — and then verifies every
+// surviving entry is intact. Run under -race (CI does) this is the
+// cache's concurrency proof.
+func TestCacheConcurrentStress(t *testing.T) {
+	c, err := NewCache(8, t.TempDir()) // tiny LRU: constant eviction
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const keys = 32
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := fmt.Sprintf("key-%d", (g*7+i)%keys)
+				want := "val-" + k
+				if v, ok := c.Get(k); ok && string(v) != want {
+					t.Errorf("corrupt read: key %s = %q", k, v)
+					return
+				}
+				if err := c.Put(k, []byte(want)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if v, ok := c.Get(k); !ok || string(v) != "val-"+k {
+			t.Fatalf("after stress: key %s = %q, %v", k, v, ok)
+		}
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatal("stress never evicted; LRU bound not exercised")
 	}
 }

@@ -163,8 +163,17 @@ type Config struct {
 	// QueueDepth bounds the number of queued-but-not-running jobs
 	// (≤0 = 256). A full queue rejects Submit with ErrQueueFull.
 	QueueDepth int
-	// Cache memoizes results (nil = a private in-memory cache).
-	Cache *Cache
+	// Cache memoizes results (nil = a private in-memory Cache). Any
+	// ResultCache works; internal/fleet supplies a peer-backed tier.
+	Cache ResultCache
+	// RetainJobs bounds the in-memory job index: once a job is
+	// terminal (and a successful result is memoized in the cache), it
+	// is retired into a FIFO of at most RetainJobs entries and then
+	// dropped from the index (≤0 = 512). Status and result reads for
+	// dropped jobs are served from the cache (see Engine.CachedResult);
+	// without this bound the index grows by one entry per distinct
+	// spec forever.
+	RetainJobs int
 	// JobTimeout bounds each job's execution (0 = none).
 	JobTimeout time.Duration
 	// Registry receives the engine's counters under the "engine" scope
@@ -180,13 +189,14 @@ type Config struct {
 // cache.
 type Engine struct {
 	exec     func(context.Context, Spec) ([]byte, error)
-	cache    *Cache
+	cache    ResultCache
 	timeout  time.Duration
 	registry *stats.Registry
+	retain   int
 
 	cSubmitted, cDedup, cCacheHits       *stats.Counter
 	cDone, cFailed, cCanceled, cTimeouts *stats.Counter
-	cRejected                            *stats.Counter
+	cRejected, cEvicted                  *stats.Counter
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -196,6 +206,7 @@ type Engine struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
+	retired  []string // FIFO of terminal job hashes still in the index
 	draining bool
 	running  int
 }
@@ -214,6 +225,10 @@ func New(cfg Config) *Engine {
 	if cache == nil {
 		cache, _ = NewCache(0, "")
 	}
+	retain := cfg.RetainJobs
+	if retain <= 0 {
+		retain = 512
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = stats.NewRegistry()
@@ -229,6 +244,7 @@ func New(cfg Config) *Engine {
 		cache:      cache,
 		timeout:    cfg.JobTimeout,
 		registry:   reg,
+		retain:     retain,
 		cSubmitted: sc.Counter("jobs_submitted"),
 		cDedup:     sc.Counter("dedup_hits"),
 		cCacheHits: sc.Counter("cache_hits"),
@@ -237,6 +253,7 @@ func New(cfg Config) *Engine {
 		cCanceled:  sc.Counter("jobs_canceled"),
 		cTimeouts:  sc.Counter("jobs_timed_out"),
 		cRejected:  sc.Counter("queue_rejects"),
+		cEvicted:   sc.Counter("jobs_evicted"),
 		queue:      make(chan *Job, depth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -254,7 +271,15 @@ func New(cfg Config) *Engine {
 func (e *Engine) Registry() *stats.Registry { return e.registry }
 
 // Cache exposes the engine's result cache.
-func (e *Engine) Cache() *Cache { return e.cache }
+func (e *Engine) Cache() ResultCache { return e.cache }
+
+// CachedResult looks a hash up in the result cache directly. It is how
+// the HTTP service keeps GET /jobs/{hash}/result working for jobs that
+// have been retired from the in-memory index: the job object is gone,
+// but the content-addressed result is forever.
+func (e *Engine) CachedResult(hash string) ([]byte, bool) {
+	return e.cache.Get(hash)
+}
 
 // Submit enqueues a spec and returns its job. Submitting a spec whose
 // hash is already live returns the existing job (singleflight); a spec
@@ -265,22 +290,47 @@ func (e *Engine) Submit(sp Spec) (*Job, error) {
 	hash := sp.Hash()
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.draining {
+		e.mu.Unlock()
 		return nil, ErrDraining
 	}
-	if j, ok := e.jobs[hash]; ok && j.State() != Failed && j.State() != Canceled {
+	// Singleflight applies to LIVE jobs only: a spec whose job is
+	// queued or running joins it. Terminal jobs fall through — a Done
+	// job's result is in the cache (the probe below serves it and
+	// counts a cache hit), and Failed/Canceled jobs are retried.
+	if j, ok := e.jobs[hash]; ok && !j.State().Terminal() {
 		e.cDedup.Inc()
+		e.mu.Unlock()
 		return j, nil
 	}
+	e.mu.Unlock()
+
+	// Probe the cache OUTSIDE the engine lock: a disk-backed cache does
+	// file I/O here, and the fleet's tiered cache may consult a peer
+	// over HTTP — neither may serialize every other Submit.
 	if v, ok := e.cache.Get(hash); ok {
+		// Served entirely from the cache: the job is born terminal and
+		// is deliberately NOT entered into the index — indexing it
+		// would grow e.jobs by one entry per distinct warm spec, and
+		// every read for it can be answered from the cache again.
 		j := newJob(sp, hash)
 		j.mu.Lock()
 		j.cached = true
 		j.finishLocked(v, nil, Done)
 		j.mu.Unlock()
-		e.jobs[hash] = j
 		e.cCacheHits.Inc()
+		return j, nil
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.draining {
+		return nil, ErrDraining
+	}
+	// Re-check after the unlocked probe: a concurrent Submit of the
+	// same spec may have registered the job meanwhile (singleflight).
+	if j, ok := e.jobs[hash]; ok && !j.State().Terminal() {
+		e.cDedup.Inc()
 		return j, nil
 	}
 	j := newJob(sp, hash)
@@ -383,6 +433,7 @@ type EngineStats struct {
 	Canceled   uint64     `json:"canceled"`
 	TimedOut   uint64     `json:"timedOut"`
 	Rejected   uint64     `json:"rejected"`
+	Evicted    uint64     `json:"evicted"`
 	QueueDepth int        `json:"queueDepth"`
 	Running    int        `json:"running"`
 	Jobs       int        `json:"jobs"`
@@ -403,10 +454,31 @@ func (e *Engine) Stats() EngineStats {
 		Canceled:   e.cCanceled.Value(),
 		TimedOut:   e.cTimeouts.Value(),
 		Rejected:   e.cRejected.Value(),
+		Evicted:    e.cEvicted.Value(),
 		QueueDepth: len(e.queue),
 		Running:    running,
 		Jobs:       jobs,
 		Cache:      e.cache.Stats(),
+	}
+}
+
+// retire enters a terminal job's hash into the bounded retention FIFO
+// and drops index entries past the cap. Recently finished jobs stay
+// visible to GET /jobs/{hash} (state, Cached flag, error detail);
+// older ones are served from the result cache instead. A hash whose
+// index slot has since been replaced by a newer, still-live job is
+// left alone.
+func (e *Engine) retire(hash string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retired = append(e.retired, hash)
+	for len(e.retired) > e.retain {
+		old := e.retired[0]
+		e.retired = e.retired[1:]
+		if j, ok := e.jobs[old]; ok && j.State().Terminal() {
+			delete(e.jobs, old)
+			e.cEvicted.Inc()
+		}
 	}
 }
 
@@ -464,6 +536,7 @@ func (e *Engine) runJob(j *Job) {
 		// memoization write loses only future speedups.
 		_ = e.cache.Put(j.Hash, result)
 		e.cDone.Inc()
+		e.retire(j.Hash)
 		return
 	case errors.Is(err, context.DeadlineExceeded):
 		j.finishLocked(nil, fmt.Errorf("engine: job %s timed out after %v: %w", j.Spec, e.timeout, err), Failed)
@@ -477,4 +550,8 @@ func (e *Engine) runJob(j *Job) {
 		e.cFailed.Inc()
 	}
 	j.mu.Unlock()
+	// Failed and cancelled jobs have no cached result to fall back on,
+	// but they still go through the retention FIFO: an error is worth
+	// keeping around for recent polls, not forever.
+	e.retire(j.Hash)
 }

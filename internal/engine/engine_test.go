@@ -133,8 +133,9 @@ func TestCompletedJobServedFromCacheOnResubmit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A done job stays in the jobs map, so resubmit is a dedup hit; a
-	// second engine sharing the cache gets a cache hit instead.
+	// Resubmitting a completed spec is served through the cache probe
+	// (terminal jobs don't dedup); a second engine sharing the cache
+	// gets the same cache hit.
 	if _, err := e.Run(ctx, sp); err != nil {
 		t.Fatal(err)
 	}
@@ -393,5 +394,83 @@ func TestConcurrentSubmitters(t *testing.T) {
 	}
 	if st.Submitted+st.DedupHits+st.CacheHits != goroutines*specs {
 		t.Fatalf("submit paths don't add up: %+v", st)
+	}
+}
+
+// TestJobIndexBoundedUnderChurn is the unbounded-growth regression
+// test: churn many distinct specs through a small-retention engine and
+// require the in-memory job index to stay bounded while every evicted
+// job's result remains readable through the cache.
+func TestJobIndexBoundedUnderChurn(t *testing.T) {
+	e := New(Config{Workers: 2, RetainJobs: 8, Exec: func(ctx context.Context, sp Spec) ([]byte, error) {
+		return []byte(`{"bench":"` + sp.Bench + `"}`), nil
+	}})
+	defer e.Close()
+
+	const churn = 100
+	ctx := context.Background()
+	hashes := make([]string, 0, churn)
+	for i := 0; i < churn; i++ {
+		sp := Spec{Bench: fmt.Sprintf("churn-%d", i)}
+		if _, err := e.Run(ctx, sp); err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, sp.Normalized().Hash())
+	}
+
+	st := e.Stats()
+	if st.Jobs > 8+2 { // retention cap plus in-flight slack
+		t.Fatalf("job index grew to %d entries under churn (retain=8)", st.Jobs)
+	}
+	if st.Evicted == 0 {
+		t.Fatal("no jobs were evicted")
+	}
+	// Every result — including long-evicted ones — is still served.
+	for i, h := range hashes {
+		b, ok := e.CachedResult(h)
+		if !ok {
+			t.Fatalf("result %d (hash %s) lost after eviction", i, h[:12])
+		}
+		want := fmt.Sprintf(`{"bench":"churn-%d"}`, i)
+		if string(b) != want {
+			t.Fatalf("result %d = %s, want %s", i, b, want)
+		}
+	}
+	// Resubmitting an evicted spec is a cache hit, not a re-run.
+	pre := e.Stats().Done
+	j, err := e.Submit(Spec{Bench: "churn-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Cached() {
+		t.Fatal("evicted spec re-simulated instead of cache hit")
+	}
+	if e.Stats().Done != pre {
+		t.Fatal("evicted spec re-executed")
+	}
+}
+
+// TestFailedJobsAlsoRetired: failure churn must not grow the index
+// either, even though failures have no cached result to fall back on.
+func TestFailedJobsAlsoRetired(t *testing.T) {
+	e := New(Config{Workers: 2, RetainJobs: 4, Exec: func(ctx context.Context, sp Spec) ([]byte, error) {
+		return nil, errors.New("boom")
+	}})
+	defer e.Close()
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		j, err := e.Submit(Spec{Bench: fmt.Sprintf("fail-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(ctx); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if st := e.Stats(); st.Jobs > 4+2 {
+		t.Fatalf("failed-job churn grew the index to %d (retain=4)", st.Jobs)
 	}
 }

@@ -7,6 +7,12 @@ import (
 	"net/http"
 )
 
+// MaxJobBody bounds a POST /jobs request body. A Spec is a few hundred
+// bytes of JSON; a megabyte is generous headroom, and anything larger
+// is a client bug or abuse and is rejected with 413 before the decoder
+// buffers it.
+const MaxJobBody = 1 << 20
+
 // JobStatus is the service's JSON view of a job.
 type JobStatus struct {
 	Hash   string `json:"hash"`
@@ -31,74 +37,120 @@ func statusOf(j *Job) JobStatus {
 	return st
 }
 
+// DecodeSpecBody decodes a bounded Spec request body, distinguishing
+// an oversize body (ok=false, 413 already written) and a malformed or
+// invalid spec (ok=false, 400 already written) from success.
+func DecodeSpecBody(w http.ResponseWriter, r *http.Request) (Spec, bool) {
+	var sp Spec
+	r.Body = http.MaxBytesReader(w, r.Body, MaxJobBody)
+	if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return Spec{}, false
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+		return Spec{}, false
+	}
+	if err := sp.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return Spec{}, false
+	}
+	return sp, true
+}
+
+// ServeSubmit submits sp and writes the canonical POST /jobs response:
+// 202 queued, 200 done (cache hit), 429 queue full (+Retry-After),
+// 503 draining; ?wait=1 blocks until the job completes (bounded by the
+// request context) and then writes the result. The single-node server
+// and the fleet front end (internal/fleet) share this so a job behaves
+// identically whether it was submitted directly or routed via a peer.
+func ServeSubmit(e *Engine, w http.ResponseWriter, r *http.Request, sp Spec) {
+	j, err := e.Submit(sp)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		if _, err := j.Wait(r.Context()); err != nil && r.Context().Err() != nil {
+			httpError(w, http.StatusGatewayTimeout, err)
+			return
+		}
+		writeResult(w, j)
+		return
+	}
+	code := http.StatusAccepted
+	if j.State() == Done {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, statusOf(j))
+}
+
 // NewServer returns the hscserve HTTP API over an engine:
 //
 //	POST /jobs              submit a Spec; 202 queued, 200 done (cache
-//	                        hit), 429 queue full, 503 draining
-//	GET  /jobs/{hash}       job status
+//	                        hit), 413 oversize body, 429 queue full,
+//	                        503 draining
+//	GET  /jobs/{hash}       job status (cache-backed for retired jobs)
 //	GET  /jobs/{hash}/result  canonical result JSON; 202 while running
 //	GET  /metrics           engine + cache counters (text)
 //	GET  /healthz           liveness
 //
 // POST /jobs?wait=1 blocks until the job completes (bounded by the
 // request context), then behaves like GET .../result.
+//
+// Jobs retired from the in-memory index (Config.RetainJobs) remain
+// readable: both GET endpoints fall back to the content-addressed
+// result cache and synthesize a done/cached view.
 func NewServer(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
-		var sp Spec
-		if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+		sp, ok := DecodeSpecBody(w, r)
+		if !ok {
 			return
 		}
-		if err := sp.Validate(); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		j, err := e.Submit(sp)
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusTooManyRequests, err)
-			return
-		case errors.Is(err, ErrDraining):
-			httpError(w, http.StatusServiceUnavailable, err)
-			return
-		case err != nil:
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		if r.URL.Query().Get("wait") != "" {
-			if _, err := j.Wait(r.Context()); err != nil && r.Context().Err() != nil {
-				httpError(w, http.StatusGatewayTimeout, err)
-				return
-			}
-			writeResult(w, j)
-			return
-		}
-		code := http.StatusAccepted
-		if j.State() == Done {
-			code = http.StatusOK
-		}
-		writeJSON(w, code, statusOf(j))
+		ServeSubmit(e, w, r, sp)
 	})
 
 	mux.HandleFunc("GET /jobs/{hash}", func(w http.ResponseWriter, r *http.Request) {
-		j, ok := e.Job(r.PathValue("hash"))
-		if !ok {
-			httpError(w, http.StatusNotFound, errors.New("unknown job"))
+		hash := r.PathValue("hash")
+		if j, ok := e.Job(hash); ok {
+			writeJSON(w, http.StatusOK, statusOf(j))
 			return
 		}
-		writeJSON(w, http.StatusOK, statusOf(j))
+		if _, ok := e.CachedResult(hash); ok {
+			// Retired from the index but memoized: the spec is no
+			// longer known, the state and result are.
+			writeJSON(w, http.StatusOK, JobStatus{Hash: hash, State: Done.String(), Cached: true})
+			return
+		}
+		httpError(w, http.StatusNotFound, errors.New("unknown job"))
 	})
 
 	mux.HandleFunc("GET /jobs/{hash}/result", func(w http.ResponseWriter, r *http.Request) {
-		j, ok := e.Job(r.PathValue("hash"))
-		if !ok {
-			httpError(w, http.StatusNotFound, errors.New("unknown job"))
+		hash := r.PathValue("hash")
+		if j, ok := e.Job(hash); ok {
+			writeResult(w, j)
 			return
 		}
-		writeResult(w, j)
+		if b, ok := e.CachedResult(hash); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Engine-Cached", "true")
+			w.WriteHeader(http.StatusOK)
+			w.Write(b)
+			return
+		}
+		httpError(w, http.StatusNotFound, errors.New("unknown job"))
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {

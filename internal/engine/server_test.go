@@ -2,7 +2,9 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -203,5 +205,75 @@ func TestServerMetricsAndHealth(t *testing.T) {
 	resp, body = get(t, srv, "/healthz")
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
 		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestServerRejectsOversizeBody: job bodies beyond MaxJobBody must fail
+// with 413, not be buffered or half-parsed.
+func TestServerRejectsOversizeBody(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+
+	huge := append([]byte(`{"bench":"`), bytes.Repeat([]byte("x"), MaxJobBody+1)...)
+	huge = append(huge, []byte(`"}`)...)
+	resp, err := srv.Client().Post(srv.URL+"/jobs", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: %d, want 413", resp.StatusCode)
+	}
+	if st := e.Stats(); st.Submitted != 0 {
+		t.Fatalf("oversize body reached the engine: %+v", st)
+	}
+}
+
+// TestServerServesRetiredJobFromCache: after a job is evicted from the
+// in-memory index, GET /jobs/{hash} and /jobs/{hash}/result are still
+// answered from the result cache.
+func TestServerServesRetiredJobFromCache(t *testing.T) {
+	e := New(Config{Workers: 1, RetainJobs: 1, Exec: func(ctx context.Context, sp Spec) ([]byte, error) {
+		return []byte(`{"bench":"` + sp.Bench + `"}`), nil
+	}})
+	defer e.Close()
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+
+	first := Spec{Bench: "early"}
+	if _, err := e.Run(context.Background(), first); err != nil {
+		t.Fatal(err)
+	}
+	// Push enough later jobs through to force "early" out of the index.
+	for i := 0; i < 5; i++ {
+		if _, err := e.Run(context.Background(), Spec{Bench: fmt.Sprintf("later-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hash := first.Normalized().Hash()
+	if _, live := e.Job(hash); live {
+		t.Fatal("early job still in the index; retention not exercised")
+	}
+
+	resp, body := get(t, srv, "/jobs/"+hash)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status of retired job: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != Done.String() || !st.Cached {
+		t.Fatalf("retired status = %+v, want Done/cached", st)
+	}
+
+	resp, body = get(t, srv, "/jobs/"+hash+"/result")
+	if resp.StatusCode != http.StatusOK || string(body) != `{"bench":"early"}` {
+		t.Fatalf("retired result: %d %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Engine-Cached") != "true" {
+		t.Fatal("retired result not marked cached")
 	}
 }

@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+
+	"hscsim/internal/engine"
+	"hscsim/internal/stats"
+)
+
+// TieredCache is an engine.ResultCache that makes a fleet share one
+// content-addressed result space:
+//
+//	Get: local LRU+disk  →  home-peer read-through (singleflighted)
+//	Put: local LRU+disk  →  async push to the job's home peer
+//
+// Staleness is impossible by construction — a key folds in the
+// simulator version and the normalized spec, so any bytes a peer holds
+// for it are the one result that spec can produce; the only failure
+// mode is a miss, and a miss (or an unreachable peer) just means the
+// local engine computes the result itself. That is also the fallback
+// story: with every peer down, the tier behaves exactly like the local
+// cache alone.
+type TieredCache struct {
+	local  *engine.Cache
+	ring   *Ring
+	client *Client
+
+	cPeerHits, cPeerMisses, cPeerErrors *stats.Counter
+	cFills, cFillDrops                  *stats.Counter
+
+	fillSem chan struct{} // bounds concurrent async fills
+
+	mu       sync.Mutex
+	inflight map[string]*fetch // singleflight on remote reads
+}
+
+// fetch is one in-flight remote read; joiners wait on done.
+type fetch struct {
+	done chan struct{}
+	val  []byte
+	ok   bool
+}
+
+// NewTieredCache layers peer read-through over local. Counters land in
+// reg under the "fleet" scope (nil = a private registry), so they show
+// up in /metrics when reg is the engine's registry.
+func NewTieredCache(local *engine.Cache, ring *Ring, client *Client, reg *stats.Registry) *TieredCache {
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	if client == nil {
+		client = NewClient(0)
+	}
+	sc := reg.Scope("fleet")
+	return &TieredCache{
+		local:       local,
+		ring:        ring,
+		client:      client,
+		cPeerHits:   sc.Counter("peer_hits"),
+		cPeerMisses: sc.Counter("peer_misses"),
+		cPeerErrors: sc.Counter("peer_errors"),
+		cFills:      sc.Counter("fills_pushed"),
+		cFillDrops:  sc.Counter("fills_dropped"),
+		fillSem:     make(chan struct{}, 8),
+		inflight:    make(map[string]*fetch),
+	}
+}
+
+// Local exposes the bottom tier — the server's /cache/{hash} endpoints
+// read and write it directly, never through the peer tier, so a peer
+// asking a peer can never recurse.
+func (t *TieredCache) Local() *engine.Cache { return t.local }
+
+// Get returns the result for key from the local tier, or — when this
+// node is not the key's home — from the home peer, filling the local
+// tier on a remote hit. Concurrent misses on the same key share one
+// remote fetch. Any peer failure degrades to a miss.
+func (t *TieredCache) Get(key string) ([]byte, bool) {
+	if v, ok := t.local.Get(key); ok {
+		return v, true
+	}
+	home := t.ring.Home(key)
+	if t.ring.IsSelf(home) {
+		// This node IS the authority for key; nobody else is more
+		// likely to have it.
+		return nil, false
+	}
+
+	t.mu.Lock()
+	if f, ok := t.inflight[key]; ok {
+		t.mu.Unlock()
+		<-f.done
+		return f.val, f.ok
+	}
+	f := &fetch{done: make(chan struct{})}
+	t.inflight[key] = f
+	t.mu.Unlock()
+
+	v, ok, err := t.client.FetchResult(context.Background(), home, key)
+	switch {
+	case err != nil:
+		t.cPeerErrors.Inc()
+	case !ok:
+		t.cPeerMisses.Inc()
+	default:
+		t.cPeerHits.Inc()
+		_ = t.local.Put(key, v) // fill-on-miss: next read is local
+		f.val = v
+		f.ok = true
+	}
+
+	t.mu.Lock()
+	delete(t.inflight, key)
+	t.mu.Unlock()
+	close(f.done)
+	return f.val, f.ok
+}
+
+// Put stores locally and, when this node is not the key's home,
+// asynchronously pushes the result to the home peer so the fleet's
+// authority for the key converges to warm. Fills are bounded and
+// best-effort: an overloaded or dead home just means the next reader
+// falls back to compute.
+func (t *TieredCache) Put(key string, val []byte) error {
+	err := t.local.Put(key, val)
+	home := t.ring.Home(key)
+	if !t.ring.IsSelf(home) {
+		select {
+		case t.fillSem <- struct{}{}:
+			go func() {
+				defer func() { <-t.fillSem }()
+				if t.client.PushResult(context.Background(), home, key, val) == nil {
+					t.cFills.Inc()
+				} else {
+					t.cPeerErrors.Inc()
+				}
+			}()
+		default:
+			t.cFillDrops.Inc()
+		}
+	}
+	return err
+}
+
+// PutLocal stores only in the local tier — used for results that came
+// FROM a peer (pushing them back would be a pointless round trip).
+func (t *TieredCache) PutLocal(key string, val []byte) error {
+	return t.local.Put(key, val)
+}
+
+// Len reports the local tier's in-memory entry count.
+func (t *TieredCache) Len() int { return t.local.Len() }
+
+// Stats snapshots the local tier (peer counters live in the shared
+// registry under the "fleet" scope).
+func (t *TieredCache) Stats() engine.CacheStats { return t.local.Stats() }

@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hscsim/internal/engine"
+	"hscsim/internal/stats"
+)
+
+// peerStub is a minimal fake home node serving only the /cache tier.
+type peerStub struct {
+	mu      sync.Mutex
+	store   map[string][]byte
+	gets    atomic.Int64
+	puts    atomic.Int64
+	delay   time.Duration // per-GET artificial latency
+	srv     *httptest.Server
+	baseURL string
+}
+
+func newPeerStub(t *testing.T) *peerStub {
+	p := &peerStub{store: map[string][]byte{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cache/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		p.gets.Add(1)
+		if p.delay > 0 {
+			time.Sleep(p.delay)
+		}
+		p.mu.Lock()
+		b, ok := p.store[r.PathValue("hash")]
+		p.mu.Unlock()
+		if !ok {
+			http.Error(w, "not cached", http.StatusNotFound)
+			return
+		}
+		w.Write(b)
+	})
+	mux.HandleFunc("POST /cache/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		p.puts.Add(1)
+		b, _ := io.ReadAll(r.Body)
+		p.mu.Lock()
+		p.store[r.PathValue("hash")] = b
+		p.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	p.srv = httptest.NewServer(mux)
+	t.Cleanup(p.srv.Close)
+	p.baseURL = p.srv.URL
+	return p
+}
+
+// keyHomedOn finds a key whose rendezvous home is the wanted member.
+func keyHomedOn(t *testing.T, r *Ring, want string) string {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		k := hashOf(i)
+		if r.Home(k) == normalizeMember(want) {
+			return k
+		}
+	}
+	t.Fatal("no key homed on target member")
+	return ""
+}
+
+// tierOver builds a TieredCache whose only peer is the stub.
+func tierOver(t *testing.T, peer string) (*TieredCache, *stats.Registry) {
+	t.Helper()
+	local, err := engine.NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := stats.NewRegistry()
+	ring := NewRing("http://self:1", []string{peer})
+	client := &Client{HTTP: &http.Client{Timeout: 2 * time.Second}, Backoff: 5 * time.Millisecond}
+	return NewTieredCache(local, ring, client, reg), reg
+}
+
+func TestTieredReadThroughAndFill(t *testing.T) {
+	peer := newPeerStub(t)
+	tier, reg := tierOver(t, peer.baseURL)
+	key := keyHomedOn(t, NewRing("http://self:1", []string{peer.baseURL}), peer.baseURL)
+	peer.store[key] = []byte(`{"remote":true}`)
+
+	v, ok := tier.Get(key)
+	if !ok || string(v) != `{"remote":true}` {
+		t.Fatalf("read-through = %q, %v", v, ok)
+	}
+	// Fill-on-miss: the second read is local, no extra peer round trip.
+	if _, ok := tier.Get(key); !ok {
+		t.Fatal("filled entry missing")
+	}
+	if n := peer.gets.Load(); n != 1 {
+		t.Fatalf("peer saw %d GETs, want 1 (fill-on-miss)", n)
+	}
+	if reg.Get("fleet.peer_hits") != 1 {
+		t.Fatalf("peer_hits = %d", reg.Get("fleet.peer_hits"))
+	}
+
+	// A key homed on SELF never consults the peer.
+	selfKey := keyHomedOn(t, NewRing("http://self:1", []string{peer.baseURL}), "http://self:1")
+	if _, ok := tier.Get(selfKey); ok {
+		t.Fatal("phantom hit")
+	}
+	if n := peer.gets.Load(); n != 1 {
+		t.Fatalf("self-homed miss consulted the peer (%d GETs)", n)
+	}
+}
+
+// TestTieredSingleflight: concurrent misses on one key share a single
+// remote fetch.
+func TestTieredSingleflight(t *testing.T) {
+	peer := newPeerStub(t)
+	peer.delay = 50 * time.Millisecond
+	tier, _ := tierOver(t, peer.baseURL)
+	key := keyHomedOn(t, NewRing("http://self:1", []string{peer.baseURL}), peer.baseURL)
+	peer.store[key] = []byte(`{"v":1}`)
+
+	const readers = 16
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, ok := tier.Get(key); ok && string(v) == `{"v":1}` {
+				hits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if hits.Load() != readers {
+		t.Fatalf("%d/%d readers got the value", hits.Load(), readers)
+	}
+	// All readers overlapped inside one 50ms fetch window; a couple of
+	// stragglers may have started after the fill landed locally.
+	if n := peer.gets.Load(); n > 3 {
+		t.Fatalf("peer saw %d GETs for one key, want singleflighted ~1", n)
+	}
+}
+
+// TestTieredAsyncFillPush: a Put of a peer-homed key converges the
+// home's cache via the async fill.
+func TestTieredAsyncFillPush(t *testing.T) {
+	peer := newPeerStub(t)
+	tier, reg := tierOver(t, peer.baseURL)
+	key := keyHomedOn(t, NewRing("http://self:1", []string{peer.baseURL}), peer.baseURL)
+
+	if err := tier.Put(key, []byte(`{"pushed":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for peer.puts.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("async fill never reached the home peer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	peer.mu.Lock()
+	got := string(peer.store[key])
+	peer.mu.Unlock()
+	if got != `{"pushed":true}` {
+		t.Fatalf("home received %q", got)
+	}
+	for reg.Get("fleet.fills_pushed") == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reg.Get("fleet.fills_pushed") != 1 {
+		t.Fatalf("fills_pushed = %d", reg.Get("fleet.fills_pushed"))
+	}
+
+	// PutLocal must NOT push (peer-sourced bytes stay put).
+	before := peer.puts.Load()
+	if err := tier.PutLocal(key, []byte(`{"pushed":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if peer.puts.Load() != before {
+		t.Fatal("PutLocal pushed to the peer")
+	}
+}
+
+// TestTieredDeadPeerDegrades: with the home peer down, Get degrades to
+// a miss (caller computes locally) and Put still stores locally — no
+// error surfaces.
+func TestTieredDeadPeerDegrades(t *testing.T) {
+	peer := newPeerStub(t)
+	dead := peer.baseURL
+	ringView := NewRing("http://self:1", []string{dead})
+	key := keyHomedOn(t, ringView, dead)
+	peer.srv.Close()
+
+	tier, reg := tierOver(t, dead)
+	if _, ok := tier.Get(key); ok {
+		t.Fatal("hit from a dead peer")
+	}
+	if reg.Get("fleet.peer_errors") == 0 {
+		t.Fatal("dead peer not counted as an error")
+	}
+	if err := tier.Put(key, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tier.Local().Get(key); !ok || string(v) != `{"v":1}` {
+		t.Fatalf("local store after dead-peer Put = %q, %v", v, ok)
+	}
+}

@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hscsim/internal/engine"
+)
+
+// Client is the peer HTTP client: bounded retries with exponential
+// backoff, honoring Retry-After on 429/503 responses (the engine's
+// backpressure signals). All fleet-internal requests carry the
+// X-Fleet-Forwarded header so a receiving node never re-proxies them,
+// which makes routing loops impossible even if two nodes were started
+// with disagreeing member lists.
+type Client struct {
+	// HTTP is the underlying client (its Timeout bounds each attempt).
+	HTTP *http.Client
+	// Retries is the number of re-attempts after the first try (default 2).
+	Retries int
+	// Backoff is the initial retry delay, doubled per attempt
+	// (default 100ms); a parseable Retry-After header overrides it.
+	Backoff time.Duration
+	// MaxBackoff caps any single delay (default 2s).
+	MaxBackoff time.Duration
+}
+
+// ForwardedHeader marks fleet-internal (peer-to-peer) requests.
+const ForwardedHeader = "X-Fleet-Forwarded"
+
+// NewClient returns a peer client whose per-attempt timeout is d
+// (0 = 30s).
+func NewClient(d time.Duration) *Client {
+	if d <= 0 {
+		d = 30 * time.Second
+	}
+	return &Client{HTTP: &http.Client{Timeout: d}}
+}
+
+func (c *Client) retries() int { return max(c.Retries, 0) }
+
+func (c *Client) backoff(attempt int, resp *http.Response) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	cap_ := c.MaxBackoff
+	if cap_ <= 0 {
+		cap_ = 2 * time.Second
+	}
+	d := base << attempt
+	if resp != nil {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				d = time.Duration(secs) * time.Second
+			}
+		}
+	}
+	return min(d, cap_)
+}
+
+// retryable reports whether a response status is worth another attempt
+// (peer backpressure or transient unavailability).
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusBadGateway ||
+		code == http.StatusGatewayTimeout
+}
+
+// do runs one request (rebuilt per attempt so bodies can be re-read)
+// through the retry loop. The final response's body is NOT consumed.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set(ForwardedHeader, "1")
+		resp, err := c.HTTP.Do(req.WithContext(ctx))
+		if err == nil && !retryable(resp.StatusCode) {
+			return resp, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("fleet: peer returned %s", resp.Status)
+		}
+		if attempt >= c.retries() {
+			if err == nil {
+				return resp, nil // surface the final retryable status to the caller
+			}
+			return nil, lastErr
+		}
+		var delay time.Duration
+		if err == nil {
+			delay = c.backoff(attempt, resp)
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		} else {
+			delay = c.backoff(attempt, nil)
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// FetchResult reads base's LOCAL cache tier for hash (GET
+// /cache/{hash}). ok=false with a nil error is a clean miss; an error
+// means the peer is unreachable or misbehaving (callers degrade to
+// local compute).
+func (c *Client) FetchResult(ctx context.Context, base, hash string) ([]byte, bool, error) {
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, base+"/cache/"+hash, nil)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, false, fmt.Errorf("fleet: reading peer result: %w", err)
+		}
+		return b, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("fleet: peer cache read: %s", resp.Status)
+	}
+}
+
+// PushResult writes hash's result bytes into base's local cache tier
+// (POST /cache/{hash}) — the async fill half of the shared tier.
+func (c *Client) PushResult(ctx context.Context, base, hash string, val []byte) error {
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodPost, base+"/cache/"+hash, bytes.NewReader(val))
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("fleet: peer cache write: %s", resp.Status)
+	}
+	return nil
+}
+
+// SubmitWait submits sp to base and blocks until the result is ready
+// (POST /jobs?wait=1). cached reports the peer's X-Engine-Cached
+// verdict (true when the peer served it without simulating).
+func (c *Client) SubmitWait(ctx context.Context, base string, sp engine.Spec) (result []byte, cached bool, err error) {
+	body := sp.Canonical()
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, base+"/jobs?wait=1", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, fmt.Errorf("fleet: reading peer response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("fleet: peer submit %s: %s", resp.Status, truncate(b, 200))
+	}
+	return b, resp.Header.Get("X-Engine-Cached") == "true", nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		return string(b[:n]) + "…"
+	}
+	return string(b)
+}

@@ -1,0 +1,496 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hscsim/internal/engine"
+	"hscsim/internal/stats"
+)
+
+// lateHandler lets a server be created before its handler exists: the
+// ring needs every member's final URL, and the fleet handler needs the
+// ring, so httptest servers start against this shim and get the real
+// handler installed afterwards.
+type lateHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (l *lateHandler) set(h http.Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.h = h
+}
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	if h == nil {
+		http.Error(w, "node not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+type testNode struct {
+	URL  string
+	srv  *httptest.Server
+	eng  *engine.Engine
+	node *Fleet
+	ring *Ring
+	reg  *stats.Registry
+	tier *TieredCache
+}
+
+// testClient is tuned for loopback tests: fast attempts, one retry.
+func testClient() *Client {
+	return &Client{
+		HTTP:    &http.Client{Timeout: 5 * time.Second},
+		Retries: 1,
+		Backoff: 10 * time.Millisecond,
+	}
+}
+
+// newTestFleet assembles n loopback nodes into one cluster. exec=nil
+// runs the real simulator.
+func newTestFleet(t *testing.T, n int, exec func(context.Context, engine.Spec) ([]byte, error)) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	shims := make([]*lateHandler, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		shims[i] = &lateHandler{}
+		srv := httptest.NewServer(shims[i])
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+		nodes[i] = &testNode{URL: srv.URL, srv: srv}
+	}
+	client := testClient()
+	for i, tn := range nodes {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		tn.ring = NewRing(urls[i], peers)
+		tn.reg = stats.NewRegistry()
+		local, err := engine.NewCache(0, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cache engine.ResultCache = local
+		if n > 1 {
+			tn.tier = NewTieredCache(local, tn.ring, client, tn.reg)
+			cache = tn.tier
+		}
+		tn.eng = engine.New(engine.Config{Workers: 2, Cache: cache, Registry: tn.reg, Exec: exec})
+		t.Cleanup(tn.eng.Close)
+		tn.node = New(tn.eng, tn.ring, tn.tier, Options{Client: client})
+		shims[i].set(tn.node.Handler())
+	}
+	return nodes
+}
+
+// stubExec returns deterministic result bytes derived from the spec
+// hash, counting executions — the fleet-wide "who actually simulated"
+// probe.
+func stubExec(count *atomic.Int64) func(context.Context, engine.Spec) ([]byte, error) {
+	return func(_ context.Context, sp engine.Spec) ([]byte, error) {
+		count.Add(1)
+		return []byte(`{"hash":"` + sp.Normalized().Hash() + `"}`), nil
+	}
+}
+
+// sweepRun is one parsed POST /sweeps NDJSON stream.
+type sweepRun struct {
+	ID      string
+	Cells   map[string]streamCell // by cell hash
+	Total   int
+	Cached  int
+	Failed  int
+	Summary bool
+}
+
+func postSweep(t *testing.T, base string, spec engine.SweepSpec) sweepRun {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("POST /sweeps: %d %s", resp.StatusCode, buf.String())
+	}
+	run := sweepRun{ID: resp.Header.Get("X-Sweep-ID"), Cells: map[string]streamCell{}}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &head); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch head.Type {
+		case "sweep":
+			var line struct {
+				Total int `json:"total"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatal(err)
+			}
+			run.Total = line.Total
+		case "cell":
+			var line streamCell
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatal(err)
+			}
+			run.Cells[line.Hash] = line
+		case "summary":
+			var line struct {
+				Cached int `json:"cached"`
+				Failed int `json:"failed"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatal(err)
+			}
+			run.Summary = true
+			run.Cached = line.Cached
+			run.Failed = line.Failed
+		default:
+			t.Fatalf("unknown stream line type %q", head.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !run.Summary {
+		t.Fatal("stream ended without a summary line")
+	}
+	return run
+}
+
+// evalSweep is the small real-simulator sweep the byte-identity tests
+// run: one cheap bench at two protocol variants.
+func evalSweep() engine.SweepSpec {
+	baseline, _ := engine.NamedVariant("baseline")
+	owner, _ := engine.NamedVariant("ownerTracking")
+	return engine.SweepSpec{
+		Benches:  []string{"bs"},
+		Variants: []engine.ProtocolSpec{baseline, owner},
+		Points:   []engine.SweepPoint{{Threads: 2}},
+		Scale:    1,
+	}
+}
+
+// TestFleetSweepByteIdenticalToInProcess is the tentpole's acceptance
+// test: the same sweep run in-process, on a single node, and across a
+// three-node fleet produces byte-identical per-cell results.
+func TestFleetSweepByteIdenticalToInProcess(t *testing.T) {
+	spec := evalSweep()
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: plain in-process engine, no HTTP anywhere.
+	ref := map[string][]byte{}
+	e := engine.New(engine.Config{Workers: 2})
+	for _, cell := range cells {
+		b, err := e.Run(context.Background(), cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[cell.Hash()] = b
+	}
+	e.Close()
+
+	for _, n := range []int{1, 3} {
+		nodes := newTestFleet(t, n, nil)
+		run := postSweep(t, nodes[0].URL, spec)
+		if run.Failed != 0 || run.Total != len(cells) {
+			t.Fatalf("%d-node sweep: %+v", n, run)
+		}
+		for hash, want := range ref {
+			cell, ok := run.Cells[hash]
+			if !ok {
+				t.Fatalf("%d-node sweep missing cell %s", n, hash[:12])
+			}
+			if !bytes.Equal(cell.Result, want) {
+				t.Fatalf("%d-node sweep cell %s differs from in-process run:\nfleet: %s\nlocal: %s",
+					n, hash[:12], cell.Result, want)
+			}
+		}
+	}
+}
+
+// TestFleetRepeatSweepServedFromCache: every cell simulates exactly
+// once fleet-wide; a repeat of the sweep — submitted to a DIFFERENT
+// node — is served entirely from the shared cache tier.
+func TestFleetRepeatSweepServedFromCache(t *testing.T) {
+	var execs atomic.Int64
+	nodes := newTestFleet(t, 3, stubExec(&execs))
+	spec := engine.SweepSpec{
+		Benches: []string{"bs", "tq"},
+		Points: []engine.SweepPoint{
+			{Threads: 2},
+			{Threads: 4, Topology: engine.TopologySpec{NumCorePairs: 2}},
+		},
+		Scale: 1,
+	}
+	cells, _ := spec.Cells()
+
+	first := postSweep(t, nodes[0].URL, spec)
+	if first.Failed != 0 || len(first.Cells) != len(cells) {
+		t.Fatalf("first run: %+v", first)
+	}
+	if got := execs.Load(); got != int64(len(cells)) {
+		t.Fatalf("first run executed %d cells, want %d (each exactly once fleet-wide)", got, len(cells))
+	}
+
+	second := postSweep(t, nodes[1].URL, spec)
+	if second.Failed != 0 {
+		t.Fatalf("second run: %+v", second)
+	}
+	if second.Cached != len(cells) {
+		t.Fatalf("repeat sweep: %d/%d cells cached, want all", second.Cached, len(cells))
+	}
+	if got := execs.Load(); got != int64(len(cells)) {
+		t.Fatalf("repeat sweep re-simulated: %d total executions, want %d", got, len(cells))
+	}
+	for hash, cell := range first.Cells {
+		if !bytes.Equal(cell.Result, second.Cells[hash].Result) {
+			t.Fatalf("cell %s bytes changed between runs", hash[:12])
+		}
+	}
+}
+
+// homedOn returns a valid spec whose hash is homed on nodes[idx].
+func homedOn(t *testing.T, nodes []*testNode, idx int) engine.Spec {
+	t.Helper()
+	for seed := int64(0); seed < 256; seed++ {
+		sp := engine.Spec{Bench: "bs", Scale: 1, Threads: 2, Seed: seed}.Normalized()
+		if nodes[0].ring.Home(sp.Hash()) == nodes[idx].URL {
+			return sp
+		}
+	}
+	t.Fatal("no spec homed on target node in 256 seeds")
+	return engine.Spec{}
+}
+
+// TestFleetProxyAndPeerReadThrough: a submission lands on its home
+// node's engine wherever it was POSTed, and the result is readable from
+// every node — remote reads going through the peer cache tier
+// byte-identically.
+func TestFleetProxyAndPeerReadThrough(t *testing.T) {
+	var execs atomic.Int64
+	nodes := newTestFleet(t, 3, stubExec(&execs))
+	sp := homedOn(t, nodes, 2)
+	home := nodes[2]
+
+	// Submit via node 0: proxied to the home.
+	resp, err := http.Post(nodes[0].URL+"/jobs?wait=1", "application/json", bytes.NewReader(sp.Canonical()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, buf.String())
+	}
+	want := buf.Bytes()
+	if got := resp.Header.Get("X-Fleet-Home"); got != home.URL {
+		t.Fatalf("X-Fleet-Home = %q, want %q", got, home.URL)
+	}
+	if st := home.eng.Stats(); st.Submitted != 1 {
+		t.Fatalf("home engine stats = %+v, want the proxied submission", st)
+	}
+	if st := nodes[0].eng.Stats(); st.Submitted != 0 {
+		t.Fatalf("origin engine executed a proxied job: %+v", st)
+	}
+
+	// Read the result from node 1, which has never seen the job: the
+	// engine's cache fallback reaches through the tier to the home peer.
+	resp2, err := http.Get(nodes[1].URL + "/jobs/" + sp.Hash() + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	buf2.ReadFrom(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("peer read: %d %s", resp2.StatusCode, buf2.String())
+	}
+	if !bytes.Equal(buf2.Bytes(), want) {
+		t.Fatalf("peer-read bytes differ:\npeer: %s\nhome: %s", buf2.Bytes(), want)
+	}
+	if hits := nodes[1].reg.Get("fleet.peer_hits"); hits == 0 {
+		t.Fatal("remote read did not count a fleet.peer_hits")
+	}
+	if execs.Load() != 1 {
+		t.Fatalf("job executed %d times, want 1", execs.Load())
+	}
+
+	// Forwarded submissions are never re-proxied (loop prevention).
+	req, _ := http.NewRequest(http.MethodPost, nodes[0].URL+"/jobs?wait=1", bytes.NewReader(sp.Canonical()))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, "1")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded submit: %d", resp3.StatusCode)
+	}
+	if got := resp3.Header.Get("X-Fleet-Home"); got != "" {
+		t.Fatal("forwarded submission was re-proxied")
+	}
+}
+
+// TestFleetDeadPeerFallsBackToLocal (satellite): with a peer down, jobs
+// and sweeps homed on it still complete locally with no client-visible
+// error — the fleet degrades to local compute.
+func TestFleetDeadPeerFallsBackToLocal(t *testing.T) {
+	var execs atomic.Int64
+	nodes := newTestFleet(t, 3, stubExec(&execs))
+	dead := nodes[2]
+	sp := homedOn(t, nodes, 2)
+	dead.srv.Close() // node 2 is now unreachable
+
+	resp, err := http.Post(nodes[0].URL+"/jobs?wait=1", "application/json", bytes.NewReader(sp.Canonical()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit with dead home: %d %s", resp.StatusCode, buf.String())
+	}
+	if want := `{"hash":"` + sp.Hash() + `"}`; buf.String() != want {
+		t.Fatalf("fallback result = %s, want %s", buf.String(), want)
+	}
+	if st := nodes[0].eng.Stats(); st.Submitted != 1 {
+		t.Fatalf("fallback did not execute locally: %+v", st)
+	}
+
+	// A whole sweep (some cells homed on the dead node) also completes.
+	run := postSweep(t, nodes[0].URL, engine.SweepSpec{
+		Benches: []string{"bs"},
+		Points: []engine.SweepPoint{
+			{Threads: 2}, {Threads: 4}, {Threads: 8},
+			{Threads: 2, Topology: engine.TopologySpec{NumCorePairs: 2}},
+		},
+		Scale: 1,
+	})
+	if run.Failed != 0 || run.Total != 4 {
+		t.Fatalf("sweep with dead peer: %+v", run)
+	}
+}
+
+// TestFleetSweepRejoinAndStatus: re-POSTing an identical sweep joins
+// the existing one (same ID, no duplicate work), and GET /sweeps/{id}
+// reports progress for resumption.
+func TestFleetSweepRejoinAndStatus(t *testing.T) {
+	var execs atomic.Int64
+	nodes := newTestFleet(t, 1, stubExec(&execs))
+	spec := engine.SweepSpec{Benches: []string{"bs"}, Points: []engine.SweepPoint{{Threads: 2}, {Threads: 4}}, Scale: 1}
+
+	first := postSweep(t, nodes[0].URL, spec)
+	second := postSweep(t, nodes[0].URL, spec)
+	if first.ID == "" || first.ID != second.ID {
+		t.Fatalf("sweep IDs: %q vs %q, want identical", first.ID, second.ID)
+	}
+	if execs.Load() != 2 {
+		t.Fatalf("rejoin re-ran cells: %d executions, want 2", execs.Load())
+	}
+	if n := nodes[0].reg.Get("sweep.sweeps_deduped"); n != 1 {
+		t.Fatalf("sweeps_deduped = %d, want 1", n)
+	}
+
+	resp, err := http.Get(nodes[0].URL + "/sweeps/" + first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st SweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Completed != 2 || len(st.Cells) != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	for _, c := range st.Cells {
+		if c.State != "done" || c.Hash == "" {
+			t.Fatalf("cell = %+v", c)
+		}
+	}
+
+	if resp, err := http.Get(nodes[0].URL + "/sweeps/no-such-sweep"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown sweep: %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestFleetSweepBodyBounded (satellite): oversize POST /sweeps bodies
+// are refused with 413.
+func TestFleetSweepBodyBounded(t *testing.T) {
+	var execs atomic.Int64
+	nodes := newTestFleet(t, 1, stubExec(&execs))
+	huge := append([]byte(`{"benches":["`), bytes.Repeat([]byte("x"), MaxSweepBody+1)...)
+	huge = append(huge, []byte(`"]}`)...)
+	resp, err := http.Post(nodes[0].URL+"/sweeps", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize sweep: %d, want 413", resp.StatusCode)
+	}
+	if execs.Load() != 0 {
+		t.Fatal("oversize sweep reached the engine")
+	}
+}
+
+// TestFleetRingEndpoint: membership introspection.
+func TestFleetRingEndpoint(t *testing.T) {
+	nodes := newTestFleet(t, 3, stubExec(new(atomic.Int64)))
+	resp, err := http.Get(nodes[1].URL + "/ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Self    string   `json:"self"`
+		Members []string `json:"members"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Self != nodes[1].URL || len(view.Members) != 3 {
+		t.Fatalf("ring view = %+v", view)
+	}
+}

@@ -1,0 +1,93 @@
+// Package fleet turns N hscserve processes into one coherent cluster.
+//
+// Three pieces compose it:
+//
+//   - Ring: consistent (rendezvous) hashing of job hashes over a static
+//     member list, so every canonical spec has exactly one home node.
+//   - TieredCache: an engine.ResultCache that layers a peer read-through
+//     tier over the local LRU+disk cache — misses consult the job's home
+//     peer (singleflighted), local results are asynchronously pushed to
+//     their home, and a dead peer simply degrades to local compute.
+//   - Coordinator + Server: a batch sweep API (POST /sweeps expands a
+//     benches × variants × topology grid server-side and streams
+//     per-cell results as NDJSON) with consistent-hash routing of cells
+//     to their home peers and local fallback.
+//
+// Correctness rests entirely on the engine's content addressing: a job
+// hash folds in the simulator version and the normalized spec, and the
+// simulator is deterministic, so any byte string a peer returns for a
+// hash is THE result — there is no staleness, only presence or absence.
+// The fleet tests prove a 3-node loopback cluster returns byte-identical
+// results to an in-process run.
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"sort"
+	"strings"
+)
+
+// Ring is the cluster membership view: a static member list (base
+// URLs) with rendezvous (highest-random-weight) hashing to assign each
+// job hash a home member. Every node constructs the ring from the same
+// member list, so all nodes agree on every assignment without any
+// coordination; adding or removing one member remaps only the keys
+// homed on it (the rendezvous property).
+type Ring struct {
+	self    string
+	members []string // normalized, deduped, sorted; includes self
+}
+
+// NewRing builds the membership view. self is this node's advertised
+// base URL; peers lists the other members (self may be repeated there
+// harmlessly). URLs are normalized by trimming trailing slashes.
+func NewRing(self string, peers []string) *Ring {
+	self = normalizeMember(self)
+	seen := map[string]bool{self: true}
+	members := []string{self}
+	for _, p := range peers {
+		p = normalizeMember(p)
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		members = append(members, p)
+	}
+	sort.Strings(members)
+	return &Ring{self: self, members: members}
+}
+
+func normalizeMember(u string) string {
+	return strings.TrimRight(strings.TrimSpace(u), "/")
+}
+
+// Self returns this node's advertised base URL.
+func (r *Ring) Self() string { return r.self }
+
+// Members returns the full member list (sorted, including self).
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// IsSelf reports whether member is this node.
+func (r *Ring) IsSelf(member string) bool { return member == r.self }
+
+// Home returns the member that owns hash: the member whose
+// SHA-256(member + "\n" + hash) score is highest. Deterministic across
+// nodes, uniform over members, and minimally disruptive under
+// membership changes.
+func (r *Ring) Home(hash string) string {
+	best := r.members[0]
+	var bestScore [sha256.Size]byte
+	first := true
+	for _, m := range r.members {
+		score := sha256.Sum256([]byte(m + "\n" + hash))
+		if first || bytes.Compare(score[:], bestScore[:]) > 0 {
+			best, bestScore, first = m, score, false
+		}
+	}
+	return best
+}

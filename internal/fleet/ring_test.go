@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func hashOf(i int) string {
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(fmt.Sprintf("job-%d", i))))
+}
+
+// TestRingAgreement is the property the routing layer rests on: every
+// node, given the same membership in any order, maps every hash to the
+// same home.
+func TestRingAgreement(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1"}
+	rings := []*Ring{
+		NewRing(urls[0], []string{urls[1], urls[2]}),
+		NewRing(urls[1], []string{urls[2], urls[0]}),
+		NewRing(urls[2], []string{urls[0], urls[1]}),
+	}
+	for i := 0; i < 200; i++ {
+		h := hashOf(i)
+		want := rings[0].Home(h)
+		for _, r := range rings[1:] {
+			if got := r.Home(h); got != want {
+				t.Fatalf("hash %s: %s says home=%s, %s says home=%s",
+					h[:12], rings[0].Self(), want, r.Self(), got)
+			}
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing("http://a:1", []string{"http://b:1", "http://c:1"})
+	counts := map[string]int{}
+	const n = 900
+	for i := 0; i < n; i++ {
+		counts[r.Home(hashOf(i))]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d members received work: %v", len(counts), counts)
+	}
+	for m, c := range counts {
+		// Rendezvous hashing is near-uniform; allow a wide band.
+		if c < n/6 || c > n/2 {
+			t.Fatalf("member %s got %d of %d hashes; distribution skewed: %v", m, c, n, counts)
+		}
+	}
+}
+
+func TestRingSingleMember(t *testing.T) {
+	r := NewRing("http://solo:1", nil)
+	if got := r.Home(hashOf(0)); got != "http://solo:1" {
+		t.Fatalf("single-member home = %s", got)
+	}
+	if !r.IsSelf(r.Home(hashOf(1))) {
+		t.Fatal("single-member ring routed away from self")
+	}
+}
+
+// TestRingMinimalRemap: removing one member must only move the hashes
+// that were homed on it — the signature rendezvous-hashing property.
+func TestRingMinimalRemap(t *testing.T) {
+	full := NewRing("http://a:1", []string{"http://b:1", "http://c:1"})
+	reduced := NewRing("http://a:1", []string{"http://b:1"}) // c left
+	moved := 0
+	for i := 0; i < 300; i++ {
+		h := hashOf(i)
+		was, is := full.Home(h), reduced.Home(h)
+		if was == "http://c:1" {
+			if is == "http://c:1" {
+				t.Fatal("hash still homed on departed member")
+			}
+			moved++
+		} else if was != is {
+			t.Fatalf("hash %s moved from surviving member %s to %s", h[:12], was, is)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("departed member had no hashes; test exercised nothing")
+	}
+}
+
+// TestRingNormalization: trailing slashes and duplicate/self entries in
+// the peer list must not create phantom members.
+func TestRingNormalization(t *testing.T) {
+	r := NewRing("http://a:1/", []string{"http://a:1", "http://b:1/", "http://b:1"})
+	ms := r.Members()
+	if len(ms) != 2 {
+		t.Fatalf("members = %v, want 2 unique", ms)
+	}
+	if !r.IsSelf("http://a:1") {
+		t.Fatal("normalized self not recognized")
+	}
+}

@@ -1,0 +1,285 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"hscsim/internal/engine"
+)
+
+// MaxSweepBody bounds a POST /sweeps request body; MaxResultBody
+// bounds a peer's POST /cache/{hash} fill (canonical result encodings
+// are tens of kilobytes; 16 MiB is deep headroom).
+const (
+	MaxSweepBody  = 1 << 20
+	MaxResultBody = 16 << 20
+)
+
+// Fleet is one cluster node's front end: the engine's single-node API
+// plus the fleet routes (sweeps, peer cache tier, ring introspection)
+// and consistent-hash proxying of non-home job submissions.
+type Fleet struct {
+	eng    *engine.Engine
+	ring   *Ring
+	client *Client
+	cache  *TieredCache
+	coord  *Coordinator
+}
+
+// Options tunes a Fleet front end.
+type Options struct {
+	// Client is the peer client (nil = NewClient(0)).
+	Client *Client
+	// CellParallelism bounds concurrently in-flight sweep cells
+	// (≤0 = 16).
+	CellParallelism int
+}
+
+// New assembles a node. cache must be the engine's ResultCache when
+// the engine was built over a TieredCache; pass nil for a single-node
+// setup (the peer tier is then skipped entirely and the local engine
+// cache serves /cache/{hash} reads through the engine).
+func New(eng *engine.Engine, ring *Ring, cache *TieredCache, opts Options) *Fleet {
+	client := opts.Client
+	if client == nil {
+		client = NewClient(0)
+	}
+	return &Fleet{
+		eng:    eng,
+		ring:   ring,
+		client: client,
+		cache:  cache,
+		coord:  NewCoordinator(eng, ring, client, cache, opts.CellParallelism, eng.Registry()),
+	}
+}
+
+// Coordinator exposes the node's sweep coordinator.
+func (f *Fleet) Coordinator() *Coordinator { return f.coord }
+
+// localCacheGet reads ONLY the node's local cache tier (never the peer
+// tier) — this is the endpoint peers read through, so it must not
+// recurse into more peer fetches.
+func (f *Fleet) localCacheGet(key string) ([]byte, bool) {
+	if f.cache != nil {
+		return f.cache.Local().Get(key)
+	}
+	return f.eng.CachedResult(key)
+}
+
+// Handler returns the node's HTTP API: every engine route plus
+//
+//	POST /sweeps            submit a SweepSpec; streams NDJSON cell
+//	                        results as they complete (one JSON object
+//	                        per line: a "sweep" header, "cell" lines,
+//	                        a final "summary"); 413 oversize, 400 bad
+//	                        sweep. Re-POSTing an identical sweep joins
+//	                        the running (or finished) sweep.
+//	GET  /sweeps/{id}       progress + per-cell status (resumption)
+//	GET  /cache/{hash}      local cache tier read (peer read-through)
+//	POST /cache/{hash}      local cache tier write (peer async fill)
+//	GET  /ring              membership + self
+//
+// POST /jobs gains consistent-hash routing: a submission whose home is
+// a healthy peer is proxied there (so the home's cache and dedup see
+// it); peer failure falls back to local execution. Peer-originated
+// requests (X-Fleet-Forwarded) are never re-proxied.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", engine.NewServer(f.eng))
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		sp, ok := engine.DecodeSpecBody(w, r)
+		if !ok {
+			return
+		}
+		home := f.ring.Home(sp.Hash())
+		if !f.ring.IsSelf(home) && r.Header.Get(ForwardedHeader) == "" {
+			if f.proxyJob(w, r, home, sp) {
+				return
+			}
+			// Home unreachable: local fallback. Content addressing makes
+			// this safe — the result is identical wherever it computes.
+		}
+		engine.ServeSubmit(f.eng, w, r, sp)
+	})
+
+	mux.HandleFunc("POST /sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var spec engine.SweepSpec
+		r.Body = http.MaxBytesReader(w, r.Body, MaxSweepBody)
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+				return
+			}
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad sweep: %w", err))
+			return
+		}
+		s, _, err := f.coord.Start(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if r.URL.Query().Get("stream") == "0" {
+			writeJSON(w, http.StatusAccepted, s.Status())
+			return
+		}
+		f.streamSweep(w, r, s)
+	})
+
+	mux.HandleFunc("GET /sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := f.coord.Sweep(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown sweep"))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+
+	mux.HandleFunc("GET /cache/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		b, ok := f.localCacheGet(r.PathValue("hash"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("not cached"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+
+	mux.HandleFunc("POST /cache/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, MaxResultBody)
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+				return
+			}
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var perr error
+		if f.cache != nil {
+			perr = f.cache.PutLocal(r.PathValue("hash"), b)
+		} else {
+			perr = f.eng.Cache().Put(r.PathValue("hash"), b)
+		}
+		if perr != nil {
+			writeError(w, http.StatusInternalServerError, perr)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /ring", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"self":    f.ring.Self(),
+			"members": f.ring.Members(),
+		})
+	})
+
+	return mux
+}
+
+// proxyJob forwards a non-home submission to its home member,
+// streaming the home's response back verbatim. Returns false when the
+// home was unreachable (caller falls back to local execution).
+func (f *Fleet) proxyJob(w http.ResponseWriter, r *http.Request, home string, sp engine.Spec) bool {
+	url := home + "/jobs"
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	resp, err := f.client.do(r.Context(), func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(sp.Canonical()))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "X-Engine-Cached", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Fleet-Home", home)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// streamSweep writes the NDJSON result stream: a header line, one line
+// per completed cell (in completion order, each carrying the canonical
+// result bytes), and a trailing summary. Lines are flushed as they
+// land so thousands of clients can tail sweeps live.
+func (f *Fleet) streamSweep(w http.ResponseWriter, r *http.Request, s *Sweep) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Sweep-ID", s.ID)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	_ = enc.Encode(map[string]any{"type": "sweep", "id": s.ID, "total": len(s.Cells)})
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	sent := make([]bool, len(s.Cells))
+	for {
+		fresh, bodies, pulse, done := s.next(sent)
+		for i, cs := range fresh {
+			line := streamCell{Type: "cell", CellStatus: cs}
+			if cs.State == "done" {
+				line.Result = json.RawMessage(bodies[i])
+			}
+			if err := enc.Encode(line); err != nil {
+				return // client went away; the sweep keeps running
+			}
+		}
+		if len(fresh) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			st := s.Status()
+			_ = enc.Encode(map[string]any{
+				"type": "summary", "id": s.ID, "total": st.Total,
+				"failed": st.Failed, "cached": st.Cached,
+			})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-pulse:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// streamCell is one NDJSON "cell" line.
+type streamCell struct {
+	Type string `json:"type"`
+	CellStatus
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,338 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"time"
+
+	"hscsim/internal/engine"
+	"hscsim/internal/stats"
+)
+
+// CellStatus is the per-cell view the sweep API reports: identity
+// (index in deterministic expansion order + content hash), routing
+// (home member), and outcome.
+type CellStatus struct {
+	Index  int    `json:"index"`
+	Hash   string `json:"hash"`
+	Bench  string `json:"bench"`
+	Label  string `json:"label,omitempty"`
+	Home   string `json:"home,omitempty"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// SweepStatus is GET /sweeps/{id}: progress plus every cell's status
+// (result bytes are fetched per cell via /jobs/{hash}/result, or
+// streamed by POST /sweeps).
+type SweepStatus struct {
+	ID        string       `json:"id"`
+	Total     int          `json:"total"`
+	Completed int          `json:"completed"`
+	Failed    int          `json:"failed"`
+	Cached    int          `json:"cached"`
+	Done      bool         `json:"done"`
+	Cells     []CellStatus `json:"cells"`
+}
+
+// Sweep is one running or finished batch: the expanded cells, their
+// per-cell outcomes, and a pulse channel subscribers wait on.
+type Sweep struct {
+	ID    string
+	Spec  engine.SweepSpec
+	Cells []engine.Spec
+
+	mu        sync.Mutex
+	status    []CellStatus
+	results   [][]byte // per cell; nil until done (or on failure)
+	completed int
+	failed    int
+	cached    int
+	pulse     chan struct{} // closed+replaced on every completion
+}
+
+func (s *Sweep) snapshotLocked() SweepStatus {
+	cells := make([]CellStatus, len(s.status))
+	copy(cells, s.status)
+	return SweepStatus{
+		ID:        s.ID,
+		Total:     len(s.Cells),
+		Completed: s.completed,
+		Failed:    s.failed,
+		Cached:    s.cached,
+		Done:      s.completed == len(s.Cells),
+		Cells:     cells,
+	}
+}
+
+// Status snapshots the sweep's progress.
+func (s *Sweep) Status() SweepStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// complete records cell i's outcome and wakes subscribers.
+func (s *Sweep) complete(i int, result []byte, cached bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.status[i].State == "done" || s.status[i].State == "failed" {
+		return
+	}
+	s.completed++
+	if err != nil {
+		s.status[i].State = "failed"
+		s.status[i].Error = err.Error()
+		s.failed++
+	} else {
+		s.status[i].State = "done"
+		s.status[i].Cached = cached
+		if cached {
+			s.cached++
+		}
+		s.results[i] = result
+	}
+	close(s.pulse)
+	s.pulse = make(chan struct{})
+}
+
+// next returns cell outcomes not yet delivered to a subscriber that
+// has seen `seen` completions, plus a pulse channel to wait on when
+// nothing new is ready and done when everything has been delivered.
+func (s *Sweep) next(sent []bool) (fresh []CellStatus, bodies [][]byte, pulse <-chan struct{}, done bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.status {
+		if sent[i] {
+			continue
+		}
+		if st := s.status[i].State; st == "done" || st == "failed" {
+			sent[i] = true
+			fresh = append(fresh, s.status[i])
+			bodies = append(bodies, s.results[i])
+		}
+	}
+	delivered := 0
+	for _, v := range sent {
+		if v {
+			delivered++
+		}
+	}
+	return fresh, bodies, s.pulse, delivered == len(s.Cells)
+}
+
+// Coordinator owns the node's sweeps: expansion, consistent-hash
+// routing of cells to their home peers (with local fallback), bounded
+// fan-out, dedup by sweep ID, and a small LRU of finished sweeps for
+// GET /sweeps/{id} resumption.
+type Coordinator struct {
+	eng    *engine.Engine
+	ring   *Ring
+	client *Client
+	cache  *TieredCache // may be nil (single-node); used for PutLocal of proxied results
+	sem    chan struct{}
+
+	cSweeps, cCells       *stats.Counter
+	cProxied, cFallback   *stats.Counter
+	cRetained, cCellsFail *stats.Counter
+
+	mu     sync.Mutex
+	sweeps map[string]*Sweep
+	order  []string // FIFO for eviction of finished sweeps
+}
+
+// maxRetainedSweeps bounds the coordinator's sweep registry; the
+// oldest FINISHED sweeps are dropped past the cap (their per-cell
+// results remain reachable through the content-addressed cache).
+const maxRetainedSweeps = 64
+
+// NewCoordinator wires a coordinator over the node's engine and ring.
+// parallelism bounds concurrently in-flight cells (≤0 = 16); reg
+// receives the "sweep" counter scope (nil = private).
+func NewCoordinator(eng *engine.Engine, ring *Ring, client *Client, cache *TieredCache, parallelism int, reg *stats.Registry) *Coordinator {
+	if parallelism <= 0 {
+		parallelism = 16
+	}
+	if client == nil {
+		client = NewClient(0)
+	}
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	sc := reg.Scope("sweep")
+	return &Coordinator{
+		eng:        eng,
+		ring:       ring,
+		client:     client,
+		cache:      cache,
+		sem:        make(chan struct{}, parallelism),
+		cSweeps:    sc.Counter("sweeps_started"),
+		cCells:     sc.Counter("cells_completed"),
+		cProxied:   sc.Counter("cells_proxied"),
+		cFallback:  sc.Counter("cells_peer_fallback"),
+		cRetained:  sc.Counter("sweeps_deduped"),
+		cCellsFail: sc.Counter("cells_failed"),
+		sweeps:     make(map[string]*Sweep),
+	}
+}
+
+// Start begins (or joins) the sweep described by spec. Submitting an
+// identical sweep returns the already-running or finished Sweep —
+// content addressing at the batch level — so a client that lost its
+// stream resumes by re-POSTing. attached reports a join.
+func (c *Coordinator) Start(spec engine.SweepSpec) (s *Sweep, attached bool, err error) {
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, false, err
+	}
+	spec = spec.Normalized()
+	id := spec.ID()
+
+	c.mu.Lock()
+	if s, ok := c.sweeps[id]; ok {
+		c.cRetained.Inc()
+		c.mu.Unlock()
+		return s, true, nil
+	}
+	s = &Sweep{
+		ID:      id,
+		Spec:    spec,
+		Cells:   cells,
+		status:  make([]CellStatus, len(cells)),
+		results: make([][]byte, len(cells)),
+		pulse:   make(chan struct{}),
+	}
+	labels := cellLabels(spec, len(cells))
+	for i, cell := range cells {
+		s.status[i] = CellStatus{
+			Index: i,
+			Hash:  cell.Hash(),
+			Bench: cell.Bench,
+			Label: labels[i],
+			Home:  c.ring.Home(cell.Hash()),
+			State: "pending",
+		}
+	}
+	c.sweeps[id] = s
+	c.order = append(c.order, id)
+	c.evictLocked()
+	c.mu.Unlock()
+
+	c.cSweeps.Inc()
+	for i := range cells {
+		go c.runCell(s, i)
+	}
+	return s, false, nil
+}
+
+// Sweep returns a sweep by ID.
+func (c *Coordinator) Sweep(id string) (*Sweep, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sweeps[id]
+	return s, ok
+}
+
+// evictLocked drops the oldest finished sweeps past the registry cap.
+// Running sweeps are never evicted. Caller holds c.mu.
+func (c *Coordinator) evictLocked() {
+	for len(c.order) > maxRetainedSweeps {
+		evicted := false
+		for i, id := range c.order {
+			s := c.sweeps[id]
+			if s == nil || s.Status().Done {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				delete(c.sweeps, id)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything still running; stay over cap rather than lose live sweeps
+		}
+	}
+}
+
+// runCell executes one cell: routed to its home member when that is a
+// healthy peer, locally otherwise. Peer failures of any kind fall back
+// to local compute — the client never sees a routing error, only a
+// result (or a genuine simulation error).
+func (c *Coordinator) runCell(s *Sweep, i int) {
+	c.sem <- struct{}{}
+	defer func() { <-c.sem }()
+
+	cell := s.Cells[i]
+	hash := s.status[i].Hash
+	home := s.status[i].Home
+	ctx := context.Background()
+
+	if !c.ring.IsSelf(home) {
+		result, cached, err := c.client.SubmitWait(ctx, home, cell)
+		if err == nil {
+			c.cProxied.Inc()
+			c.cCells.Inc()
+			if c.cache != nil {
+				// The bytes came FROM the home peer; store them locally
+				// without pushing them back.
+				_ = c.cache.PutLocal(hash, result)
+			}
+			s.complete(i, result, cached, nil)
+			return
+		}
+		c.cFallback.Inc()
+	}
+
+	result, cached, err := c.runLocal(ctx, cell)
+	if err != nil {
+		c.cCellsFail.Inc()
+	}
+	c.cCells.Inc()
+	s.complete(i, result, cached, err)
+}
+
+// runLocal submits to the node's own engine, absorbing transient
+// queue-full rejections with a short backoff (the coordinator's sem
+// already bounds fan-out, but proxied submissions from peers compete
+// for the same queue).
+func (c *Coordinator) runLocal(ctx context.Context, cell engine.Spec) (result []byte, cached bool, err error) {
+	for {
+		j, err := c.eng.Submit(cell)
+		if errors.Is(err, engine.ErrQueueFull) {
+			select {
+			case <-time.After(50 * time.Millisecond):
+				continue
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		b, err := j.Wait(ctx)
+		return b, j.Cached(), err
+	}
+}
+
+// cellLabels renders "bench/variant#point" identifiers in expansion
+// order, echoing point labels when the client provided them.
+func cellLabels(spec engine.SweepSpec, n int) []string {
+	labels := make([]string, 0, n)
+	for range spec.Benches {
+		for vi := range spec.Variants {
+			for pi, p := range spec.Points {
+				l := p.Label
+				if l == "" {
+					l = "v" + strconv.Itoa(vi) + "p" + strconv.Itoa(pi)
+				}
+				labels = append(labels, l)
+			}
+		}
+	}
+	return labels
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — end-to-end smoke test of the distributed sweep
+# fabric with the REAL binaries: three hscserve processes form a
+# loopback fleet, hscsweep submits one batch sweep, and the script
+# proves
+#
+#   1. the fleet's per-cell results are byte-identical to an in-process
+#      run of the same sweep (content-addressed determinism end to end),
+#   2. a repeat of the sweep — submitted to a DIFFERENT node — is served
+#      ≥90% from the shared cache tier without re-simulating,
+#   3. cross-peer cache reads actually traverse the peer tier
+#      (fleet.peer_hits on /metrics).
+#
+# Used by CI on every push; runnable locally with no arguments.
+set -euo pipefail
+
+BENCH=${BENCH:-bs}
+SCALE=${SCALE:-1}
+BASE_PORT=${BASE_PORT:-18091}
+WORK=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$WORK/hscserve" ./cmd/hscserve
+go build -o "$WORK/hscsweep" ./cmd/hscsweep
+
+echo "== in-process reference sweep ($BENCH, scale $SCALE)"
+"$WORK/hscsweep" -bench "$BENCH" -scale "$SCALE" -dump "$WORK/ref.tsv" >/dev/null
+
+echo "== starting 3-node loopback fleet"
+URLS=()
+for i in 0 1 2; do
+  URLS+=("http://127.0.0.1:$((BASE_PORT + i))")
+done
+for i in 0 1 2; do
+  peers=""
+  for j in 0 1 2; do
+    if [ "$i" != "$j" ]; then
+      peers="${peers:+$peers,}${URLS[$j]}"
+    fi
+  done
+  "$WORK/hscserve" -addr "127.0.0.1:$((BASE_PORT + i))" \
+    -self "${URLS[$i]}" -peers "$peers" -workers 2 &
+  PIDS+=($!)
+done
+for u in "${URLS[@]}"; do
+  for _ in $(seq 1 50); do
+    curl -sf "$u/healthz" >/dev/null && break
+    sleep 0.2
+  done
+  curl -sf "$u/healthz" >/dev/null || { echo "node $u never came up" >&2; exit 1; }
+done
+
+echo "== batch sweep via ${URLS[0]}"
+"$WORK/hscsweep" -server "${URLS[0]}" -bench "$BENCH" -scale "$SCALE" \
+  -dump "$WORK/fleet.tsv" | tee "$WORK/run1.out" | tail -1
+
+echo "== byte-identity: fleet vs in-process"
+cmp "$WORK/ref.tsv" "$WORK/fleet.tsv" || {
+  echo "FAIL: fleet results differ from the in-process run" >&2
+  exit 1
+}
+
+echo "== repeat sweep via ${URLS[1]} (must be served from the shared cache)"
+"$WORK/hscsweep" -server "${URLS[1]}" -bench "$BENCH" -scale "$SCALE" \
+  -dump "$WORK/fleet2.tsv" | tee "$WORK/run2.out" | tail -1
+cmp "$WORK/ref.tsv" "$WORK/fleet2.tsv" || {
+  echo "FAIL: repeat-sweep results differ" >&2
+  exit 1
+}
+summary=$(grep -E '^fleet: ' "$WORK/run2.out" | tail -1)
+total=$(echo "$summary" | sed -n 's/^fleet: \([0-9]*\) cells.*/\1/p')
+cached=$(echo "$summary" | sed -n 's/.* \([0-9]*\) served from cache.*/\1/p')
+if [ -z "$total" ] || [ -z "$cached" ]; then
+  echo "FAIL: could not parse sweep summary: $summary" >&2
+  exit 1
+fi
+if [ $((cached * 10)) -lt $((total * 9)) ]; then
+  echo "FAIL: repeat sweep only $cached/$total cells cached (<90%)" >&2
+  exit 1
+fi
+echo "repeat sweep: $cached/$total cells served from cache"
+
+echo "== cross-peer read-through on ${URLS[2]}"
+# Fetch every cell's result from node 3; cells homed elsewhere make it
+# read through the peer cache tier.
+while IFS=$'\t' read -r hash _; do
+  curl -sf "${URLS[2]}/jobs/$hash/result" >/dev/null || {
+    echo "FAIL: node 3 could not serve result $hash" >&2
+    exit 1
+  }
+done < "$WORK/ref.tsv"
+peer_hits=$(curl -sf "${URLS[2]}/metrics" | awk '$1 == "fleet.peer_hits" {print $2}')
+if [ -z "$peer_hits" ] || [ "$peer_hits" -eq 0 ]; then
+  echo "FAIL: node 3 shows no fleet.peer_hits after remote reads" >&2
+  curl -sf "${URLS[2]}/metrics" >&2 || true
+  exit 1
+fi
+echo "node 3 peer cache hits: $peer_hits"
+
+echo "PASS: fleet smoke (byte-identical, cache-served repeat, cross-peer reads)"
