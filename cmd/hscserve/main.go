@@ -112,6 +112,7 @@ func main() {
 
 	srv := &http.Server{Addr: *addr, Handler: node.Handler()}
 	errc := make(chan error, 1)
+	//lockcheck:spawn process-lifetime accept loop; main exits through it or through a signal
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "hscserve: listening on %s (workers=%d queue=%d cache=%q fleet=%d)\n",
 		*addr, *workers, *queue, *cacheDir, len(ring.Members()))

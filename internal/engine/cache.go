@@ -18,14 +18,24 @@ import (
 type ResultCache interface {
 	// Get returns the result bytes for key. Implementations own the
 	// returned slice's lifetime guarantees: callers may retain it.
+	// Get may do disk or peer-HTTP I/O (the PR 9 incident held the
+	// engine mutex across exactly this call), hence the contract:
+	//
+	//lockcheck:blocks
 	Get(key string) ([]byte, bool)
 	// Put stores val under key. Implementations must tolerate
 	// concurrent Puts of the same key (the values are identical by
-	// construction).
+	// construction). Like Get, Put may reach disk or a peer.
+	//
+	//lockcheck:blocks
 	Put(key string, val []byte) error
 	// Len reports the number of entries in the fastest tier.
+	//
+	//lockcheck:neutral
 	Len() int
 	// Stats snapshots hit/miss counters for /metrics.
+	//
+	//lockcheck:neutral
 	Stats() CacheStats
 }
 
@@ -40,7 +50,7 @@ type ResultCache interface {
 // never leave a corrupt entry behind — the key simply stays absent
 // until a complete write lands.
 type Cache struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //lockcheck:fast
 	max     int
 	ll      *list.List // front = most recently used
 	byKey   map[string]*list.Element
@@ -89,6 +99,8 @@ func NewCache(maxEntries int, dir string) (*Cache, error) {
 
 // Get returns a copy of the cached result for key. A memory miss falls
 // through to the disk store; a disk hit is promoted into memory.
+//
+//lockcheck:blocks
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
@@ -119,6 +131,8 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 
 // Put stores a result under key in memory and, when configured, on
 // disk. The disk write is atomic (temp file + rename).
+//
+//lockcheck:blocks
 func (c *Cache) Put(key string, val []byte) error {
 	val = cloneBytes(val)
 	c.mu.Lock()
@@ -151,6 +165,8 @@ func (c *Cache) Put(key string, val []byte) error {
 }
 
 // Len reports the number of in-memory entries.
+//
+//lockcheck:neutral
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -158,6 +174,8 @@ func (c *Cache) Len() int {
 }
 
 // Stats returns hit/miss counts since construction.
+//
+//lockcheck:neutral
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -61,7 +61,7 @@ type Job struct {
 	Spec Spec
 	Hash string
 
-	mu     sync.Mutex
+	mu     sync.Mutex //lockcheck:fast
 	state  JobState
 	cached bool
 	result []byte
@@ -75,6 +75,8 @@ func newJob(sp Spec, hash string) *Job {
 }
 
 // State returns the job's current lifecycle state.
+//
+//lockcheck:neutral
 func (j *Job) State() JobState {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -83,6 +85,8 @@ func (j *Job) State() JobState {
 
 // Cached reports whether the result was served from the cache rather
 // than computed by this job.
+//
+//lockcheck:neutral
 func (j *Job) Cached() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -90,10 +94,14 @@ func (j *Job) Cached() bool {
 }
 
 // Done is closed when the job reaches a terminal state.
+//
+//lockcheck:neutral
 func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Result returns the canonical result bytes or the job's error. It
 // must be called after Done is closed (Wait does both).
+//
+//lockcheck:neutral
 func (j *Job) Result() ([]byte, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -104,6 +112,8 @@ func (j *Job) Result() ([]byte, error) {
 }
 
 // Wait blocks until the job completes or ctx expires.
+//
+//lockcheck:blocks
 func (j *Job) Wait(ctx context.Context) ([]byte, error) {
 	select {
 	case <-j.done:
@@ -116,6 +126,8 @@ func (j *Job) Wait(ctx context.Context) ([]byte, error) {
 // Cancel aborts the job: a queued job completes immediately with
 // ErrCanceled; a running job's context is cancelled and the simulation
 // stops at its next interrupt poll. Terminal jobs are unaffected.
+//
+//lockcheck:neutral
 func (j *Job) Cancel() {
 	j.mu.Lock()
 	if j.state == Queued {
@@ -187,6 +199,12 @@ type Config struct {
 // Engine is the concurrent simulation-job engine: a bounded worker
 // pool with singleflight dedup in front of a content-addressed result
 // cache.
+// The engine tier's lock order, enforced by the lockcheck analyzer:
+// the engine index lock may be held while taking a job's lock (Submit
+// consults j.State() under e.mu), never the reverse.
+//
+//lockcheck:order engine.Engine.mu < engine.Job.mu
+
 type Engine struct {
 	exec     func(context.Context, Spec) ([]byte, error)
 	cache    ResultCache
@@ -204,7 +222,7 @@ type Engine struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu       sync.Mutex
+	mu       sync.Mutex //lockcheck:fast
 	jobs     map[string]*Job
 	retired  []string // FIFO of terminal job hashes still in the index
 	draining bool
@@ -268,15 +286,21 @@ func New(cfg Config) *Engine {
 
 // Registry exposes the engine's stats registry (the "engine" scope
 // plus whatever the caller shares it with).
+//
+//lockcheck:neutral
 func (e *Engine) Registry() *stats.Registry { return e.registry }
 
 // Cache exposes the engine's result cache.
+//
+//lockcheck:neutral
 func (e *Engine) Cache() ResultCache { return e.cache }
 
 // CachedResult looks a hash up in the result cache directly. It is how
 // the HTTP service keeps GET /jobs/{hash}/result working for jobs that
 // have been retired from the in-memory index: the job object is gone,
 // but the content-addressed result is forever.
+//
+//lockcheck:blocks
 func (e *Engine) CachedResult(hash string) ([]byte, bool) {
 	return e.cache.Get(hash)
 }
@@ -285,6 +309,8 @@ func (e *Engine) CachedResult(hash string) ([]byte, bool) {
 // hash is already live returns the existing job (singleflight); a spec
 // whose result is cached returns an already-completed job. ErrQueueFull
 // and ErrDraining report backpressure and shutdown.
+//
+//lockcheck:blocks
 func (e *Engine) Submit(sp Spec) (*Job, error) {
 	sp = sp.Normalized()
 	hash := sp.Hash()
@@ -346,6 +372,8 @@ func (e *Engine) Submit(sp Spec) (*Job, error) {
 }
 
 // Job returns the job for a hash, live or completed.
+//
+//lockcheck:neutral
 func (e *Engine) Job(hash string) (*Job, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -356,6 +384,8 @@ func (e *Engine) Job(hash string) (*Job, bool) {
 // Run is Submit plus Wait: the synchronous client call. Library
 // clients (cmd/hscsweep, cmd/hscfig, the benchmark harness) use this —
 // with a warm cache it returns in microseconds.
+//
+//lockcheck:blocks
 func (e *Engine) Run(ctx context.Context, sp Spec) ([]byte, error) {
 	j, err := e.Submit(sp)
 	if err != nil {
@@ -366,6 +396,8 @@ func (e *Engine) Run(ctx context.Context, sp Spec) ([]byte, error) {
 
 // RunResults is Run with the canonical encoding decoded back into
 // system.Results.
+//
+//lockcheck:blocks
 func (e *Engine) RunResults(ctx context.Context, sp Spec) (system.Results, error) {
 	b, err := e.Run(ctx, sp)
 	if err != nil {
@@ -378,29 +410,32 @@ func (e *Engine) RunResults(ctx context.Context, sp Spec) (system.Results, error
 // ErrDraining, queued jobs complete immediately with ErrCanceled, and
 // Drain returns once every in-flight job has finished naturally (or
 // ctx expires — the pool keeps draining in the background either way).
+//
+//lockcheck:blocks
 func (e *Engine) Drain(ctx context.Context) error {
 	e.mu.Lock()
 	if !e.draining {
 		e.draining = true
 		close(e.queue)
 		// Cancel everything still queued; workers skip cancelled jobs.
+	flush:
 		for {
 			select {
 			case j, ok := <-e.queue:
 				if !ok || j == nil {
-					goto drained
+					break flush
 				}
 				j.Cancel()
 				e.cCanceled.Inc()
 			default:
-				goto drained
+				break flush
 			}
 		}
 	}
-drained:
 	e.mu.Unlock()
 
 	done := make(chan struct{})
+	//lockcheck:spawn drain waiter — exits as soon as the worker pool does
 	go func() {
 		e.wg.Wait()
 		close(done)
@@ -415,6 +450,8 @@ drained:
 
 // Close shuts down immediately: like Drain but in-flight jobs are
 // cancelled too. It blocks until the pool exits.
+//
+//lockcheck:blocks
 func (e *Engine) Close() {
 	e.baseCancel()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -441,6 +478,8 @@ type EngineStats struct {
 }
 
 // Stats snapshots the engine.
+//
+//lockcheck:neutral
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	running, jobs := e.running, len(e.jobs)

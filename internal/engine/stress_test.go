@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStressSubmitDrain is the engine half of the CI race leg:
+// overlapping Submit/Wait traffic from many goroutines (dedup hits,
+// queue rejections, cache fills) with a Drain fired mid-flight. The
+// assertions are deliberately weak — every job must resolve one way or
+// another within the deadline; the value of the test is the -race run
+// over the engine's mutex discipline under genuine contention.
+func TestStressSubmitDrain(t *testing.T) {
+	exec := func(_ context.Context, sp Spec) ([]byte, error) {
+		time.Sleep(500 * time.Microsecond)
+		return []byte(`{"bench":"` + sp.Bench + `"}`), nil
+	}
+	e := New(Config{Workers: 4, QueueDepth: 32, Exec: exec})
+	defer e.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	const goroutines = 8
+	const iters = 60
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// A small bench space so goroutines collide on hashes and
+				// exercise the dedup/index paths, not just the queue.
+				j, err := e.Submit(Spec{Bench: "stress-" + strconv.Itoa((g+i)%12), Seed: int64(i % 3)})
+				if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) {
+					continue // backpressure and shutdown are expected mid-stress
+				}
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				if _, err := j.Wait(ctx); err != nil && !errors.Is(err, ErrCanceled) {
+					t.Errorf("Wait: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(5 * time.Millisecond)
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	wg.Wait()
+}

@@ -31,7 +31,7 @@ type TieredCache struct {
 
 	fillSem chan struct{} // bounds concurrent async fills
 
-	mu       sync.Mutex
+	mu       sync.Mutex        //lockcheck:fast
 	inflight map[string]*fetch // singleflight on remote reads
 }
 
@@ -70,12 +70,16 @@ func NewTieredCache(local *engine.Cache, ring *Ring, client *Client, reg *stats.
 // Local exposes the bottom tier — the server's /cache/{hash} endpoints
 // read and write it directly, never through the peer tier, so a peer
 // asking a peer can never recurse.
+//
+//lockcheck:neutral
 func (t *TieredCache) Local() *engine.Cache { return t.local }
 
 // Get returns the result for key from the local tier, or — when this
 // node is not the key's home — from the home peer, filling the local
 // tier on a remote hit. Concurrent misses on the same key share one
 // remote fetch. Any peer failure degrades to a miss.
+//
+//lockcheck:blocks
 func (t *TieredCache) Get(key string) ([]byte, bool) {
 	if v, ok := t.local.Get(key); ok {
 		return v, true
@@ -122,12 +126,15 @@ func (t *TieredCache) Get(key string) ([]byte, bool) {
 // authority for the key converges to warm. Fills are bounded and
 // best-effort: an overloaded or dead home just means the next reader
 // falls back to compute.
+//
+//lockcheck:blocks
 func (t *TieredCache) Put(key string, val []byte) error {
 	err := t.local.Put(key, val)
 	home := t.ring.Home(key)
 	if !t.ring.IsSelf(home) {
 		select {
 		case t.fillSem <- struct{}{}:
+			//lockcheck:spawn bounded by fillSem (≤8), best-effort fill — releases its slot on exit
 			go func() {
 				defer func() { <-t.fillSem }()
 				if t.client.PushResult(context.Background(), home, key, val) == nil {
@@ -145,13 +152,19 @@ func (t *TieredCache) Put(key string, val []byte) error {
 
 // PutLocal stores only in the local tier — used for results that came
 // FROM a peer (pushing them back would be a pointless round trip).
+//
+//lockcheck:blocks
 func (t *TieredCache) PutLocal(key string, val []byte) error {
 	return t.local.Put(key, val)
 }
 
 // Len reports the local tier's in-memory entry count.
+//
+//lockcheck:neutral
 func (t *TieredCache) Len() int { return t.local.Len() }
 
 // Stats snapshots the local tier (peer counters live in the shared
 // registry under the "fleet" scope).
+//
+//lockcheck:neutral
 func (t *TieredCache) Stats() engine.CacheStats { return t.local.Stats() }

@@ -75,6 +75,8 @@ func retryable(code int) bool {
 
 // do runs one request (rebuilt per attempt so bodies can be re-read)
 // through the retry loop. The final response's body is NOT consumed.
+//
+//lockcheck:blocks
 func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -118,6 +120,8 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 // /cache/{hash}). ok=false with a nil error is a clean miss; an error
 // means the peer is unreachable or misbehaving (callers degrade to
 // local compute).
+//
+//lockcheck:blocks
 func (c *Client) FetchResult(ctx context.Context, base, hash string) ([]byte, bool, error) {
 	resp, err := c.do(ctx, func() (*http.Request, error) {
 		return http.NewRequest(http.MethodGet, base+"/cache/"+hash, nil)
@@ -142,6 +146,8 @@ func (c *Client) FetchResult(ctx context.Context, base, hash string) ([]byte, bo
 
 // PushResult writes hash's result bytes into base's local cache tier
 // (POST /cache/{hash}) — the async fill half of the shared tier.
+//
+//lockcheck:blocks
 func (c *Client) PushResult(ctx context.Context, base, hash string, val []byte) error {
 	resp, err := c.do(ctx, func() (*http.Request, error) {
 		return http.NewRequest(http.MethodPost, base+"/cache/"+hash, bytes.NewReader(val))
@@ -160,6 +166,8 @@ func (c *Client) PushResult(ctx context.Context, base, hash string, val []byte) 
 // SubmitWait submits sp to base and blocks until the result is ready
 // (POST /jobs?wait=1). cached reports the peer's X-Engine-Cached
 // verdict (true when the peer served it without simulating).
+//
+//lockcheck:blocks
 func (c *Client) SubmitWait(ctx context.Context, base string, sp engine.Spec) (result []byte, cached bool, err error) {
 	body := sp.Canonical()
 	resp, err := c.do(ctx, func() (*http.Request, error) {

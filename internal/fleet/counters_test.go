@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"testing"
+
+	"hscsim/internal/engine"
+	"hscsim/internal/stats"
+)
+
+// TestFleetCounterNamesPinned pins the registration names the fleet
+// tier's dashboards and smoke scripts grep for (fleet_smoke.sh gates
+// on fleet.peer_hits). Every handle is registered in a constructor, so
+// building the components against one registry is enough — a renamed
+// or dropped counter fails here before any scrape does. The statsreg
+// analyzer guards the other direction (a field assigned from anything
+// but its own registration call).
+func TestFleetCounterNamesPinned(t *testing.T) {
+	reg := stats.NewRegistry()
+	local, err := engine.NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := NewRing("http://self:1", nil)
+	tier := NewTieredCache(local, ring, nil, reg)
+	eng := engine.New(engine.Config{Workers: 1, Cache: tier, Registry: reg})
+	t.Cleanup(eng.Close)
+	NewCoordinator(eng, ring, nil, tier, 1, reg)
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"engine.jobs_submitted", "engine.jobs_evicted", "engine.cache_hits",
+		"fleet.peer_hits", "fleet.peer_misses", "fleet.peer_errors",
+		"fleet.fills_pushed", "fleet.fills_dropped",
+		"sweep.sweeps_started", "sweep.cells_completed", "sweep.cells_proxied",
+		"sweep.cells_peer_fallback", "sweep.sweeps_deduped", "sweep.cells_failed",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("counter %s is not registered — a dashboard or smoke grep just went dark", name)
+		}
+	}
+}

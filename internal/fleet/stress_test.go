@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hscsim/internal/engine"
+	"hscsim/internal/stats"
+)
+
+// The Stress tests in this file are the CI race leg (`go test -race
+// -run Stress`): they exist to put the tier's locks under real
+// contention — the same shapes the lockcheck analyzer reasons about
+// statically — so an unlocked path or a lock held across peer I/O
+// shows up as a race report or a timeout instead of a production hang.
+
+// TestStressTieredCacheConcurrent hammers one tier from many
+// goroutines: overlapping Get/Put/PutLocal on a small key space, a
+// tiny local LRU forcing constant evictions, and a live peer stub so
+// the read-through (singleflight) and async-fill paths run too.
+func TestStressTieredCacheConcurrent(t *testing.T) {
+	peer := newPeerStub(t)
+	local, err := engine.NewCache(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := NewRing("http://self:1", []string{peer.baseURL})
+	tier := NewTieredCache(local, ring, testClient(), stats.NewRegistry())
+
+	const goroutines = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := hashOf((g*7 + i) % 64)
+				switch i % 3 {
+				case 0:
+					if err := tier.Put(key, []byte("v"+strconv.Itoa(i))); err != nil {
+						t.Errorf("Put: %v", err)
+					}
+				case 1:
+					tier.Get(key)
+				case 2:
+					if err := tier.PutLocal(key, []byte("v"+strconv.Itoa(i))); err != nil {
+						t.Errorf("PutLocal: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tier.Len() > 16 {
+		t.Fatalf("local tier grew past its cap: %d entries", tier.Len())
+	}
+}
+
+// TestStressSweepStartDedup pins the Start restructure (sweep built
+// outside c.mu, inserted under a re-check): a dozen concurrent Starts
+// of one spec must elect exactly one owner, hand every joiner the
+// owner's *Sweep, and count exactly one sweeps_started.
+func TestStressSweepStartDedup(t *testing.T) {
+	var execs atomic.Int64
+	reg := stats.NewRegistry()
+	eng := engine.New(engine.Config{Workers: 2, Exec: stubExec(&execs), Registry: reg})
+	t.Cleanup(eng.Close)
+	c := NewCoordinator(eng, NewRing("http://self:1", nil), nil, nil, 4, reg)
+	spec := evalSweep()
+
+	const starters = 12
+	sweeps := make([]*Sweep, starters)
+	attached := make([]bool, starters)
+	var wg sync.WaitGroup
+	for i := 0; i < starters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, a, err := c.Start(spec)
+			if err != nil {
+				t.Errorf("Start: %v", err)
+				return
+			}
+			sweeps[i], attached[i] = s, a
+		}(i)
+	}
+	wg.Wait()
+
+	owners := 0
+	for i := 0; i < starters; i++ {
+		if !attached[i] {
+			owners++
+		}
+		if sweeps[i] != sweeps[0] {
+			t.Fatalf("starter %d got a different *Sweep — dedup lost the build race", i)
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("%d starters think they own the sweep, want exactly 1", owners)
+	}
+	waitSweepDone(t, sweeps[0])
+	if got := reg.Get("sweep.sweeps_started"); got != 1 {
+		t.Fatalf("sweeps_started = %d, want 1", got)
+	}
+	if got := reg.Get("sweep.sweeps_deduped"); got != starters-1 {
+		t.Fatalf("sweeps_deduped = %d, want %d", got, starters-1)
+	}
+}
+
+// TestStressDrainMidSweep drains the engine while a sweep is in
+// flight: in-flight cells finish, queued cells fail cleanly, and the
+// sweep still reaches Done — no cell may hang on a lock the drain path
+// holds.
+func TestStressDrainMidSweep(t *testing.T) {
+	slow := func(_ context.Context, sp engine.Spec) ([]byte, error) {
+		time.Sleep(2 * time.Millisecond)
+		return []byte(`{"hash":"` + sp.Normalized().Hash() + `"}`), nil
+	}
+	eng := engine.New(engine.Config{Workers: 2, QueueDepth: 4, Exec: slow})
+	t.Cleanup(eng.Close)
+	c := NewCoordinator(eng, NewRing("http://self:1", nil), nil, nil, 2, stats.NewRegistry())
+
+	spec := evalSweep()
+	for th := 2; th <= 9; th++ {
+		spec.Points = append(spec.Points, engine.SweepPoint{Threads: th})
+	}
+	s, attached, err := c.Start(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attached {
+		t.Fatal("fresh sweep reported as a join")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	waitSweepDone(t, s)
+	st := s.Status()
+	if st.Completed != st.Total {
+		t.Fatalf("sweep stuck after drain: %d/%d cells", st.Completed, st.Total)
+	}
+}
+
+// waitSweepDone polls a sweep to completion with a hard deadline.
+func waitSweepDone(t *testing.T, s *Sweep) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Status().Done {
+		if time.Now().After(deadline) {
+			st := s.Status()
+			t.Fatalf("sweep never finished: %d/%d cells", st.Completed, st.Total)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

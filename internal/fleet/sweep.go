@@ -45,7 +45,7 @@ type Sweep struct {
 	Spec  engine.SweepSpec
 	Cells []engine.Spec
 
-	mu        sync.Mutex
+	mu        sync.Mutex //lockcheck:fast
 	status    []CellStatus
 	results   [][]byte // per cell; nil until done (or on failure)
 	completed int
@@ -69,6 +69,8 @@ func (s *Sweep) snapshotLocked() SweepStatus {
 }
 
 // Status snapshots the sweep's progress.
+//
+//lockcheck:neutral
 func (s *Sweep) Status() SweepStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -128,6 +130,12 @@ func (s *Sweep) next(sent []bool) (fresh []CellStatus, bodies [][]byte, pulse <-
 // routing of cells to their home peers (with local fallback), bounded
 // fan-out, dedup by sweep ID, and a small LRU of finished sweeps for
 // GET /sweeps/{id} resumption.
+//
+// The fleet tier's lock order, enforced by the lockcheck analyzer: the
+// registry lock may be held while reading one sweep's status
+// (evictLocked consults Sweep.Status under c.mu), never the reverse.
+//
+//lockcheck:order fleet.Coordinator.mu < fleet.Sweep.mu
 type Coordinator struct {
 	eng    *engine.Engine
 	ring   *Ring
@@ -139,7 +147,7 @@ type Coordinator struct {
 	cProxied, cFallback   *stats.Counter
 	cRetained, cCellsFail *stats.Counter
 
-	mu     sync.Mutex
+	mu     sync.Mutex //lockcheck:fast
 	sweeps map[string]*Sweep
 	order  []string // FIFO for eviction of finished sweeps
 }
@@ -183,6 +191,8 @@ func NewCoordinator(eng *engine.Engine, ring *Ring, client *Client, cache *Tiere
 // identical sweep returns the already-running or finished Sweep —
 // content addressing at the batch level — so a client that lost its
 // stream resumes by re-POSTing. attached reports a join.
+//
+//lockcheck:neutral
 func (c *Coordinator) Start(spec engine.SweepSpec) (s *Sweep, attached bool, err error) {
 	if err := spec.Validate(); err != nil {
 		return nil, false, err
@@ -200,6 +210,12 @@ func (c *Coordinator) Start(spec engine.SweepSpec) (s *Sweep, attached bool, err
 		c.mu.Unlock()
 		return s, true, nil
 	}
+	c.mu.Unlock()
+
+	// Build the sweep outside the registry lock: per-cell identity is
+	// two SHA-256s (Spec.Hash is also what ring.Home keys on), and a
+	// large expansion hashed under c.mu would stall every Status and
+	// Sweep call on the node for the whole loop.
 	s = &Sweep{
 		ID:      id,
 		Spec:    spec,
@@ -219,6 +235,15 @@ func (c *Coordinator) Start(spec engine.SweepSpec) (s *Sweep, attached bool, err
 			State: "pending",
 		}
 	}
+
+	c.mu.Lock()
+	if prev, ok := c.sweeps[id]; ok {
+		// Lost the build race with an identical re-POST; join theirs
+		// and drop ours before any cell has been scheduled.
+		c.cRetained.Inc()
+		c.mu.Unlock()
+		return prev, true, nil
+	}
 	c.sweeps[id] = s
 	c.order = append(c.order, id)
 	c.evictLocked()
@@ -226,12 +251,15 @@ func (c *Coordinator) Start(spec engine.SweepSpec) (s *Sweep, attached bool, err
 
 	c.cSweeps.Inc()
 	for i := range cells {
+		//lockcheck:spawn bounded by c.sem; exits once its cell completes
 		go c.runCell(s, i)
 	}
 	return s, false, nil
 }
 
 // Sweep returns a sweep by ID.
+//
+//lockcheck:neutral
 func (c *Coordinator) Sweep(id string) (*Sweep, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

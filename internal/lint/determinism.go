@@ -75,36 +75,34 @@ func runDeterminism(p *Pass) {
 	if !hotPackages[p.Pkg.PkgPath] {
 		reportMapRanges(p, "map iteration order is randomized and this package is simulation-reachable; iterate sorted keys, or annotate //%s if order provably cannot matter")
 	}
-	for _, file := range p.Pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
+	p.inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgName, fn := pkgFuncOf(p, sel)
+		switch pkgName {
+		case "time":
+			if bannedTimeFuncs[fn] {
+				p.Report(sel.Pos(),
+					"time.%s reads the wall clock; simulation-reachable packages must be a pure function of (workload, config, seed) — use sim.Engine ticks",
+					fn)
+			}
+		case "math/rand":
+			// Type references (*rand.Rand in a signature) are the
+			// deterministic idiom itself, not a draw from the global
+			// source.
+			if _, isType := p.Pkg.Info.Uses[sel.Sel].(*types.TypeName); isType {
 				return true
 			}
-			pkgName, fn := pkgFuncOf(p, sel)
-			switch pkgName {
-			case "time":
-				if bannedTimeFuncs[fn] {
-					p.Report(sel.Pos(),
-						"time.%s reads the wall clock; simulation-reachable packages must be a pure function of (workload, config, seed) — use sim.Engine ticks",
-						fn)
-				}
-			case "math/rand":
-				// Type references (*rand.Rand in a signature) are the
-				// deterministic idiom itself, not a draw from the global
-				// source.
-				if _, isType := p.Pkg.Info.Uses[sel.Sel].(*types.TypeName); isType {
-					return true
-				}
-				if !allowedRandFuncs[fn] {
-					p.Report(sel.Pos(),
-						"rand.%s draws from the process-global source; use a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
-						fn)
-				}
+			if !allowedRandFuncs[fn] {
+				p.Report(sel.Pos(),
+					"rand.%s draws from the process-global source; use a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+					fn)
 			}
-			return true
-		})
-	}
+		}
+		return true
+	})
 }
 
 // pkgFuncOf resolves a selector to (import path, name) when it is a

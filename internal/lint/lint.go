@@ -32,6 +32,12 @@
 //     use-after-release, double-release, leak-on-return and
 //     send-after-hold statically, with //msgown: annotations declaring
 //     cross-function ownership transfer (see msgown.go).
+//   - lockcheck: lock discipline for the concurrent engine/fleet tier —
+//     a flow-sensitive held-lock dataflow over the same CFG catches
+//     blocking calls under //lockcheck:fast locks (the PR 9 HTTP-under-
+//     engine-mutex incident, statically), missing unlocks on early
+//     returns, double-locks, inversions of the declared
+//     //lockcheck:order, and untracked goroutines (see lockcheck.go).
 package lint
 
 import (
@@ -91,7 +97,7 @@ func (p *Pass) Report(pos token.Pos, format string, args ...interface{}) {
 
 // All returns every registered analyzer.
 func All() []*Analyzer {
-	return []*Analyzer{MsgSwitch, MapLoop, StatsReg, Determinism, StallWake, MsgOwn}
+	return []*Analyzer{MsgSwitch, MapLoop, StatsReg, Determinism, StallWake, MsgOwn, LockCheck}
 }
 
 // Check runs the analyzers over the packages and returns findings

@@ -72,15 +72,27 @@ func TestMapLoopIgnoresColdPackages(t *testing.T) {
 
 func TestStatsRegCatchesUnassignedFields(t *testing.T) {
 	diags := Check(loadBad(t), []*Analyzer{StatsReg})
-	if len(diags) != 2 {
-		t.Fatalf("diags = %v, want exactly 2 (misses, lat)", diags)
+	// Two unassigned fields (misses, lat), one handle copied from
+	// another struct, one wrong-kind registration, one duplicate name.
+	if len(diags) != 5 {
+		t.Fatalf("diags = %v, want exactly 5", diags)
 	}
-	joined := diags[0].Message + " " + diags[1].Message
-	if !strings.Contains(joined, "widget.misses") || !strings.Contains(joined, "widget.lat") {
-		t.Fatalf("wrong fields reported: %v", diags)
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
 	}
-	if strings.Contains(joined, "widget.hits") {
-		t.Fatalf("registered field reported: %v", diags)
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{
+		"widget.misses", "widget.lat",
+		"straight from Scope.Counter", "straight from Scope.Histogram",
+		"duplicate registration of Counter",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing a diagnostic matching %q in:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "widget.hits") || strings.Contains(joined, `"out"`) {
+		t.Fatalf("correctly registered field reported: %v", diags)
 	}
 }
 
@@ -139,24 +151,19 @@ func TestStallWakeQueueRules(t *testing.T) {
 // wantRE matches one golden expectation: //want <analyzer> "<substring>"
 var wantRE = regexp.MustCompile(`//want (\w+) "([^"]+)"`)
 
-// TestGoldenExpectations runs every analyzer over the testdata package
-// and matches the diagnostics, line by line, against the //want
-// comments in the source (the analysistest idiom): every diagnostic
-// needs a matching expectation and every expectation a diagnostic.
-func TestGoldenExpectations(t *testing.T) {
-	pkgs := loadBad(t)
-	hotPackages[badPkg] = true
-	detPackages[badPkg] = true
-	defer func() {
-		delete(hotPackages, badPkg)
-		delete(detPackages, badPkg)
-	}()
-
+// checkGoldens runs the analyzers over pkgs and matches the
+// diagnostics, line by line, against the //want comments in srcPath
+// (the analysistest idiom): every diagnostic needs a matching
+// expectation and every expectation a diagnostic, so a golden test
+// fails on both missed bugs and false positives. minWants guards
+// against the testdata silently losing expectations.
+func checkGoldens(t *testing.T, pkgs []*Package, analyzers []*Analyzer, srcPath string, minWants int) {
+	t.Helper()
 	type want struct {
 		analyzer, substr string
 		matched          bool
 	}
-	src, err := os.ReadFile("testdata/bad/bad.go")
+	src, err := os.ReadFile(srcPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +175,11 @@ func TestGoldenExpectations(t *testing.T) {
 			total++
 		}
 	}
-	if total < 7 {
-		t.Fatalf("only %d //want expectations parsed — the testdata lost some", total)
+	if total < minWants {
+		t.Fatalf("only %d //want expectations parsed from %s — the testdata lost some", total, srcPath)
 	}
 
-	for _, d := range Check(pkgs, All()) {
+	for _, d := range Check(pkgs, analyzers) {
 		matched := false
 		for _, w := range wants[d.Pos.Line] {
 			if !w.matched && w.analyzer == d.Analyzer && strings.Contains(d.Message, w.substr) {
@@ -192,6 +199,19 @@ func TestGoldenExpectations(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestGoldenExpectations runs every analyzer over the testdata package
+// and matches the diagnostics against the //want comments.
+func TestGoldenExpectations(t *testing.T) {
+	pkgs := loadBad(t)
+	hotPackages[badPkg] = true
+	detPackages[badPkg] = true
+	defer func() {
+		delete(hotPackages, badPkg)
+		delete(detPackages, badPkg)
+	}()
+	checkGoldens(t, pkgs, All(), "testdata/bad/bad.go", 14)
 }
 
 // TestRepoIsClean is the enforcement test: the whole module must pass

@@ -3,7 +3,6 @@ package lint
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
 // deterministicMarker suppresses a maploop finding when it appears on
@@ -46,25 +45,11 @@ func runMapLoop(p *Pass) {
 	reportMapRanges(p, "map iteration order is randomized and this package is on the simulator hot path; iterate sorted keys, or annotate //%s if order provably cannot matter")
 }
 
-// markedLines collects the line numbers carrying the deterministic
-// marker in file.
-func markedLines(p *Pass, file *ast.File) map[int]bool {
-	marked := make(map[int]bool)
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			if strings.Contains(c.Text, deterministicMarker) {
-				marked[p.Pkg.Fset.Position(c.Pos()).Line] = true
-			}
-		}
-	}
-	return marked
-}
-
 // reportMapRanges flags every map range in the package not annotated
 // with the deterministic marker (on its line or the line above).
 func reportMapRanges(p *Pass, format string) {
 	for _, file := range p.Pkg.Files {
-		marked := markedLines(p, file)
+		marked := markerLines(p, file, deterministicMarker)
 		ast.Inspect(file, func(n ast.Node) bool {
 			rs, ok := n.(*ast.RangeStmt)
 			if !ok {

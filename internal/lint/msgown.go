@@ -6,7 +6,6 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 )
 
 // MsgOwn is a flow-sensitive, path-aware ownership analyzer for pooled
@@ -232,43 +231,36 @@ func (a *msgOwnAnnot) opFor(param string) (opKind, bool) {
 // parseMsgOwnAnnot extracts //msgown: directives from comment groups.
 // Returns nil when none are present.
 func parseMsgOwnAnnot(groups ...*ast.CommentGroup) *msgOwnAnnot {
-	var an *msgOwnAnnot
-	for _, cg := range groups {
-		if cg == nil {
+	return msgOwnAnnotOf(parseDirectives("msgown:", groups...))
+}
+
+// msgOwnAnnotOf folds parsed directives into one annotation record.
+func msgOwnAnnotOf(ds []directive) *msgOwnAnnot {
+	if len(ds) == 0 {
+		return nil
+	}
+	an := &msgOwnAnnot{
+		transfer: map[string]bool{},
+		owns:     map[string]bool{},
+		releases: map[string]bool{},
+	}
+	for _, d := range ds {
+		var set map[string]bool
+		switch d.verb {
+		case "transfer":
+			set = an.transfer
+		case "owns":
+			set = an.owns
+		case "releases":
+			set = an.releases
+		case "neutral":
+			an.neutral = true
+			continue
+		default:
 			continue
 		}
-		for _, c := range cg.List {
-			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-			if !strings.HasPrefix(text, "msgown:") {
-				continue
-			}
-			if an == nil {
-				an = &msgOwnAnnot{
-					transfer: map[string]bool{},
-					owns:     map[string]bool{},
-					releases: map[string]bool{},
-				}
-			}
-			verb, rest, _ := strings.Cut(strings.TrimPrefix(text, "msgown:"), " ")
-			var set map[string]bool
-			switch verb {
-			case "transfer":
-				set = an.transfer
-			case "owns":
-				set = an.owns
-			case "releases":
-				set = an.releases
-			case "neutral":
-				an.neutral = true
-				continue
-			default:
-				continue
-			}
-			for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
-				return r == ',' || r == ' ' || r == '\t'
-			}) {
-				set[name] = true
-			}
+		for _, name := range d.args() {
+			set[name] = true
 		}
 	}
 	return an
@@ -279,40 +271,9 @@ func parseMsgOwnAnnot(groups ...*ast.CommentGroup) *msgOwnAnnot {
 // a distinct export-data object) still resolve.
 func buildMsgOwnIndex(pkgs []*Package) map[string]*msgOwnAnnot {
 	idx := make(map[string]*msgOwnAnnot)
-	for _, pkg := range pkgs {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok {
-					continue
-				}
-				an := parseMsgOwnAnnot(fd.Doc)
-				if an == nil {
-					continue
-				}
-				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-					idx[fn.FullName()] = an
-				}
-			}
-			ast.Inspect(f, func(n ast.Node) bool {
-				it, ok := n.(*ast.InterfaceType)
-				if !ok {
-					return true
-				}
-				for _, m := range it.Methods.List {
-					if len(m.Names) == 0 {
-						continue
-					}
-					an := parseMsgOwnAnnot(m.Doc, m.Comment)
-					if an == nil {
-						continue
-					}
-					if fn, ok := pkg.Info.Defs[m.Names[0]].(*types.Func); ok {
-						idx[fn.FullName()] = an
-					}
-				}
-				return true
-			})
+	for fn, ds := range funcDirectives(pkgs, "msgown:") {
+		if an := msgOwnAnnotOf(ds); an != nil {
+			idx[fn] = an
 		}
 	}
 	return idx

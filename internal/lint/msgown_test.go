@@ -34,48 +34,7 @@ func loadPkg(t *testing.T, pattern string) []*Package {
 // diagnostic, so the test fails on both missed bugs and false
 // positives.
 func TestMsgOwnGoldens(t *testing.T) {
-	pkgs := loadPkg(t, msgownPkg)
-
-	type want struct {
-		analyzer, substr string
-		matched          bool
-	}
-	src, err := os.ReadFile("testdata/msgown/msgown.go")
-	if err != nil {
-		t.Fatal(err)
-	}
-	wants := make(map[int][]*want)
-	total := 0
-	for i, line := range strings.Split(string(src), "\n") {
-		for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
-			wants[i+1] = append(wants[i+1], &want{analyzer: m[1], substr: m[2]})
-			total++
-		}
-	}
-	if total < 16 {
-		t.Fatalf("only %d //want expectations parsed — the testdata lost some", total)
-	}
-
-	for _, d := range Check(pkgs, []*Analyzer{MsgOwn}) {
-		matched := false
-		for _, w := range wants[d.Pos.Line] {
-			if !w.matched && w.analyzer == d.Analyzer && strings.Contains(d.Message, w.substr) {
-				w.matched = true
-				matched = true
-				break
-			}
-		}
-		if !matched {
-			t.Errorf("unexpected diagnostic: %s", d)
-		}
-	}
-	for line, ws := range wants {
-		for _, w := range ws {
-			if !w.matched {
-				t.Errorf("line %d: no %s diagnostic matching %q", line, w.analyzer, w.substr)
-			}
-		}
-	}
+	checkGoldens(t, loadPkg(t, msgownPkg), []*Analyzer{MsgOwn}, "testdata/msgown/msgown.go", 16)
 }
 
 // TestMsgOwnCleanGuards runs the analyzer over the false-positive

@@ -22,53 +22,51 @@ var MsgSwitch = &Analyzer{
 }
 
 func runMsgSwitch(p *Pass) {
-	for _, file := range p.Pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			sw, ok := n.(*ast.SwitchStmt)
-			if !ok || sw.Tag == nil {
-				return true
+	p.inspect(func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		named := msgTypeOf(p, sw.Tag)
+		if named == nil {
+			return true
+		}
+		covered := make(map[int64]bool)
+		for _, stmt := range sw.Body.List {
+			cc := stmt.(*ast.CaseClause)
+			if cc.List == nil {
+				return true // default clause present
 			}
-			named := msgTypeOf(p, sw.Tag)
-			if named == nil {
-				return true
-			}
-			covered := make(map[int64]bool)
-			for _, stmt := range sw.Body.List {
-				cc := stmt.(*ast.CaseClause)
-				if cc.List == nil {
-					return true // default clause present
-				}
-				for _, e := range cc.List {
-					if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil {
-						if v, exact := constant.Int64Val(tv.Value); exact {
-							covered[v] = true
-						}
+			for _, e := range cc.List {
+				if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil {
+					if v, exact := constant.Int64Val(tv.Value); exact {
+						covered[v] = true
 					}
 				}
 			}
-			var missing []string
-			seen := make(map[int64]bool)
-			scope := named.Obj().Pkg().Scope()
-			for _, name := range scope.Names() {
-				c, ok := scope.Lookup(name).(*types.Const)
-				if !ok || !types.Identical(c.Type(), named) {
-					continue
-				}
-				v, _ := constant.Int64Val(c.Val())
-				if !covered[v] && !seen[v] {
-					seen[v] = true
-					missing = append(missing, name)
-				}
+		}
+		var missing []string
+		seen := make(map[int64]bool)
+		scope := named.Obj().Pkg().Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !types.Identical(c.Type(), named) {
+				continue
 			}
-			if len(missing) > 0 {
-				sort.Strings(missing)
-				p.Report(sw.Pos(),
-					"switch on msg.Type is not exhaustive and has no default clause: missing %s",
-					strings.Join(missing, ", "))
+			v, _ := constant.Int64Val(c.Val())
+			if !covered[v] && !seen[v] {
+				seen[v] = true
+				missing = append(missing, name)
 			}
-			return true
-		})
-	}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			p.Report(sw.Pos(),
+				"switch on msg.Type is not exhaustive and has no default clause: missing %s",
+				strings.Join(missing, ", "))
+		}
+		return true
+	})
 }
 
 // msgTypeOf returns the named type of e if it is msg.Type.

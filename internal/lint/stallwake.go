@@ -6,7 +6,6 @@ import (
 	"go/types"
 	"regexp"
 	"sort"
-	"strings"
 )
 
 // StallWake is the source-level companion of the table-level stall
@@ -52,92 +51,88 @@ func runStallWake(p *Pass) {
 
 	// Pass 1: collect struct fields — annotated ones join the queue
 	// set; queue-shaped names without the annotation are reported.
-	for _, file := range p.Pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			st, ok := n.(*ast.StructType)
-			if !ok {
-				return true
-			}
-			for _, f := range st.Fields.List {
-				annotated := fieldHasMarker(f)
-				for _, name := range f.Names {
-					obj, ok := p.Pkg.Info.Defs[name].(*types.Var)
-					if !ok {
-						continue
-					}
-					if annotated {
-						queues[obj] = &queueField{name: name.Name, pos: name.Pos(), annotated: true}
-						continue
-					}
-					if stallNameRE.MatchString(name.Name) && queueShaped(obj.Type()) {
-						p.Report(name.Pos(),
-							"field %s looks like a stall/wait queue; annotate it //hsclint:stallqueue so its wake path is linted (or rename it)",
-							name.Name)
-					}
+	p.inspect(func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, f := range st.Fields.List {
+			annotated := commentsHaveMarker(stallQueueMarker, f.Doc, f.Comment)
+			for _, name := range f.Names {
+				obj, ok := p.Pkg.Info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if annotated {
+					queues[obj] = &queueField{name: name.Name, pos: name.Pos(), annotated: true}
+					continue
+				}
+				if stallNameRE.MatchString(name.Name) && queueShaped(obj.Type()) {
+					p.Report(name.Pos(),
+						"field %s looks like a stall/wait queue; annotate it //hsclint:stallqueue so its wake path is linted (or rename it)",
+						name.Name)
 				}
 			}
-			return true
-		})
-	}
+		}
+		return true
+	})
 	if len(queues) == 0 {
 		return
 	}
 
 	// Pass 2: classify every use of a tracked field as park or wake.
-	for _, file := range p.Pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				classifyAssign(p, queues, n)
-			case *ast.IncDecStmt:
-				if q := fieldOf(p, queues, baseExpr(n.X)); q != nil {
-					if n.Tok == token.INC {
-						q.parks++
-					} else {
-						q.wakes++
-					}
-				}
-			case *ast.CallExpr:
-				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
-					switch id.Name {
-					case "delete":
-						if len(n.Args) == 2 {
-							if q := fieldOf(p, queues, n.Args[0]); q != nil {
-								q.wakes++
-							}
-						}
-						return true
-					case "append", "make", "len", "cap", "copy", "new":
-						// Builtins: append is classified at its
-						// assignment; the rest neither park nor wake.
-						return true
-					}
-				}
-				// Handing the whole queue to a helper is how the DMA
-				// engine drains its waiter maps — count it as a wake.
-				for _, a := range n.Args {
-					if q := fieldOf(p, queues, baseExpr(a)); q != nil {
-						q.wakes++
-					}
-				}
-			case *ast.RangeStmt:
-				if q := fieldOf(p, queues, baseExpr(n.X)); q != nil {
+	p.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			classifyAssign(p, queues, n)
+		case *ast.IncDecStmt:
+			if q := fieldOf(p, queues, baseExpr(n.X)); q != nil {
+				if n.Tok == token.INC {
+					q.parks++
+				} else {
 					q.wakes++
 				}
-			case *ast.SendStmt:
-				if q := fieldOf(p, queues, n.Chan); q != nil {
-					q.parks++
-				}
-			case *ast.UnaryExpr:
-				if n.Op == token.ARROW {
-					if q := fieldOf(p, queues, n.X); q != nil {
-						q.wakes++
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				switch id.Name {
+				case "delete":
+					if len(n.Args) == 2 {
+						if q := fieldOf(p, queues, n.Args[0]); q != nil {
+							q.wakes++
+						}
 					}
+					return true
+				case "append", "make", "len", "cap", "copy", "new":
+					// Builtins: append is classified at its
+					// assignment; the rest neither park nor wake.
+					return true
 				}
 			}
-			return true
-		})
-	}
+			// Handing the whole queue to a helper is how the DMA
+			// engine drains its waiter maps — count it as a wake.
+			for _, a := range n.Args {
+				if q := fieldOf(p, queues, baseExpr(a)); q != nil {
+					q.wakes++
+				}
+			}
+		case *ast.RangeStmt:
+			if q := fieldOf(p, queues, baseExpr(n.X)); q != nil {
+				q.wakes++
+			}
+		case *ast.SendStmt:
+			if q := fieldOf(p, queues, n.Chan); q != nil {
+				q.parks++
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if q := fieldOf(p, queues, n.X); q != nil {
+					q.wakes++
+				}
+			}
+		}
+		return true
+	})
 
 	var objs []*types.Var
 	for obj := range queues { //hsclint:deterministic — sorted below
@@ -242,22 +237,6 @@ func isMakeCall(e ast.Expr) bool {
 func isEmptyCompositeLit(e ast.Expr) bool {
 	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
 	return ok && len(lit.Elts) == 0
-}
-
-// fieldHasMarker reports whether the field's doc or line comment
-// carries the //hsclint:stallqueue annotation.
-func fieldHasMarker(f *ast.Field) bool {
-	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
-		if cg == nil {
-			continue
-		}
-		for _, c := range cg.List {
-			if strings.Contains(c.Text, stallQueueMarker) {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // queueShaped reports whether t can hold parked work.

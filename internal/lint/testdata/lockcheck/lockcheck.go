@@ -1,0 +1,160 @@
+// Package lockcheck deliberately violates every lockcheck rule class;
+// it lives under testdata so wildcard patterns skip it, and only
+// internal/lint's tests load it (pinning the package onto the lock
+// list for the duration of the test). Each //want comment is a golden
+// expectation; lines without one must produce no diagnostic.
+package lockcheck
+
+import (
+	"net/http"
+	"sync"
+)
+
+// The declared order for the two guards: mu strictly before rw.
+//
+//lockcheck:order lockcheck.Guard.mu < lockcheck.Guard.rw
+
+// Guard is the lock-holding type every case runs against. mu is fast
+// (nothing may block under it); rw is an ordinary reader/writer lock.
+type Guard struct {
+	mu sync.Mutex //lockcheck:fast
+	rw sync.RWMutex
+	n  int
+}
+
+// resultCache mirrors engine.ResultCache: the Get contract is declared
+// on the interface method, so every implementation inherits it.
+type resultCache interface {
+	//lockcheck:blocks
+	Get(key string) ([]byte, bool)
+}
+
+// fetch is the PR 9 incident shape verbatim: an HTTP round trip while
+// the fast engine-style mutex is held.
+func (g *Guard) fetch() {
+	g.mu.Lock()
+	http.Get("http://peer/cache") //want lockcheck "blocking operation (http.Get) while fast lock lockcheck.Guard.mu may be held"
+	g.mu.Unlock()
+}
+
+// probe is the same incident one layer up: the blocking contract comes
+// from the //lockcheck:blocks annotation on the interface method.
+func (g *Guard) probe(c resultCache) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c.Get("k") //want lockcheck "blocking operation (call to Get (//lockcheck:blocks)) while fast lock lockcheck.Guard.mu may be held"
+}
+
+// notify parks on an unbuffered send under the fast lock.
+func (g *Guard) notify(ch chan int) {
+	g.mu.Lock()
+	ch <- g.n //want lockcheck "blocking operation (channel send) while fast lock lockcheck.Guard.mu may be held"
+	g.mu.Unlock()
+}
+
+// helperBlocks is unannotated; same-package inference must discover
+// the receive and carry it to callsHelper's call site.
+func helperBlocks(ch chan int) int {
+	return <-ch
+}
+
+func (g *Guard) callsHelper(ch chan int) {
+	g.mu.Lock()
+	g.n = helperBlocks(ch) //want lockcheck "blocking operation (call to helperBlocks (channel receive)) while fast lock lockcheck.Guard.mu may be held"
+	g.mu.Unlock()
+}
+
+// leaky returns without unlocking on the early path.
+func (g *Guard) leaky(b bool) int {
+	g.mu.Lock() //want lockcheck "lockcheck.Guard.mu acquired here may still be held when leaky returns"
+	if b {
+		return 0
+	}
+	g.mu.Unlock()
+	return g.n
+}
+
+// twice re-acquires a lock that is definitely held.
+func (g *Guard) twice() {
+	g.mu.Lock()
+	g.mu.Lock() //want lockcheck "lockcheck.Guard.mu is already held here — this acquisition self-deadlocks"
+	g.mu.Unlock()
+}
+
+// sloppy unlocks a lock that is definitely unheld.
+func (g *Guard) sloppy() {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.mu.Unlock() //want lockcheck "lockcheck.Guard.mu is not held at this unlock"
+}
+
+// wrongMode releases a read-held RWMutex with the writer unlock.
+func (g *Guard) wrongMode() {
+	g.rw.RLock()
+	g.rw.Unlock() //want lockcheck "lockcheck.Guard.rw is read-held here — use RUnlock, not Unlock"
+}
+
+// inverted takes the guards against the declared order.
+func (g *Guard) inverted() {
+	g.rw.Lock()
+	g.mu.Lock() //want lockcheck "acquiring lockcheck.Guard.mu while lockcheck.Guard.rw is held inverts the declared lock order"
+	g.mu.Unlock()
+	g.rw.Unlock()
+}
+
+// unlockHelper declares a handoff contract; doubleHandoff calls it a
+// second time when the lock is already gone.
+//
+//lockcheck:unlocks lockcheck.Guard.mu
+func (g *Guard) unlockHelper() {
+	g.mu.Unlock()
+}
+
+func (g *Guard) doubleHandoff() {
+	g.mu.Lock()
+	g.unlockHelper()
+	g.unlockHelper() //want lockcheck "call to unlockHelper unlocks lockcheck.Guard.mu, which is not held here"
+}
+
+// lockHelper claims to return holding mu but only does so on one path.
+//
+//lockcheck:locks lockcheck.Guard.mu
+func (g *Guard) lockHelper(b bool) { //want lockcheck "lockHelper is annotated //lockcheck:locks lockcheck.Guard.mu but does not hold it on every return path"
+	if b {
+		g.mu.Lock()
+	}
+}
+
+// Exported is a public method of a lock-holding type with no contract.
+func (g *Guard) Exported() int { //want lockcheck "exported method Exported of lock-holding type Guard needs a //lockcheck: annotation"
+	return g.n
+}
+
+// claimsNeutral carries a contract its body contradicts.
+//
+//lockcheck:neutral
+func claimsNeutral(ch chan int) int { //want lockcheck "claimsNeutral is annotated //lockcheck:neutral but contains a blocking operation (channel receive"
+	return <-ch
+}
+
+// spawnLoose starts a goroutine with neither a WaitGroup tie nor a
+// //lockcheck:spawn justification.
+func spawnLoose(ch chan int) {
+	go helperBlocks(ch) //want lockcheck "goroutine is not tied to a WaitGroup" (the expectation text must not spell out the spawn marker, or it would suppress itself)
+}
+
+var (
+	_ = (*Guard).fetch
+	_ = (*Guard).probe
+	_ = (*Guard).notify
+	_ = (*Guard).callsHelper
+	_ = (*Guard).leaky
+	_ = (*Guard).twice
+	_ = (*Guard).sloppy
+	_ = (*Guard).wrongMode
+	_ = (*Guard).inverted
+	_ = (*Guard).doubleHandoff
+	_ = (*Guard).lockHelper
+	_ = claimsNeutral
+	_ = spawnLoose
+)

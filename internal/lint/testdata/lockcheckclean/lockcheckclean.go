@@ -1,0 +1,127 @@
+// Package lockcheckclean seeds every correct locking idiom the
+// concurrent tier actually uses; the test pins it onto the lock list
+// and any lockcheck diagnostic here is a false positive by
+// construction.
+package lockcheckclean
+
+import "sync"
+
+// The declared order: the table lock may wrap the row lock.
+//
+//lockcheck:order lockcheckclean.table.mu < lockcheckclean.table.rowMu
+
+type table struct {
+	mu    sync.Mutex //lockcheck:fast
+	rowMu sync.Mutex
+	rows  map[string]int
+	wg    sync.WaitGroup
+}
+
+// deferUnlock is the canonical pattern.
+func (t *table) deferUnlock() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.rows)
+}
+
+// conditionalUnlock releases on each path explicitly.
+func (t *table) conditionalUnlock(k string) int {
+	t.mu.Lock()
+	if v, ok := t.rows[k]; ok {
+		t.mu.Unlock()
+		return v
+	}
+	t.mu.Unlock()
+	return -1
+}
+
+// nested takes both guards in the declared order.
+func (t *table) nested(k string) {
+	t.mu.Lock()
+	t.rowMu.Lock()
+	t.rows[k]++
+	t.rowMu.Unlock()
+	t.mu.Unlock()
+}
+
+// pulse signals under the fast lock through a select with a default
+// clause — the send cannot block, so it is legal.
+func (t *table) pulse(ch chan struct{}) {
+	t.mu.Lock()
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+	t.mu.Unlock()
+}
+
+// acquire/release declare a lock handoff across function boundaries.
+//
+//lockcheck:locks lockcheckclean.table.mu
+func (t *table) acquire() {
+	t.mu.Lock()
+}
+
+//lockcheck:unlocks lockcheckclean.table.mu
+func (t *table) release() {
+	t.mu.Unlock()
+}
+
+func (t *table) handoff(k string) {
+	t.acquire()
+	t.rows[k] = 1
+	t.release()
+}
+
+// unlockForCaller runs with t.mu held by the caller; unlocking a lock
+// the analyzer never saw acquired stays silent (caller-held idiom).
+func (t *table) unlockForCaller() {
+	t.mu.Unlock()
+}
+
+// spawnTracked ties its goroutine to a WaitGroup.
+func (t *table) spawnTracked() {
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+	}()
+	t.wg.Wait()
+}
+
+// spawnAnnotated justifies its lifetime instead.
+func spawnAnnotated(done chan struct{}) {
+	//lockcheck:spawn closes done; the caller blocks on it before returning
+	go func() { close(done) }()
+	<-done
+}
+
+// gauge exercises the read-side RWMutex pairing.
+type gauge struct {
+	rw sync.RWMutex
+	v  int
+}
+
+func (g *gauge) read() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.v
+}
+
+func (g *gauge) write(v int) {
+	g.rw.Lock()
+	g.v = v
+	g.rw.Unlock()
+}
+
+var (
+	_ = (*table).deferUnlock
+	_ = (*table).conditionalUnlock
+	_ = (*table).nested
+	_ = (*table).pulse
+	_ = (*table).handoff
+	_ = (*table).unlockForCaller
+	_ = (*table).spawnTracked
+	_ = spawnAnnotated
+	_ = (*gauge).read
+	_ = (*gauge).write
+)

@@ -87,6 +87,7 @@ func NewWave(wg, lane, global int, fn func(*Wave)) *Wave {
 		res:  make(chan []uint64),
 		kill: make(chan struct{}),
 	}
+	//lockcheck:spawn wavefront coroutine — the kill channel aborts it when the executor stops
 	go func() {
 		defer func() {
 			if r := recover(); r != nil && r != errAborted {

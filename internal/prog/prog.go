@@ -70,6 +70,7 @@ func NewCPUThread(id int, fn func(*CPUThread)) *CPUThread {
 		res:  make(chan uint64),
 		kill: make(chan struct{}),
 	}
+	//lockcheck:spawn workload coroutine — the kill channel aborts it when the executor stops
 	go func() {
 		defer func() {
 			if r := recover(); r != nil && r != errAborted {

@@ -14,7 +14,7 @@ import (
 // per-event hot path).
 type Histogram struct {
 	name    string
-	mu      sync.Mutex
+	mu      sync.Mutex //lockcheck:fast
 	buckets [64]uint64
 	count   uint64
 	sum     uint64
@@ -23,6 +23,8 @@ type Histogram struct {
 }
 
 // Observe records one sample.
+//
+//lockcheck:neutral
 func (h *Histogram) Observe(v uint64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -39,6 +41,8 @@ func (h *Histogram) Observe(v uint64) {
 }
 
 // Count returns the number of samples.
+//
+//lockcheck:neutral
 func (h *Histogram) Count() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -46,6 +50,8 @@ func (h *Histogram) Count() uint64 {
 }
 
 // Mean returns the arithmetic mean (0 with no samples).
+//
+//lockcheck:neutral
 func (h *Histogram) Mean() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -60,6 +66,8 @@ func (h *Histogram) mean() float64 {
 }
 
 // Min returns the smallest observed sample (0 with no samples).
+//
+//lockcheck:neutral
 func (h *Histogram) Min() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -67,6 +75,8 @@ func (h *Histogram) Min() uint64 {
 }
 
 // Max returns the largest observed sample.
+//
+//lockcheck:neutral
 func (h *Histogram) Max() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -75,6 +85,8 @@ func (h *Histogram) Max() uint64 {
 
 // Percentile returns an upper bound on the p-th percentile (p in
 // [0,100]): the top of the bucket containing it.
+//
+//lockcheck:neutral
 func (h *Histogram) Percentile(p float64) uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -109,6 +121,8 @@ func (h *Histogram) percentile(p float64) uint64 {
 }
 
 // String summarizes the distribution.
+//
+//lockcheck:neutral
 func (h *Histogram) String() string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -138,6 +152,8 @@ func (s *Scope) Histogram(name string) *Histogram {
 }
 
 // Histograms returns every histogram, keyed by full name.
+//
+//lockcheck:neutral
 func (r *Registry) Histograms() map[string]*Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -149,6 +165,8 @@ func (r *Registry) Histograms() map[string]*Histogram {
 }
 
 // DumpHistograms renders every histogram, sorted by name.
+//
+//lockcheck:neutral
 func (r *Registry) DumpHistograms() string {
 	hs := r.Histograms()
 	names := make([]string, 0, len(hs))

@@ -61,7 +61,7 @@ func (s *Scope) Counter(name string) *Counter {
 
 // Registry owns all scopes for a simulation run.
 type Registry struct {
-	mu       sync.Mutex
+	mu       sync.Mutex //lockcheck:fast
 	scopes   map[string]*Scope
 	all      []*Counter
 	allHists []*Histogram
@@ -73,6 +73,8 @@ func NewRegistry() *Registry {
 }
 
 // Scope returns (creating if needed) the scope with the given prefix.
+//
+//lockcheck:neutral
 func (r *Registry) Scope(prefix string) *Scope {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -86,6 +88,8 @@ func (r *Registry) Scope(prefix string) *Scope {
 
 // Get returns the value of a fully qualified counter name, or 0 if the
 // counter was never created.
+//
+//lockcheck:neutral
 func (r *Registry) Get(fullName string) uint64 {
 	dot := strings.LastIndex(fullName, ".")
 	if dot < 0 {
@@ -106,6 +110,8 @@ func (r *Registry) Get(fullName string) uint64 {
 
 // Sum adds up counter short-name `name` across every scope whose prefix
 // begins with scopePrefix.
+//
+//lockcheck:neutral
 func (r *Registry) Sum(scopePrefix, name string) uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -124,6 +130,8 @@ func (r *Registry) Sum(scopePrefix, name string) uint64 {
 // Snapshot returns all counters as a sorted name→value map. Counters
 // mutated concurrently land in the snapshot with whichever value the
 // atomic load observed; the map itself is a private copy.
+//
+//lockcheck:neutral
 func (r *Registry) Snapshot() map[string]uint64 {
 	r.mu.Lock()
 	all := make([]*Counter, len(r.all))
@@ -137,6 +145,8 @@ func (r *Registry) Snapshot() map[string]uint64 {
 }
 
 // Dump renders every counter, sorted by name, one per line.
+//
+//lockcheck:neutral
 func (r *Registry) Dump() string {
 	snap := r.Snapshot()
 	names := make([]string, 0, len(snap))
